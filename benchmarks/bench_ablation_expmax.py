@@ -1,0 +1,68 @@
+"""Experiment A-expmax: E[max] composition vs the naive "largest
+sub-network" estimate the paper argues against (Section 2), plus the two
+service-time recursions (Eq. 6 verbatim vs exact occupancy).
+
+Prints, per load point: simulator truth, the full model under both
+recursions, and the naive estimate -- showing (a) naive underpredicts,
+(b) E[max] tracks the simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+def run_ablation(quick_sim_config):
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    sets = random_multicast_sets(routing, group_size=8, seed=2009)
+    spec0 = TrafficSpec(1e-6, 0.1, 32, sets)
+    model_occ = AnalyticalModel(topo, routing, recursion="occupancy")
+    model_paper = AnalyticalModel(topo, routing, recursion="paper")
+    sim = NocSimulator(topo, routing)
+    sat = model_occ.saturation_rate(spec0)
+    rows = []
+    for frac in (0.3, 0.5, 0.7):
+        spec = spec0.with_rate(frac * sat)
+        rows.append(
+            (
+                spec.message_rate,
+                sim.run(spec, quick_sim_config).multicast.mean,
+                model_occ.evaluate(spec).multicast_latency,
+                model_paper.evaluate(spec).multicast_latency,
+                model_occ.evaluate_naive_multicast(spec),
+            )
+        )
+    return rows
+
+
+def test_ablation_expmax(benchmark, quick_sim_config):
+    rows = benchmark.pedantic(
+        run_ablation, args=(quick_sim_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== A-expmax: multicast estimates vs simulation (Quarc-16, M=32, a=10%) ==")
+    print("      rate |   sim    | E[max] occ  E[max] Eq.6 | naive largest-subnet")
+    for rate, sim_mc, occ, paper, naive in rows:
+        def f(x):
+            return "sat".rjust(10) if math.isinf(x) else f"{x:10.2f}"
+        print(f"{rate:10.6f} | {f(sim_mc)} | {f(occ)} {f(paper)} | {f(naive)}")
+    for _rate, sim_mc, occ, _paper, naive in rows:
+        assert naive <= occ  # naive is a lower bound by construction
+        # E[max] is the better estimate of the simulator truth
+        assert abs(occ - sim_mc) <= abs(naive - sim_mc) + 1e-9
+
+
+def test_expmax_methods_timing(benchmark):
+    """Eq. 12 recursion vs inclusion-exclusion closed form at m = 4."""
+    from repro.core.expmax import expected_max_recursive
+
+    rates = [0.011, 0.017, 0.023, 0.031]
+    result = benchmark(expected_max_recursive, rates)
+    assert result > 0

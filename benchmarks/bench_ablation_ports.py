@@ -1,0 +1,63 @@
+"""Experiment A-ports: all-port vs one-port injection ablation.
+
+The paper's model exists because routers are multi-port; this ablation
+quantifies what the extra injection channels buy, in both the model and
+the simulator, across offered loads.
+"""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+def run_ablation(quick_sim_config):
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    sets = random_multicast_sets(routing, group_size=6, seed=2009)
+    spec0 = TrafficSpec(1e-6, 0.1, 32, sets)
+    model_all = AnalyticalModel(topo, routing, recursion="occupancy")
+    model_one = AnalyticalModel(topo, routing, one_port=True, recursion="occupancy")
+    sat = model_all.saturation_rate(spec0)
+    rows = []
+    for frac in (0.25, 0.5, 0.75):
+        spec = spec0.with_rate(frac * sat)
+        m_all = model_all.evaluate(spec)
+        m_one = model_one.evaluate(spec)
+        s_all = NocSimulator(topo, routing).run(spec, quick_sim_config)
+        s_one = NocSimulator(topo, routing, one_port=True).run(spec, quick_sim_config)
+        rows.append(
+            (
+                spec.message_rate,
+                m_all.multicast_latency,
+                m_one.multicast_latency,
+                s_all.multicast.mean,
+                s_one.multicast.mean,
+            )
+        )
+    return rows
+
+
+def test_ablation_ports(benchmark, quick_sim_config):
+    rows = benchmark.pedantic(
+        run_ablation, args=(quick_sim_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== A-ports: all-port vs one-port multicast latency (Quarc-16, M=32, a=10%) ==")
+    print("      rate | model all  model one | sim all   sim one  | one/all (sim)")
+    for rate, ma, mo, sa, so in rows:
+        def f(x):
+            return "sat".rjust(9) if math.isinf(x) else f"{x:9.2f}"
+        ratio = so / sa if sa > 0 else float("nan")
+        print(f"{rate:10.6f} | {f(ma)} {f(mo)} | {f(sa)} {f(so)} | x{ratio:.2f}")
+    # the claim: one-port multicast is strictly worse at every load, in
+    # both layers
+    for _rate, ma, mo, sa, so in rows:
+        assert so > sa
+        if math.isfinite(mo) and math.isfinite(ma):
+            assert mo > ma

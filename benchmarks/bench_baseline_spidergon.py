@@ -1,0 +1,54 @@
+"""Experiment B-spider: the Spidergon baseline (one-port routers,
+software multicast) -- the system the Quarc improves on and the network
+the model lineage ([16]) was first built for.
+
+Validates the unicast model on the Spidergon and quantifies the software
+multicast (one unicast worm per destination) against the Quarc's hardware
+multicast at the same offered load.
+"""
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import QuarcRouting, SpidergonRouting
+from repro.sim import NocSimulator
+from repro.topology import QuarcTopology, SpidergonTopology
+from repro.workloads import random_multicast_sets
+
+
+def run_baseline(quick_sim_config):
+    n = 16
+    spider = SpidergonTopology(n)
+    s_routing = SpidergonRouting(spider)
+    quarc = QuarcTopology(n)
+    q_routing = QuarcRouting(quarc)
+    s_sets = random_multicast_sets(s_routing, group_size=4, seed=2009)
+    q_sets = random_multicast_sets(q_routing, group_size=4, seed=2009)
+    rows = []
+    for rate in (0.0015, 0.003):
+        s_spec = TrafficSpec(rate, 0.05, 32, s_sets)
+        q_spec = TrafficSpec(rate, 0.05, 32, q_sets)
+        s_model = AnalyticalModel(spider, s_routing, recursion="occupancy").evaluate(s_spec)
+        s_sim = NocSimulator(spider, s_routing).run(s_spec, quick_sim_config)
+        q_sim = NocSimulator(quarc, q_routing).run(q_spec, quick_sim_config)
+        rows.append(
+            (rate, s_model.unicast_latency, s_sim.unicast.mean,
+             s_sim.multicast.mean, q_sim.multicast.mean)
+        )
+    return rows
+
+
+def test_baseline_spidergon(benchmark, quick_sim_config):
+    rows = benchmark.pedantic(
+        run_baseline, args=(quick_sim_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== B-spider: Spidergon baseline (N=16, M=32, alpha=5%, group=4) ==")
+    print("      rate | uni model   uni sim | sw-mcast sim | Quarc hw-mcast sim")
+    for rate, mu, su, smc, qmc in rows:
+        print(f"{rate:10.4f} | {mu:9.2f} {su:9.2f} | {smc:12.2f} | {qmc:12.2f}")
+    for _rate, mu, su, smc, qmc in rows:
+        # the unicast model holds on the one-port Spidergon too
+        assert mu == pytest.approx(su, rel=0.10)
+        # hardware multicast beats software multicast decisively
+        assert qmc < 0.7 * smc

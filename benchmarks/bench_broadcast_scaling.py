@@ -1,0 +1,29 @@
+"""Experiment B-bcast: broadcast latency scaling with network size
+(the Quarc's N/4-branch architecture vs the one-port baseline)."""
+
+from repro.experiments.broadcast import broadcast_scaling_study, render_broadcast_study
+from repro.sim import SimConfig
+
+
+def test_broadcast_scaling(benchmark):
+    points = benchmark.pedantic(
+        broadcast_scaling_study,
+        kwargs=dict(
+            sizes=(16, 32, 64),
+            message_length=32,
+            load_fraction=0.4,
+            sim_config=SimConfig(
+                seed=2009, warmup_cycles=1_500,
+                target_unicast_samples=300, target_multicast_samples=120,
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_broadcast_study(points))
+    # broadcast latency grows like N/4, far slower than N
+    lat = {p.num_nodes: p.sim_latency for p in points}
+    assert lat[64] / lat[16] < 3.0
+    for p in points:
+        assert p.one_port_ratio > 1.5

@@ -1,0 +1,53 @@
+"""Experiment X-mesh: the paper's Section 5 future work -- the multicast
+model applied to multi-port mesh and torus with column-path multicast."""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import MeshRouting, TorusRouting
+from repro.sim import NocSimulator
+from repro.topology import MeshTopology, TorusTopology
+from repro.workloads import random_multicast_sets
+
+
+def run_network(topo, routing, sets, quick_sim_config):
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sim = NocSimulator(topo, routing)
+    spec0 = TrafficSpec(1e-6, 0.05, 32, sets)
+    sat = model.saturation_rate(spec0)
+    rows = []
+    for frac in (0.3, 0.6):
+        spec = spec0.with_rate(frac * sat)
+        m = model.evaluate(spec)
+        s = sim.run(spec, quick_sim_config)
+        rows.append(
+            (spec.message_rate, m.unicast_latency, s.unicast.mean,
+             m.multicast_latency, s.multicast.mean)
+        )
+    return rows
+
+
+@pytest.mark.parametrize("kind", ["mesh", "torus"])
+def test_extension_network(benchmark, kind, quick_sim_config):
+    if kind == "mesh":
+        topo = MeshTopology(4, 4)
+        routing = MeshRouting(topo)
+        sets = random_multicast_sets(routing, group_size=5, seed=2009, mode="per_node")
+    else:
+        topo = TorusTopology(4, 4)
+        routing = TorusRouting(topo)
+        sets = random_multicast_sets(routing, group_size=5, seed=2009)
+
+    rows = benchmark.pedantic(
+        run_network, args=(topo, routing, sets, quick_sim_config), rounds=1, iterations=1
+    )
+    print()
+    print(f"== X-mesh: {topo.name} (column-path multicast, all-port XY) ==")
+    print("      rate | uni model   uni sim | mc model    mc sim")
+    for rate, mu, su, mm, sm in rows:
+        print(f"{rate:10.6f} | {mu:9.2f} {su:9.2f} | {mm:9.2f} {sm:9.2f}")
+    for _rate, mu, su, mm, sm in rows:
+        assert mu == pytest.approx(su, rel=0.15)
+        assert mm == pytest.approx(sm, rel=0.30)

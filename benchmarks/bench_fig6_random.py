@@ -1,0 +1,39 @@
+"""Experiment Fig6: multicast latency vs message rate, random destination
+sets -- model (both recursions) against the flit-level simulator.
+
+Regenerates one latency-vs-rate series pair per paper panel (N in
+{16, 32, 64, 128}); run with ``-s`` to see the series tables.
+"""
+
+import pytest
+
+from repro.experiments import agreement_metrics, fig6_configs, render_series, run_experiment
+
+PANELS = {c.exp_id: c for c in fig6_configs()}
+
+
+@pytest.mark.parametrize("exp_id", sorted(PANELS))
+def test_fig6_panel(benchmark, exp_id, quick_sim_config):
+    config = PANELS[exp_id]
+    # the two largest networks get a reduced sweep to keep bench wall-time
+    # sane; the full sweep is one flag away (load_fractions override)
+    if config.num_nodes >= 64:
+        config = config.scaled(load_fractions=(0.2, 0.5, 0.7))
+
+    result = benchmark.pedantic(
+        run_experiment,
+        kwargs=dict(config=config, sim_config=quick_sim_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_series(result))
+
+    # shape assertions: the series rises, the model tracks the simulator
+    finite = result.finite_points()
+    assert len(finite) >= 2
+    sims = [p.sim_multicast for p in finite]
+    assert sims == sorted(sims), "simulated multicast latency must rise with load"
+    occ = agreement_metrics(result, "occupancy")
+    assert occ.unicast_mape < 12.0
+    assert occ.multicast_mape < 30.0

@@ -1,0 +1,32 @@
+"""Experiment Fig7: multicast latency vs message rate with localized
+(same-rim) destination sets -- the paper's second figure family."""
+
+import pytest
+
+from repro.experiments import agreement_metrics, fig7_configs, render_series, run_experiment
+
+PANELS = {c.exp_id: c for c in fig7_configs()}
+
+
+@pytest.mark.parametrize("exp_id", sorted(PANELS))
+def test_fig7_panel(benchmark, exp_id, quick_sim_config):
+    config = PANELS[exp_id]
+    if config.num_nodes >= 64:
+        config = config.scaled(load_fractions=(0.2, 0.5, 0.7))
+
+    result = benchmark.pedantic(
+        run_experiment,
+        kwargs=dict(config=config, sim_config=quick_sim_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_series(result))
+
+    finite = result.finite_points()
+    assert len(finite) >= 2
+    sims = [p.sim_multicast for p in finite]
+    assert sims == sorted(sims)
+    occ = agreement_metrics(result, "occupancy")
+    assert occ.unicast_mape < 12.0
+    assert occ.multicast_mape < 30.0

@@ -1,0 +1,43 @@
+"""Experiment B-perf (model side): evaluation throughput of the analytical
+model -- the point of an analytical model is being orders of magnitude
+cheaper than simulation, so we track its cost across network sizes."""
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import QuarcRouting
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+@pytest.mark.parametrize("n", [16, 32, 64, 128])
+def test_model_evaluation(benchmark, n):
+    topo = QuarcTopology(n)
+    routing = QuarcRouting(topo)
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sets = random_multicast_sets(routing, group_size=max(3, n // 8), seed=1)
+    # per-node stable load shrinks with N: rim utilisation scales ~ N/16
+    spec = TrafficSpec(0.024 / n, 0.05, 32, sets)
+    result = benchmark(model.evaluate, spec)
+    assert result.finite
+
+
+def test_model_solve_only_128(benchmark):
+    """Just the Eq. 6 fixed point (no latency assembly) at N = 128."""
+    topo = QuarcTopology(128)
+    routing = QuarcRouting(topo)
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sets = random_multicast_sets(routing, group_size=16, seed=1)
+    spec = TrafficSpec(0.024 / 128, 0.05, 32, sets)
+    res = benchmark(model.solve, spec)
+    assert res.converged
+
+
+def test_saturation_search_quarc16(benchmark):
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sets = random_multicast_sets(routing, group_size=6, seed=1)
+    spec = TrafficSpec(1e-6, 0.05, 32, sets)
+    sat = benchmark(model.saturation_rate, spec)
+    assert 0.0 < sat < 1.0

@@ -1,0 +1,41 @@
+"""Experiment B-perf (simulator side): event throughput of the flit-exact
+worm engine under steady Poisson load."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_sim_throughput(benchmark, n, quick_sim_config):
+    topo = QuarcTopology(n)
+    routing = QuarcRouting(topo)
+    sim = NocSimulator(topo, routing)
+    sets = random_multicast_sets(routing, group_size=max(3, n // 8), seed=1)
+    spec = TrafficSpec(0.024 / n, 0.05, 32, sets)
+    cfg = dataclasses.replace(
+        quick_sim_config, target_unicast_samples=500, target_multicast_samples=100
+    )
+    result = benchmark.pedantic(sim.run, args=(spec, cfg), rounds=1, iterations=1)
+    assert result.target_met
+    rate = result.events / max(result.sim_time, 1.0)
+    print(f"\n{topo.name}: {result.events} events over {result.sim_time:.0f} cycles "
+          f"({rate:.1f} events/cycle)")
+
+
+def test_scripted_engine_raw_speed(benchmark):
+    """Raw engine cost: 200 back-to-back worms through one shared path."""
+    from repro.sim.reference import ScriptedWorm
+    from repro.sim.scripted import run_scripted
+
+    worms = [
+        ScriptedWorm(uid, uid * 3, (0, 1, 2, 3, 4), 16) for uid in range(1, 201)
+    ]
+    results = benchmark(run_scripted, 6, worms)
+    assert len(results) == 200

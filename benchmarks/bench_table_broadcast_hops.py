@@ -1,0 +1,53 @@
+"""Experiment T-hops: the Section 3 prose claims as a table.
+
+A Quarc broadcast branch traverses at most N/4 hops; the Spidergon's
+broadcast-by-consecutive-unicasts chain traverses N-1.
+"""
+
+from repro.experiments import render_broadcast_hops_table
+from repro.routing import QuarcRouting, SpidergonRouting
+from repro.topology import QuarcTopology, SpidergonTopology
+
+SIZES = (16, 32, 64, 128)
+
+
+def test_broadcast_hops_table(benchmark):
+    table = benchmark(render_broadcast_hops_table, SIZES)
+    print()
+    print(table)
+    for n in SIZES:
+        qr = QuarcRouting(QuarcTopology(n))
+        sr = SpidergonRouting(SpidergonTopology(n))
+        assert qr.broadcast_max_hops(0) == n // 4
+        assert sr.broadcast_chain_hops(0) == n - 1
+
+
+def test_broadcast_latency_advantage_in_simulation(benchmark, quick_sim_config):
+    """The hop advantage translates to simulated broadcast latency: a Quarc
+    multicast to every node completes far sooner than the one-port
+    software multicast of the same destination set."""
+    import dataclasses
+
+    from repro.core.flows import TrafficSpec
+    from repro.sim import NocSimulator
+
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    sets = {n: frozenset(x for x in range(16) if x != n) for n in range(16)}
+    spec = TrafficSpec(0.001, 0.5, 32, sets)
+    cfg = dataclasses.replace(
+        quick_sim_config, target_unicast_samples=200, target_multicast_samples=100
+    )
+
+    def run_both():
+        all_port = NocSimulator(topo, routing).run(spec, cfg)
+        one_port = NocSimulator(topo, routing, one_port=True).run(spec, cfg)
+        return all_port, one_port
+
+    all_port, one_port = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    ratio = one_port.multicast.mean / all_port.multicast.mean
+    print(
+        f"\nbroadcast latency, all-port {all_port.multicast.mean:.1f} vs "
+        f"one-port {one_port.multicast.mean:.1f} cycles (x{ratio:.2f})"
+    )
+    assert ratio > 2.0  # the paper's "dramatically reduced" broadcast latency

@@ -1,0 +1,25 @@
+"""Shared fixtures/utilities for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts
+(DESIGN.md experiment index) and prints the series/table it produced, so
+``pytest benchmarks/ --benchmark-only -s`` is the textual equivalent of
+re-plotting the paper's figures.  Simulation sample counts are kept small
+here (the point is the harness and the shape); ``tests/test_validation.py``
+carries the strict tolerance assertions.
+"""
+
+import pytest
+
+from repro.sim import SimConfig
+
+
+@pytest.fixture
+def quick_sim_config():
+    """Small-sample simulation settings for benchmark runs."""
+    return SimConfig(
+        seed=2009,
+        warmup_cycles=1_500.0,
+        target_unicast_samples=800,
+        target_multicast_samples=150,
+        max_cycles=1_000_000.0,
+    )

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's future work, working: the multicast model on multi-port
+mesh and torus (Section 5: "Our next objective is to investigate the
+validity of the model in other relevant interconnection networks such as
+multi-port mesh and torus").
+
+Uses XY routing with BRCP-conformant column-path multicast and compares
+model predictions against the flit-level simulator on both topologies.
+
+Run:  python examples/mesh_extension.py [rows] [cols]
+"""
+
+import sys
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import MeshRouting, TorusRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import MeshTopology, TorusTopology
+from repro.workloads import random_multicast_sets
+
+
+def study(topo, routing, sets) -> None:
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sim = NocSimulator(topo, routing)
+    spec0 = TrafficSpec(1e-6, 0.05, 32, sets)
+    sat = model.saturation_rate(spec0)
+    print(f"\n{topo.name}: saturation at {sat:.5f} msg/node/cycle")
+    print("      rate | uni model   uni sim | mc model    mc sim")
+    for frac in (0.25, 0.5, 0.75):
+        spec = spec0.with_rate(frac * sat)
+        m = model.evaluate(spec)
+        s = sim.run(
+            spec,
+            SimConfig(seed=5, warmup_cycles=2_000, target_unicast_samples=1_500,
+                      target_multicast_samples=250),
+        )
+        print(f"{spec.message_rate:10.6f} | {m.unicast_latency:9.2f} "
+              f"{s.unicast.mean:9.2f} | {m.multicast_latency:9.2f} "
+              f"{s.multicast.mean:9.2f}")
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    mesh = MeshTopology(rows, cols)
+    mesh_routing = MeshRouting(mesh)
+    study(mesh, mesh_routing,
+          random_multicast_sets(mesh_routing, group_size=5, seed=9, mode="per_node"))
+
+    torus = TorusTopology(rows, cols)
+    torus_routing = TorusRouting(torus)
+    study(torus, torus_routing,
+          random_multicast_sets(torus_routing, group_size=5, seed=9))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: reproduction of Moadeli & Vanderbauwhede (IPDPS 2009),
+"A Performance Model of Multicast Communication in Wormhole-Routed
+Networks on-Chip".
+
+Public API overview
+-------------------
+* :mod:`repro.topology` -- Spidergon, Quarc, mesh and torus topologies,
+* :mod:`repro.routing` -- quadrant routing, BRCP broadcast/multicast,
+* :mod:`repro.core` -- the analytical latency model (the paper's
+  contribution): M/G/1 channel queues, the Eq. 6 service-time fixed
+  point, Eq. 7 unicast latency and the Eq. 12-16 multicast latency,
+* :mod:`repro.sim` -- the flit-exact wormhole validation simulator,
+* :mod:`repro.workloads` -- destination-set and traffic generators,
+* :mod:`repro.experiments` -- the Figure 6/7 reproduction harness.
+
+Quickstart::
+
+    from repro import quarc_model, quarc_simulator, TrafficSpec
+    from repro.workloads import random_multicast_sets
+
+    model, routing = quarc_model(16)
+    sets = random_multicast_sets(routing, group_size=6, seed=7)
+    spec = TrafficSpec(0.01, 0.05, 32, sets)
+    print(model.evaluate(spec).multicast_latency)
+"""
+
+from repro.core import AnalyticalModel, ModelResult, TrafficSpec
+from repro.routing import QuarcRouting, SpidergonRouting
+from repro.sim import NocSimulator, SimConfig, SimResult
+from repro.topology import QuarcTopology, SpidergonTopology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalModel",
+    "ModelResult",
+    "TrafficSpec",
+    "NocSimulator",
+    "SimConfig",
+    "SimResult",
+    "QuarcTopology",
+    "SpidergonTopology",
+    "QuarcRouting",
+    "SpidergonRouting",
+    "quarc_model",
+    "quarc_simulator",
+    "__version__",
+]
+
+
+def quarc_model(num_nodes: int, **kwargs) -> tuple[AnalyticalModel, QuarcRouting]:
+    """Convenience constructor: (model, routing) for an N-node Quarc."""
+    topo = QuarcTopology(num_nodes)
+    routing = QuarcRouting(topo)
+    return AnalyticalModel(topo, routing, **kwargs), routing
+
+
+def quarc_simulator(num_nodes: int, **kwargs) -> tuple[NocSimulator, QuarcRouting]:
+    """Convenience constructor: (simulator, routing) for an N-node Quarc."""
+    topo = QuarcTopology(num_nodes)
+    routing = QuarcRouting(topo)
+    return NocSimulator(topo, routing, **kwargs), routing

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``evaluate``
+    One-shot model prediction (optionally validated by simulation).
+``sweep``
+    Regenerate a Figure 6/7 panel (series table + ASCII chart).
+``hops``
+    The T-hops broadcast table (Quarc N/4 vs Spidergon N-1).
+``saturation``
+    Model saturation rates over network sizes and message lengths.
+``explain``
+    Per-port decomposition of one node's multicast latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.explain import explain_multicast
+from repro.experiments import render_broadcast_hops_table
+from repro.experiments.charts import chart_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_series
+from repro.experiments.runner import run_experiment
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import QuarcTopology
+from repro.workloads import localized_multicast_sets, random_multicast_sets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multicast latency in wormhole-routed NoCs: analytical model + "
+            "flit-level simulator (Moadeli & Vanderbauwhede, IPDPS 2009)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", "-n", type=int, default=16, help="Quarc size N")
+        p.add_argument("--msg", "-m", type=int, default=32, help="message length (flits)")
+        p.add_argument("--alpha", type=float, default=5.0, help="multicast %% of traffic")
+        p.add_argument("--group", type=int, default=None, help="multicast group size")
+        p.add_argument("--seed", type=int, default=2009)
+        p.add_argument(
+            "--recursion", choices=["paper", "occupancy"], default="occupancy",
+            help="service-time recursion variant",
+        )
+
+    p_eval = sub.add_parser("evaluate", help="one-shot model prediction")
+    common(p_eval)
+    p_eval.add_argument("--rate", type=float, required=True, help="msgs/node/cycle")
+    p_eval.add_argument("--sim", action="store_true", help="validate by simulation")
+    p_eval.add_argument("--one-port", action="store_true")
+
+    p_sweep = sub.add_parser("sweep", help="regenerate a figure panel")
+    common(p_sweep)
+    p_sweep.add_argument(
+        "--dests", choices=["random", "localized"], default="random",
+        help="fig6 (random) or fig7 (localized) destination sets",
+    )
+    p_sweep.add_argument("--rim", choices=["L", "R", "CL", "CR"], default=None)
+    p_sweep.add_argument("--points", type=int, default=6, help="sweep points")
+    p_sweep.add_argument("--no-sim", action="store_true", help="model only")
+    p_sweep.add_argument("--chart", action="store_true", help="ASCII chart")
+    p_sweep.add_argument("--samples", type=int, default=1000,
+                         help="unicast latency samples per point")
+    p_sweep.add_argument("--json", type=str, default=None, metavar="PATH",
+                         help="save the series as JSON")
+    p_sweep.add_argument("--csv", type=str, default=None, metavar="PATH",
+                         help="save the sweep points as CSV")
+
+    p_hops = sub.add_parser("hops", help="broadcast hop table (T-hops)")
+    p_hops.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
+
+    p_sat = sub.add_parser("saturation", help="saturation-rate table")
+    common(p_sat)
+    p_sat.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
+    p_sat.add_argument("--lengths", type=int, nargs="+", default=[16, 32, 64])
+
+    p_explain = sub.add_parser("explain", help="decompose one node's multicast")
+    common(p_explain)
+    p_explain.add_argument("--rate", type=float, required=True)
+    p_explain.add_argument("--node", type=int, default=0)
+
+    return parser
+
+
+def _network(args) -> tuple[QuarcTopology, QuarcRouting]:
+    topo = QuarcTopology(args.nodes)
+    return topo, QuarcRouting(topo)
+
+
+def _sets(args, routing):
+    group = args.group if args.group is not None else max(3, args.nodes // 8)
+    return random_multicast_sets(routing, group_size=group, seed=args.seed)
+
+
+def cmd_evaluate(args) -> int:
+    topo, routing = _network(args)
+    sets = _sets(args, routing)
+    spec = TrafficSpec(args.rate, args.alpha / 100.0, args.msg, sets)
+    model = AnalyticalModel(
+        topo, routing, recursion=args.recursion, one_port=args.one_port
+    )
+    res = model.evaluate(spec)
+    if res.saturated:
+        print(f"SATURATED at rate {args.rate} (bottleneck {res.bottleneck_channel})")
+        return 1
+    print(f"model unicast   : {res.unicast_latency:9.2f} cycles")
+    print(f"model multicast : {res.multicast_latency:9.2f} cycles")
+    print(f"bottleneck      : {res.bottleneck_channel} (rho = {res.max_utilization:.3f})")
+    if args.sim:
+        sim = NocSimulator(topo, routing, one_port=args.one_port)
+        sres = sim.run(
+            spec,
+            SimConfig(seed=args.seed, warmup_cycles=2_000,
+                      target_unicast_samples=2_000, target_multicast_samples=300),
+        )
+        print(f"sim unicast     : {sres.unicast.mean:9.2f} "
+              f"(+-{sres.unicast.ci95_halfwidth():.2f})")
+        print(f"sim multicast   : {sres.multicast.mean:9.2f} "
+              f"(+-{sres.multicast.ci95_halfwidth():.2f})")
+        if sres.deadlock_recoveries:
+            print(f"(deadlock recoveries: {sres.deadlock_recoveries})")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    group = args.group if args.group is not None else max(3, args.nodes // 8)
+    figure = "fig6" if args.dests == "random" else "fig7"
+    fractions = tuple(
+        (k + 1) * 0.8 / args.points for k in range(args.points)
+    )
+    config = ExperimentConfig(
+        exp_id=f"{figure}-N{args.nodes}-M{args.msg}-a{int(args.alpha):02d}",
+        figure=figure,
+        num_nodes=args.nodes,
+        message_length=args.msg,
+        multicast_fraction=args.alpha / 100.0,
+        group_size=group,
+        destset_mode=args.dests,
+        rim=args.rim,
+        seed=args.seed,
+        load_fractions=fractions,
+    )
+    result = run_experiment(
+        config,
+        include_sim=not args.no_sim,
+        sim_config=SimConfig(
+            seed=args.seed,
+            warmup_cycles=2_000,
+            target_unicast_samples=args.samples,
+            target_multicast_samples=max(100, args.samples // 6),
+        ),
+    )
+    print(render_series(result))
+    if args.chart:
+        print()
+        print(chart_experiment(result, quantity="multicast"))
+    if args.json:
+        from repro.experiments.io import save_experiment_json
+
+        print(f"saved JSON: {save_experiment_json(result, args.json)}")
+    if args.csv:
+        from repro.experiments.io import save_points_csv
+
+        print(f"saved CSV: {save_points_csv(result, args.csv)}")
+    return 0
+
+
+def cmd_hops(args) -> int:
+    for n in args.sizes:
+        if n < 8 or n % 4:
+            print(f"error: size {n} is not a valid Quarc size", file=sys.stderr)
+            return 2
+    print(render_broadcast_hops_table(args.sizes))
+    return 0
+
+
+def cmd_saturation(args) -> int:
+    print(f"== model saturation rates (msg/node/cycle), recursion={args.recursion}, "
+          f"alpha={args.alpha:.0f}% ==")
+    header = "    N |" + "".join(f"    M={m:<5d}" for m in args.lengths)
+    print(header)
+    for n in args.sizes:
+        topo = QuarcTopology(n)
+        routing = QuarcRouting(topo)
+        model = AnalyticalModel(topo, routing, recursion=args.recursion)
+        group = args.group if args.group is not None else max(3, n // 8)
+        sets = random_multicast_sets(routing, group_size=group, seed=args.seed)
+        cells = []
+        for m in args.lengths:
+            sat = model.saturation_rate(TrafficSpec(1e-6, args.alpha / 100.0, m, sets))
+            cells.append(f" {sat:9.5f}")
+        print(f"{n:5d} |" + "".join(cells))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    topo, routing = _network(args)
+    sets = _sets(args, routing)
+    spec = TrafficSpec(args.rate, args.alpha / 100.0, args.msg, sets)
+    model = AnalyticalModel(topo, routing, recursion=args.recursion)
+    try:
+        breakdown = explain_multicast(model, spec, args.node)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(breakdown.render())
+    return 0
+
+
+COMMANDS = {
+    "evaluate": cmd_evaluate,
+    "sweep": cmd_sweep,
+    "hops": cmd_hops,
+    "saturation": cmd_saturation,
+    "explain": cmd_explain,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

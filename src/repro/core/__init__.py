@@ -1,0 +1,69 @@
+"""Analytical performance model (the paper's primary contribution).
+
+This subpackage implements Section 2 of Moadeli & Vanderbauwhede (IPDPS
+2009) as a reusable library:
+
+* :mod:`repro.core.mg1` -- the M/G/1 channel waiting-time model (Eq. 3-5),
+* :mod:`repro.core.expmax` -- expected maximum of independent exponentials
+  (Eq. 9-12),
+* :mod:`repro.core.channel_graph` -- the channel dependency graph,
+* :mod:`repro.core.flows` -- per-channel traffic rates and forwarding
+  probabilities derived from routing and a traffic specification,
+* :mod:`repro.core.service` -- the service-time fixed point (Eq. 6),
+* :mod:`repro.core.unicast` -- unicast latency (Eq. 7),
+* :mod:`repro.core.multicast` -- multicast latency (Eq. 8, 13-16),
+* :mod:`repro.core.model` -- the one-call :class:`AnalyticalModel` facade.
+"""
+
+from repro.core.mg1 import (
+    MG1Channel,
+    mg1_waiting_time,
+    paper_service_variance,
+    utilization,
+)
+from repro.core.expmax import (
+    expected_max_exponentials,
+    expected_max_inclusion_exclusion,
+    expected_max_iid,
+    expected_max_recursive,
+    expected_min_exponentials,
+)
+from repro.core.channel_graph import Channel, ChannelGraph, ChannelKind
+from repro.core.flows import FlowAccumulator, TrafficSpec, build_flows
+from repro.core.service import ServiceTimeResult, SaturatedError, solve_service_times
+from repro.core.unicast import path_latency, average_unicast_latency
+from repro.core.multicast import multicast_latency_at_node, average_multicast_latency
+from repro.core.model import AnalyticalModel, ModelResult
+from repro.core.closedform import QuarcUniformRates, quarc_uniform_rates
+from repro.core.explain import MulticastBreakdown, explain_multicast
+
+__all__ = [
+    "MG1Channel",
+    "mg1_waiting_time",
+    "paper_service_variance",
+    "utilization",
+    "expected_max_exponentials",
+    "expected_max_inclusion_exclusion",
+    "expected_max_iid",
+    "expected_max_recursive",
+    "expected_min_exponentials",
+    "Channel",
+    "ChannelGraph",
+    "ChannelKind",
+    "FlowAccumulator",
+    "TrafficSpec",
+    "build_flows",
+    "ServiceTimeResult",
+    "SaturatedError",
+    "solve_service_times",
+    "path_latency",
+    "average_unicast_latency",
+    "multicast_latency_at_node",
+    "average_multicast_latency",
+    "AnalyticalModel",
+    "ModelResult",
+    "QuarcUniformRates",
+    "quarc_uniform_rates",
+    "MulticastBreakdown",
+    "explain_multicast",
+]

@@ -1,0 +1,161 @@
+"""Closed-form per-channel rates for the Quarc under uniform unicast.
+
+The flow accumulator (:mod:`repro.core.flows`) derives channel rates by
+enumerating every source/destination pair -- fully general but O(N^2)
+routes.  For the paper's baseline workload (uniform random unicast on a
+Quarc) the rates have closed forms, derived here the way the Spidergon
+model lineage (Moadeli et al. [16]) derives theirs.  They serve as
+
+* an **analytical cross-check** of the enumerator (asserted equal in
+  ``tests/test_closedform.py`` for all sizes), and
+* an **O(1) fast path** for capacity estimates at large N.
+
+Derivation sketch (Q = N/4, lambda_u per node, pair rate
+``r = lambda_u / (N-1)``):
+
+* a rim channel (either direction) carries (i) pure-rim pairs: sources
+  at offset ``k in [0, Q)`` reaching dests ``d in [k+1, Q]``, i.e.
+  ``Q(Q+1)/2`` pairs, and (ii) cross-continuation pairs: messages that
+  crossed and continue along the rim, ``Q(Q-1)/2`` pairs -- total
+  ``Q^2 * r`` per rim channel,
+* the cross-clockwise (XCW) physical link carries only its own node's
+  CR-quadrant traffic: ``Q * r``; the XCCW link ``(Q-1) * r``,
+* an injection channel carries its quadrant's share ``|S_c| * r``,
+* every ejection channel splits the node's total arrival rate
+  ``lambda_u`` by the share of sources whose route arrives on that input
+  tag.
+
+The paper's saturation behaviour follows: the rim channels dominate
+(``Q^2 r ~ lambda_u * N / 16``), so the stable per-node rate shrinks
+roughly as 16/N -- the trend visible in ``examples/saturation_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.quarc import QuarcTopology
+
+__all__ = ["QuarcUniformRates", "quarc_uniform_rates"]
+
+
+@dataclass(frozen=True)
+class QuarcUniformRates:
+    """Closed-form channel rates (msgs/cycle) for uniform unicast."""
+
+    num_nodes: int
+    unicast_rate: float  #: per-node generation rate lambda_u
+
+    @property
+    def quarter(self) -> int:
+        return self.num_nodes // 4
+
+    @property
+    def pair_rate(self) -> float:
+        """Rate of one ordered (source, dest) pair: lambda_u / (N-1)."""
+        return self.unicast_rate / (self.num_nodes - 1)
+
+    # -- network channels -------------------------------------------------
+    @property
+    def cw_rim(self) -> float:
+        """A clockwise rim channel: Q^2 pairs (rim + cross continuation)."""
+        q = self.quarter
+        return self.pair_rate * (q * (q + 1) / 2 + q * (q - 1) / 2)
+
+    @property
+    def ccw_rim(self) -> float:
+        """A counterclockwise rim channel: R-quadrant rim pairs
+        (``Q(Q+1)/2``) plus CL cross continuations.  Each of a node's Q-1
+        CL destinations takes ``N/2 - d in [1, Q-1]`` CCW steps after
+        crossing, giving ``Q(Q-1)/2`` continuation pairs per channel --
+        the same ``Q^2`` total as the clockwise rim."""
+        q = self.quarter
+        return self.pair_rate * (q * (q + 1) / 2 + q * (q - 1) / 2)
+
+    @property
+    def cross_cw(self) -> float:
+        """The XCW physical link: the source's CR quadrant (Q dests)."""
+        return self.pair_rate * self.quarter
+
+    @property
+    def cross_ccw(self) -> float:
+        """The XCCW physical link: the CL quadrant (Q-1 dests)."""
+        return self.pair_rate * (self.quarter - 1)
+
+    # -- injection channels ------------------------------------------------
+    @property
+    def injection_L(self) -> float:
+        return self.pair_rate * self.quarter
+
+    @property
+    def injection_R(self) -> float:
+        return self.pair_rate * self.quarter
+
+    @property
+    def injection_CR(self) -> float:
+        return self.pair_rate * self.quarter
+
+    @property
+    def injection_CL(self) -> float:
+        return self.pair_rate * (self.quarter - 1)
+
+    def injection(self, port: str) -> float:
+        try:
+            return {
+                "L": self.injection_L,
+                "R": self.injection_R,
+                "CR": self.injection_CR,
+                "CL": self.injection_CL,
+            }[port]
+        except KeyError:
+            raise ValueError(f"unknown Quarc port {port!r}") from None
+
+    # -- ejection channels ---------------------------------------------------
+    def ejection(self, input_tag: str) -> float:
+        """An ejection channel of the given input tag.
+
+        Arrivals at a node come from N-1 sources, one pair-rate each; the
+        input tag is determined by the source's quadrant relative to the
+        destination: sources seeing the dest in their L quadrant arrive on
+        a CW link unless they are the cross neighbour's side...  Counting
+        by symmetry: CW ejection receives L-quadrant rim traffic (Q
+        sources) plus nothing else terminal -- cross arrivals terminate on
+        their own XCW/XCCW ejections only for the single-hop cross pair.
+        """
+        q = self.quarter
+        r = self.pair_rate
+        if input_tag == "CW":
+            # sources at CCW offsets 1..Q (their L quadrant) arrive via
+            # rim, PLUS cross-continuation arrivals from sources whose CR
+            # path ends here: offsets N/2+1 .. N/2+Q-1 -> Q-1 sources
+            return r * (q + (q - 1))
+        if input_tag == "CCW":
+            # R-quadrant rim sources (Q) + CL cross-continuations: all Q-1
+            # CL members take >= 1 CCW step after crossing (d < N/2
+            # strictly, since d = N/2 belongs to CR)
+            return r * (q + (q - 1))
+        if input_tag == "XCW":
+            return r  # only the cross neighbour's direct CR hop
+        if input_tag == "XCCW":
+            return 0.0  # d = N/2 routes via XCW; no one terminates in 1 XCCW hop
+        raise ValueError(f"unknown Quarc input tag {input_tag!r}")
+
+    def total_network_rate(self) -> float:
+        """Sum over all network channels = lambda_u * N * mean hops."""
+        n = self.num_nodes
+        return n * (self.cw_rim + self.ccw_rim + self.cross_cw + self.cross_ccw)
+
+    def mean_hops(self) -> float:
+        """Mean unicast hop count implied by the rates (conservation)."""
+        return self.total_network_rate() / (self.num_nodes * self.unicast_rate)
+
+
+def quarc_uniform_rates(
+    topology: QuarcTopology, unicast_rate: float
+) -> QuarcUniformRates:
+    """Closed-form rates for ``topology`` at per-node rate ``unicast_rate``."""
+    if not isinstance(topology, QuarcTopology):
+        raise TypeError(f"expected QuarcTopology, got {type(topology)}")
+    if unicast_rate < 0.0:
+        raise ValueError(f"unicast_rate must be >= 0, got {unicast_rate}")
+    return QuarcUniformRates(topology.num_nodes, unicast_rate)

@@ -1,0 +1,154 @@
+"""Latency decomposition: *why* does a multicast cost what it costs?
+
+The model facade returns one number per spec; this module opens it up,
+reporting per-port worm waitings, the exponential rates, the E[max]
+composition, hop counts and the channels along each worm's path with
+their individual discounted waiting contributions -- the model's working
+shown, for debugging and for design insight (which rim is the problem?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.expmax import expected_max_exponentials
+from repro.core.model import AnalyticalModel
+from repro.core.flows import TrafficSpec
+from repro.core.unicast import LATENCY_CONSTANT
+
+__all__ = ["ChannelContribution", "WormBreakdown", "MulticastBreakdown", "explain_multicast"]
+
+
+@dataclass(frozen=True)
+class ChannelContribution:
+    """One channel on a worm's path and its share of the waiting."""
+
+    channel: str
+    waiting: float  #: discounted mean waiting at this channel (cycles)
+    utilization: float  #: the channel's rho
+    service_time: float  #: the channel's mean service time x
+
+
+@dataclass(frozen=True)
+class WormBreakdown:
+    """One port worm of the multicast."""
+
+    port: str
+    hops: int
+    last_node: int
+    targets: tuple[int, ...]
+    total_waiting: float  #: sum of the channel waitings (1 / mu)
+    exponential_rate: float  #: mu_{j,c} (Eq. 8)
+    channels: tuple[ChannelContribution, ...]
+
+
+@dataclass(frozen=True)
+class MulticastBreakdown:
+    """The full Eq. 13-14 composition at one source node."""
+
+    source: int
+    worms: tuple[WormBreakdown, ...]
+    expected_max_waiting: float  #: W_j = E[max] (Eq. 13)
+    max_hops: int  #: D_j (Eq. 15)
+    message_length: int
+    latency: float  #: L_j (Eq. 14, calibrated)
+
+    def bottleneck_worm(self) -> WormBreakdown:
+        """The port worm with the largest expected waiting."""
+        return max(self.worms, key=lambda w: w.total_waiting)
+
+    def render(self) -> str:
+        lines = [
+            f"multicast from node {self.source}: L = {self.latency:.2f} cycles "
+            f"(W = {self.expected_max_waiting:.2f}, msg = {self.message_length}, "
+            f"D = {self.max_hops})"
+        ]
+        for w in self.worms:
+            lines.append(
+                f"  port {w.port:3s} -> last node {w.last_node} "
+                f"({w.hops} hops, targets {sorted(w.targets)}): "
+                f"waiting {w.total_waiting:.2f} (mu = {w.exponential_rate:.4f})"
+            )
+            for c in w.channels:
+                if c.waiting > 0.0:
+                    lines.append(
+                        f"      {c.channel:22s} w = {c.waiting:7.3f}  "
+                        f"rho = {c.utilization:.3f}  x = {c.service_time:.2f}"
+                    )
+        return "\n".join(lines)
+
+
+def explain_multicast(
+    model: AnalyticalModel, spec: TrafficSpec, source: int
+) -> MulticastBreakdown:
+    """Decompose the multicast latency of ``source`` under ``spec``.
+
+    Raises if the source has no multicast destination set or the spec
+    saturates the network (no finite decomposition exists).
+    """
+    dests = spec.multicast_sets.get(source)
+    if not dests:
+        raise ValueError(f"node {source} has no multicast destination set")
+    service = model.solve(spec)
+    if service.saturated:
+        raise ValueError("network saturated: latency is unbounded")
+    graph = model.graph
+    routes = model.routing.multicast_routes(source, sorted(dests))
+
+    worms: list[WormBreakdown] = []
+    per_channel_count: dict[int, int] = {}
+    for route in routes:
+        seq = graph.multicast_worm_channels(route)
+        contribs: list[ChannelContribution] = []
+        total = float(service.waiting[seq[0]])
+        contribs.append(
+            ChannelContribution(
+                channel=graph.describe(seq[0]),
+                waiting=float(service.waiting[seq[0]]),
+                utilization=float(service.utilization[seq[0]]),
+                service_time=float(service.mean_service[seq[0]]),
+            )
+        )
+        for prev, ch in zip(seq, seq[1:]):
+            w = service.discounted_waiting(prev, ch)
+            total += w
+            contribs.append(
+                ChannelContribution(
+                    channel=graph.describe(ch),
+                    waiting=w,
+                    utilization=float(service.utilization[ch]),
+                    service_time=float(service.mean_service[ch]),
+                )
+            )
+        k = per_channel_count.get(seq[0], 0)
+        if k > 0:  # one-port / shared-port serialisation charge
+            total += k * float(service.mean_service[seq[0]])
+        per_channel_count[seq[0]] = k + 1
+        rate = math.inf if total <= 0.0 else 1.0 / total
+        worms.append(
+            WormBreakdown(
+                port=route.port,
+                hops=route.hops,
+                last_node=route.last_node,
+                targets=tuple(sorted(route.targets)),
+                total_waiting=total,
+                exponential_rate=rate,
+                channels=tuple(contribs),
+            )
+        )
+
+    w_j = expected_max_exponentials(
+        [w.exponential_rate for w in worms], method=model.expmax_method
+    )
+    d_j = max(w.hops for w in worms)
+    latency = w_j + spec.message_length + d_j + LATENCY_CONSTANT
+    return MulticastBreakdown(
+        source=source,
+        worms=tuple(worms),
+        expected_max_waiting=w_j,
+        max_hops=d_j,
+        message_length=spec.message_length,
+        latency=latency,
+    )

@@ -1,0 +1,133 @@
+"""M/G/1 channel waiting-time model (paper Eq. 3-5).
+
+The analytical model views the network as a network of queues where every
+channel (injection, network and ejection) is an M/G/1 server.  The mean
+waiting time of an M/G/1 queue is the Pollaczek-Khinchine formula, written
+in the paper (Eq. 3) as::
+
+    W = (lambda * rho) / (2 * (1 - lambda * xbar)) * (1 + sigma^2 / xbar^2)
+
+with ``rho = lambda * xbar`` (Eq. 4).  The paper approximates the service
+time distribution's standard deviation as ``sigma = xbar - msg`` (Eq. 5):
+the deterministic part of a channel's service is the message length itself,
+and all variability comes from downstream blocking.
+
+Units: times are in cycles, rates in messages per cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "utilization",
+    "mg1_waiting_time",
+    "paper_service_variance",
+    "MG1Channel",
+]
+
+
+def utilization(arrival_rate: float, mean_service: float) -> float:
+    """Channel utilisation ``rho = lambda * xbar`` (paper Eq. 4).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Mean arrival rate ``lambda`` at the channel (messages/cycle).
+    mean_service:
+        Mean service time ``xbar`` of the channel (cycles).
+    """
+    if arrival_rate < 0.0:
+        raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if mean_service < 0.0:
+        raise ValueError(f"mean_service must be >= 0, got {mean_service}")
+    return arrival_rate * mean_service
+
+
+def paper_service_variance(mean_service: float, message_length: float) -> float:
+    """Service-time variance under the paper's convention (Eq. 5).
+
+    The paper sets ``sigma = xbar - msg``: a channel whose mean service time
+    equals the message length serves deterministically (variance 0); any
+    excess over the message length is attributed to random downstream
+    blocking and counted as one standard deviation.
+
+    Returns ``sigma**2``.  ``mean_service`` may not be smaller than
+    ``message_length`` by more than floating-point noise; values in
+    ``[message_length - 1e-9, message_length]`` are clamped to exactly
+    ``message_length``.
+    """
+    if message_length <= 0.0:
+        raise ValueError(f"message_length must be > 0, got {message_length}")
+    sigma = mean_service - message_length
+    if sigma < 0.0:
+        if sigma < -1e-6 * max(1.0, message_length):
+            raise ValueError(
+                f"mean_service ({mean_service}) must be >= message_length "
+                f"({message_length}) under the paper's variance convention"
+            )
+        sigma = 0.0
+    return sigma * sigma
+
+
+def mg1_waiting_time(
+    arrival_rate: float,
+    mean_service: float,
+    service_variance: float,
+) -> float:
+    """Mean M/G/1 waiting time (Pollaczek-Khinchine, paper Eq. 3).
+
+    Returns ``math.inf`` when the queue is saturated (``rho >= 1``).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Mean Poisson arrival rate ``lambda`` (messages/cycle).
+    mean_service:
+        Mean service time ``xbar`` (cycles).
+    service_variance:
+        Variance ``sigma**2`` of the service-time distribution (cycles^2).
+    """
+    if service_variance < 0.0:
+        raise ValueError(f"service_variance must be >= 0, got {service_variance}")
+    rho = utilization(arrival_rate, mean_service)
+    if arrival_rate == 0.0 or mean_service == 0.0:
+        return 0.0
+    if rho >= 1.0:
+        return math.inf
+    second_moment = mean_service * mean_service + service_variance
+    return arrival_rate * second_moment / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MG1Channel:
+    """An M/G/1 channel under the paper's variance convention.
+
+    Bundles the three quantities the fixed point of Eq. 6 iterates on:
+    the arrival rate, the current mean service time estimate and the message
+    length (which pins the variance through Eq. 5).
+    """
+
+    arrival_rate: float
+    mean_service: float
+    message_length: float
+
+    @property
+    def rho(self) -> float:
+        """Utilisation ``lambda * xbar``."""
+        return utilization(self.arrival_rate, self.mean_service)
+
+    @property
+    def variance(self) -> float:
+        """``sigma**2`` with ``sigma = xbar - msg`` (Eq. 5)."""
+        return paper_service_variance(self.mean_service, self.message_length)
+
+    @property
+    def waiting_time(self) -> float:
+        """Mean waiting time (Eq. 3); ``inf`` when saturated."""
+        return mg1_waiting_time(self.arrival_rate, self.mean_service, self.variance)
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.rho >= 1.0

@@ -1,0 +1,201 @@
+"""Mean channel service times: the fixed point of paper Eq. 6.
+
+The mean service time of a channel is the mean time a worm occupies it:
+the downstream channel's own service plus one cycle of forwarding plus the
+(self-traffic discounted) waiting it may incur for that downstream channel::
+
+    x_i = sum_j P(i->j) * [ (1 - lambda_i P(i->j) / lambda_j) * W_j + x_j + 1 ]
+
+with ejection channels anchoring the recursion at ``x = msg`` (a sink
+absorbs one flit per cycle, so an ejection channel is occupied for exactly
+the message length).  ``W_j`` is the M/G/1 waiting time (Eq. 3) under the
+paper's variance convention (Eq. 5), which couples back to ``x_j`` -- on
+cyclic channel graphs (any ring/rim) the equations are mutually recursive,
+so we solve them by damped fixed-point iteration, vectorised over all
+channels.
+
+Saturation: when any channel's utilisation ``rho = lambda * x`` reaches 1
+its waiting time diverges; the solver reports this via
+:attr:`ServiceTimeResult.saturated` (and :class:`SaturatedError` from the
+strict entry points).
+
+Two recursions
+--------------
+``recursion="paper"`` implements Eq. 6 verbatim.  ``recursion="occupancy"``
+drops the ``+ 1`` chain::
+
+    x_i = msg + sum_j P(i->j) * [ (1 - ...) W_j + (x_j - msg) ]
+
+which equals the *exact* mean channel occupancy of a wormhole worm under
+the rigid-train mechanics (channel held for the message length plus all
+discounted downstream stalls) whenever messages are longer than the
+remaining path -- the regime the paper assumes.  Eq. 6's extra ``+1`` per
+downstream hop additionally charges each channel for the header's
+downstream propagation delay, inflating utilisation for paths that are
+long relative to the message.  Both are provided; the A-expmax/A-service
+ablation benches quantify the difference against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.channel_graph import ChannelGraph, ChannelKind
+from repro.core.flows import FlowAccumulator
+
+__all__ = ["SaturatedError", "ServiceTimeResult", "solve_service_times"]
+
+
+class SaturatedError(RuntimeError):
+    """Raised when the offered load saturates at least one channel."""
+
+    def __init__(self, message: str, *, channel: str | None = None, rho: float | None = None):
+        super().__init__(message)
+        self.channel = channel
+        self.rho = rho
+
+
+@dataclass
+class ServiceTimeResult:
+    """Converged (or diverged) state of the Eq. 6 fixed point."""
+
+    graph: ChannelGraph
+    flows: FlowAccumulator
+    message_length: int
+    mean_service: np.ndarray  #: x_i per channel (cycles)
+    waiting: np.ndarray  #: W_i per channel (cycles); inf where saturated
+    utilization: np.ndarray  #: rho_i per channel
+    iterations: int
+    converged: bool
+    saturated: bool
+
+    @property
+    def max_utilization(self) -> float:
+        return float(np.max(self.utilization)) if len(self.utilization) else 0.0
+
+    def bottleneck(self) -> tuple[str, float]:
+        """The most utilised channel and its rho."""
+        idx = int(np.argmax(self.utilization))
+        return self.graph.describe(idx), float(self.utilization[idx])
+
+    def discounted_waiting(self, prev: int, idx: int) -> float:
+        """Waiting a worm coming from channel ``prev`` incurs at ``idx``:
+        ``(1 - feed_fraction) * W_idx`` (the Eq. 6 discount)."""
+        w = self.waiting[idx]
+        disc = 1.0 - self.flows.feed_fraction(prev, idx)
+        if w == 0.0 or disc == 0.0:
+            return 0.0
+        return disc * float(w)
+
+
+def _pk_waiting(lam: np.ndarray, x: np.ndarray, msg: float) -> np.ndarray:
+    """Vectorised Pollaczek-Khinchine (Eq. 3) with sigma = x - msg (Eq. 5)."""
+    sigma = np.maximum(x - msg, 0.0)
+    second_moment = x * x + sigma * sigma
+    rho = lam * x
+    w = np.zeros_like(x)
+    busy = lam > 0.0
+    unsat = busy & (rho < 1.0) & np.isfinite(x)
+    w[unsat] = lam[unsat] * second_moment[unsat] / (2.0 * (1.0 - rho[unsat]))
+    w[busy & ~unsat] = np.inf
+    return w
+
+
+def solve_service_times(
+    graph: ChannelGraph,
+    flows: FlowAccumulator,
+    message_length: int,
+    *,
+    recursion: str = "paper",
+    tol: float = 1e-9,
+    max_iterations: int = 5000,
+    damping: float = 0.5,
+) -> ServiceTimeResult:
+    """Solve the Eq. 6 fixed point for all channels.
+
+    Parameters
+    ----------
+    recursion:
+        ``"paper"`` (Eq. 6 verbatim) or ``"occupancy"`` (exact wormhole
+        channel occupancy; see module docstring).
+    damping:
+        Fraction of the new iterate mixed in each step; 0.5 is robust on
+        the cyclic rim graphs, 1.0 is plain Gauss-Jacobi.
+    """
+    if recursion not in ("paper", "occupancy"):
+        raise ValueError(f"recursion must be 'paper' or 'occupancy', got {recursion!r}")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    n = graph.num_channels
+    msg = float(message_length)
+    lam = flows.arrival_rate
+
+    # Flatten the sparse forward-transition structure into edge arrays.
+    edge_src: list[int] = []
+    edge_dst: list[int] = []
+    edge_p: list[float] = []
+    edge_disc: list[float] = []  # (1 - feed_fraction) per edge
+    has_forward = np.zeros(n, dtype=bool)
+    for i in range(n):
+        probs = flows.forward_probabilities(i)
+        if not probs:
+            continue
+        has_forward[i] = True
+        for j, p in probs.items():
+            edge_src.append(i)
+            edge_dst.append(j)
+            edge_p.append(p)
+            edge_disc.append(1.0 - flows.feed_fraction(i, j))
+    e_src = np.asarray(edge_src, dtype=int)
+    e_dst = np.asarray(edge_dst, dtype=int)
+    e_p = np.asarray(edge_p, dtype=float)
+    e_disc = np.asarray(edge_disc, dtype=float)
+
+    # Channels without forward transitions anchor at x = msg: ejection
+    # channels structurally (sink absorbs 1 flit/cycle), unused channels
+    # trivially (their value is never consumed by any flow).
+    anchored = ~has_forward
+
+    hop_cost = 1.0 if recursion == "paper" else 0.0
+    base = 0.0 if recursion == "paper" else msg
+    x = np.full(n, msg, dtype=float)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        w = _pk_waiting(lam, x, msg)
+        # a fully-discounted edge (feed fraction 1) contributes no waiting
+        # even when the downstream queue is saturated (W = inf): 0 * inf
+        with np.errstate(invalid="ignore"):
+            w_term = np.where(e_disc == 0.0, 0.0, e_disc * w[e_dst])
+        contrib = e_p * (w_term + (x[e_dst] - base) + hop_cost)
+        x_new = np.full(n, base, dtype=float)
+        np.add.at(x_new, e_src, contrib)
+        x_new[anchored] = msg
+        if np.any(~np.isfinite(x_new)):
+            # a saturated channel propagated inf upstream: diverged
+            x = x_new
+            break
+        delta = float(np.max(np.abs(x_new - x)))
+        x = damping * x_new + (1.0 - damping) * x
+        if delta < tol * max(1.0, msg):
+            converged = True
+            break
+
+    w = _pk_waiting(lam, x, msg)
+    with np.errstate(invalid="ignore"):
+        rho = np.where(np.isfinite(x), lam * x, np.inf)
+        rho = np.where(lam == 0.0, 0.0, rho)
+    saturated = bool(np.any(rho >= 1.0)) or bool(np.any(~np.isfinite(x)))
+    return ServiceTimeResult(
+        graph=graph,
+        flows=flows,
+        message_length=message_length,
+        mean_service=x,
+        waiting=w,
+        utilization=rho,
+        iterations=iterations,
+        converged=converged and not saturated,
+        saturated=saturated,
+    )

@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every evaluation artefact of the paper.
+
+* :mod:`repro.experiments.config` -- the Figure 6/7 configuration grid
+  (N, M, alpha, destination-set family) and rate-sweep construction,
+* :mod:`repro.experiments.runner` -- runs the analytical model (both
+  service-time recursions) and the simulator over a sweep,
+* :mod:`repro.experiments.compare` -- model-vs-simulation error metrics,
+* :mod:`repro.experiments.report` -- ASCII series tables (the textual
+  equivalent of the paper's figures) and the prose-claim tables.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    fig6_configs,
+    fig7_configs,
+    paper_grid,
+)
+from repro.experiments.runner import ExperimentResult, SweepPoint, run_experiment
+from repro.experiments.compare import agreement_metrics
+from repro.experiments.report import render_series, render_broadcast_hops_table
+from repro.experiments.broadcast import broadcast_scaling_study, render_broadcast_study
+from repro.experiments.charts import ascii_chart, chart_experiment
+from repro.experiments.io import load_experiment_json, save_experiment_json, save_points_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "fig6_configs",
+    "fig7_configs",
+    "paper_grid",
+    "ExperimentResult",
+    "SweepPoint",
+    "run_experiment",
+    "agreement_metrics",
+    "render_series",
+    "render_broadcast_hops_table",
+    "broadcast_scaling_study",
+    "render_broadcast_study",
+    "ascii_chart",
+    "chart_experiment",
+    "save_experiment_json",
+    "load_experiment_json",
+    "save_points_csv",
+]

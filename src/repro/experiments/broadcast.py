@@ -1,0 +1,120 @@
+"""Broadcast scaling study: latency vs network size, model and simulation.
+
+Broadcast is the collective the Quarc was designed around (paper Section
+3.2: "the latency for broadcast/multicast traffic is dramatically
+reduced").  This study sweeps the network size with an all-nodes
+destination set and reports, per N:
+
+* the zero-load floor ``msg + N/4 + 1`` (the longest branch),
+* the model's broadcast latency at a fixed fraction of saturation,
+* the simulated broadcast latency, and
+* the one-port ablation ratio.
+
+The broadcast latency grows with N/4 (one rim quadrant), not with N -- the
+architectural scaling claim, checked by ``tests/test_broadcast_study.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.flows import TrafficSpec
+from repro.core.model import AnalyticalModel
+from repro.routing.quarc import QuarcRouting
+from repro.sim.network import NocSimulator, SimConfig
+from repro.topology.quarc import QuarcTopology
+
+__all__ = ["BroadcastPoint", "broadcast_scaling_study", "render_broadcast_study"]
+
+
+@dataclass(frozen=True)
+class BroadcastPoint:
+    num_nodes: int
+    message_length: int
+    rate: float  #: broadcast generation rate per node (msgs/cycle)
+    zero_load_floor: float  #: msg + N/4 + 1
+    model_latency: float
+    sim_latency: float
+    sim_ci95: float
+    one_port_sim_latency: float
+
+    @property
+    def one_port_ratio(self) -> float:
+        if self.sim_latency <= 0:
+            return math.nan
+        return self.one_port_sim_latency / self.sim_latency
+
+
+def broadcast_sets(num_nodes: int) -> dict[int, frozenset[int]]:
+    """Every node broadcasts to all others."""
+    return {
+        n: frozenset(x for x in range(num_nodes) if x != n)
+        for n in range(num_nodes)
+    }
+
+
+def broadcast_scaling_study(
+    sizes=(16, 32, 64),
+    *,
+    message_length: int = 32,
+    load_fraction: float = 0.4,
+    sim_config: SimConfig | None = None,
+    include_one_port: bool = True,
+) -> list[BroadcastPoint]:
+    """Run the study; one point per network size."""
+    if not 0.0 < load_fraction < 1.0:
+        raise ValueError(f"load_fraction must be in (0,1), got {load_fraction}")
+    cfg = sim_config or SimConfig(
+        seed=2009,
+        warmup_cycles=2_000,
+        target_unicast_samples=400,
+        target_multicast_samples=150,
+    )
+    points: list[BroadcastPoint] = []
+    for n in sizes:
+        topo = QuarcTopology(n)
+        routing = QuarcRouting(topo)
+        sets = broadcast_sets(n)
+        # broadcast-dominated mix: half the (low) traffic is broadcast
+        spec0 = TrafficSpec(1e-6, 0.5, message_length, sets)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat = model.saturation_rate(spec0)
+        spec = spec0.with_rate(load_fraction * sat)
+        mres = model.evaluate(spec)
+        sres = NocSimulator(topo, routing).run(spec, cfg)
+        one_port_lat = math.nan
+        if include_one_port:
+            ores = NocSimulator(topo, routing, one_port=True).run(spec, cfg)
+            one_port_lat = ores.multicast.mean
+        points.append(
+            BroadcastPoint(
+                num_nodes=n,
+                message_length=message_length,
+                rate=spec.message_rate,
+                zero_load_floor=message_length + n // 4 + 1,
+                model_latency=mres.multicast_latency,
+                sim_latency=sres.multicast.mean,
+                sim_ci95=sres.multicast.ci95_halfwidth(),
+                one_port_sim_latency=one_port_lat,
+            )
+        )
+    return points
+
+
+def render_broadcast_study(points: list[BroadcastPoint]) -> str:
+    lines = [
+        "== broadcast scaling (Quarc, all-nodes destination set) ==",
+        "    N |  floor | model bcast |  sim bcast (+-95%) | one-port sim (ratio)",
+    ]
+    for p in points:
+        one = (
+            f"{p.one_port_sim_latency:9.2f} (x{p.one_port_ratio:.2f})"
+            if math.isfinite(p.one_port_sim_latency)
+            else "-"
+        )
+        lines.append(
+            f"{p.num_nodes:5d} | {p.zero_load_floor:6.0f} | {p.model_latency:11.2f} |"
+            f" {p.sim_latency:9.2f} +-{p.sim_ci95:5.2f} | {one}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""ASCII line charts: text-mode rendering of the paper's figures.
+
+The environment has no plotting stack; these charts make a sweep's shape
+-- model tracking the simulator, divergence at saturation -- visible
+directly in the terminal, mirroring the paper's latency-vs-rate axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["ascii_chart", "chart_experiment"]
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more series over a shared x axis.
+
+    Each series gets the first character of its name as marker; points
+    sharing a cell show the marker of the later series.  Non-finite values
+    are skipped.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("chart needs width >= 16 and height >= 6")
+    if not x:
+        raise ValueError("empty x axis")
+    finite_ys = [
+        v
+        for ys in series.values()
+        for v in ys
+        if v is not None and math.isfinite(v)
+    ]
+    if not finite_ys:
+        raise ValueError("no finite data points")
+    x_lo, x_hi = min(x), max(x)
+    y_lo, y_hi = min(finite_ys), max(finite_ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        marker = name[0]
+        for xv, yv in zip(x, ys):
+            if yv is None or not math.isfinite(yv):
+                continue
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} (top {y_hi:.1f}, bottom {y_lo:.1f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.6f} .. {x_hi:.6f}")
+    legend = "  ".join(f"{name[0]} = {name}" for name in series)
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def chart_experiment(result: ExperimentResult, *, quantity: str = "multicast") -> str:
+    """Chart one figure panel: model vs simulated latency against rate."""
+    if quantity not in ("multicast", "unicast"):
+        raise ValueError(f"quantity must be 'multicast' or 'unicast', got {quantity!r}")
+    pts = result.points
+    x = [p.rate for p in pts]
+    if quantity == "multicast":
+        series = {
+            "model(occupancy)": [p.model_occupancy_multicast for p in pts],
+            "paper(Eq.6)": [p.model_paper_multicast for p in pts],
+            "sim": [p.sim_multicast for p in pts],
+        }
+    else:
+        series = {
+            "model(occupancy)": [p.model_occupancy_unicast for p in pts],
+            "paper(Eq.6)": [p.model_paper_unicast for p in pts],
+            "sim": [p.sim_unicast for p in pts],
+        }
+    title = f"{result.config.exp_id}: {quantity} latency (cycles) vs message rate"
+    return title + "\n" + ascii_chart(
+        x, series, x_label="msg/node/cycle", y_label="latency"
+    )

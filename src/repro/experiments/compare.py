@@ -1,0 +1,64 @@
+"""Model-vs-simulation agreement metrics for a sweep."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["AgreementMetrics", "agreement_metrics"]
+
+
+@dataclass(frozen=True)
+class AgreementMetrics:
+    """Percentage errors of a model variant against the simulator, over
+    the non-saturated sweep points."""
+
+    variant: str
+    points_used: int
+    unicast_mape: float  #: mean |model - sim| / sim (%)
+    multicast_mape: float
+    unicast_max_ape: float
+    multicast_max_ape: float
+    #: True when the model predicts infinite latency at a point the
+    #: simulator still measures finite (conservative saturation)
+    conservative_saturation: bool
+
+
+def _ape(model: float, sim: float) -> float | None:
+    if math.isnan(sim) or sim <= 0.0:
+        return None
+    if math.isinf(model):
+        return None
+    return abs(model - sim) / sim * 100.0
+
+
+def agreement_metrics(result: ExperimentResult, variant: str) -> AgreementMetrics:
+    """Compute agreement for ``variant`` in {"paper", "occupancy"}."""
+    if variant not in ("paper", "occupancy"):
+        raise ValueError(f"variant must be 'paper' or 'occupancy', got {variant!r}")
+    uni_err: list[float] = []
+    mc_err: list[float] = []
+    conservative = False
+    for p in result.finite_points():
+        mu = getattr(p, f"model_{variant}_unicast")
+        mm = getattr(p, f"model_{variant}_multicast")
+        if math.isinf(mu) or math.isinf(mm):
+            conservative = True
+            continue
+        e = _ape(mu, p.sim_unicast)
+        if e is not None:
+            uni_err.append(e)
+        e = _ape(mm, p.sim_multicast)
+        if e is not None:
+            mc_err.append(e)
+    return AgreementMetrics(
+        variant=variant,
+        points_used=len(uni_err),
+        unicast_mape=sum(uni_err) / len(uni_err) if uni_err else math.nan,
+        multicast_mape=sum(mc_err) / len(mc_err) if mc_err else math.nan,
+        unicast_max_ape=max(uni_err) if uni_err else math.nan,
+        multicast_max_ape=max(mc_err) if mc_err else math.nan,
+        conservative_saturation=conservative,
+    )

@@ -1,0 +1,112 @@
+"""Persist and reload experiment results (JSON round-trip, CSV export).
+
+Sweeps with simulation are expensive; saving the series lets reports,
+charts and regression comparisons run without re-simulating, and gives
+downstream users a stable interchange format (one JSON object per panel,
+one CSV row per sweep point).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, SweepPoint
+
+__all__ = [
+    "experiment_to_dict",
+    "experiment_from_dict",
+    "save_experiment_json",
+    "load_experiment_json",
+    "save_points_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_float(x: float):
+    """JSON has no inf/nan literals; encode them as strings."""
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    if math.isnan(x):
+        return "nan"
+    return x
+
+
+def _decode_float(x) -> float:
+    if isinstance(x, str):
+        return float(x)
+    return float(x)
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    cfg = dataclasses.asdict(result.config)
+    cfg["load_fractions"] = list(result.config.load_fractions)
+    points = []
+    for p in result.points:
+        d = dataclasses.asdict(p)
+        points.append({k: _encode_float(v) if isinstance(v, float) else v
+                       for k, v in d.items()})
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": cfg,
+        "saturation_rate": result.saturation_rate,
+        "wall_seconds": result.wall_seconds,
+        "points": points,
+    }
+
+
+def experiment_from_dict(data: dict) -> ExperimentResult:
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported experiment format version {version!r}")
+    cfg_data = dict(data["config"])
+    cfg_data["load_fractions"] = tuple(cfg_data["load_fractions"])
+    config = ExperimentConfig(**cfg_data)
+    points = []
+    for pd in data["points"]:
+        kwargs = {
+            k: _decode_float(v) if isinstance(v, (int, float, str)) and k != "sim_deadlock_recoveries"
+            and k not in ("sim_saturated", "sim_samples_unicast", "sim_samples_multicast")
+            else v
+            for k, v in pd.items()
+        }
+        kwargs["sim_saturated"] = bool(pd["sim_saturated"])
+        kwargs["sim_deadlock_recoveries"] = int(pd["sim_deadlock_recoveries"])
+        kwargs["sim_samples_unicast"] = int(pd["sim_samples_unicast"])
+        kwargs["sim_samples_multicast"] = int(pd["sim_samples_multicast"])
+        points.append(SweepPoint(**kwargs))
+    return ExperimentResult(
+        config=config,
+        saturation_rate=float(data["saturation_rate"]),
+        points=points,
+        wall_seconds=float(data.get("wall_seconds", 0.0)),
+    )
+
+
+def save_experiment_json(result: ExperimentResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(experiment_to_dict(result), indent=2))
+    return path
+
+
+def load_experiment_json(path: str | Path) -> ExperimentResult:
+    return experiment_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_points_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """One CSV row per sweep point (floats as-is; inf/nan per Python str)."""
+    path = Path(path)
+    fields = [f.name for f in dataclasses.fields(SweepPoint)]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["exp_id"] + fields)
+        for p in result.points:
+            writer.writerow(
+                [result.config.exp_id] + [getattr(p, f) for f in fields]
+            )
+    return path

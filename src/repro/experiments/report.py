@@ -1,0 +1,79 @@
+"""ASCII reports: the textual equivalents of the paper's figures/tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.compare import agreement_metrics
+from repro.experiments.runner import ExperimentResult
+from repro.routing.quarc import QuarcRouting
+from repro.routing.spidergon import SpidergonRouting
+from repro.topology.quarc import QuarcTopology
+from repro.topology.spidergon import SpidergonTopology
+
+__all__ = ["render_series", "render_broadcast_hops_table"]
+
+
+def _fmt(x: float, width: int = 9) -> str:
+    if math.isnan(x):
+        return "-".rjust(width)
+    if math.isinf(x):
+        return "sat".rjust(width)
+    return f"{x:{width}.2f}"
+
+
+def render_series(result: ExperimentResult) -> str:
+    """One figure panel as a table: rate vs model/sim latencies.
+
+    Columns mirror the paper's figure axes: message rate (x) against the
+    multicast latency of the analytical model and the simulation (y), plus
+    the unicast latencies as supporting series.
+    """
+    c = result.config
+    lines = [
+        f"== {c.exp_id}: N={c.num_nodes} M={c.message_length} "
+        f"alpha={c.multicast_fraction:.0%} dests={c.destset_mode}"
+        + (f" rim={c.rim}" if c.rim else "")
+        + f" group={c.group_size} ==",
+        f"   model saturation rate (occupancy): {result.saturation_rate:.6f} msg/node/cycle",
+        "      rate | mc model(6) mc model(occ)   mc sim(+-95%) | uni model(6) uni(occ)   uni sim | dl sat",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.rate:10.6f} |"
+            f" {_fmt(p.model_paper_multicast, 11)}{_fmt(p.model_occupancy_multicast, 12)} "
+            f"{_fmt(p.sim_multicast, 9)}+-{p.sim_multicast_ci95:5.1f} |"
+            f" {_fmt(p.model_paper_unicast, 11)}{_fmt(p.model_occupancy_unicast, 9)} "
+            f"{_fmt(p.sim_unicast, 9)} |"
+            f" {p.sim_deadlock_recoveries:3d} {'Y' if p.sim_saturated else 'n'}"
+        )
+    for variant in ("paper", "occupancy"):
+        m = agreement_metrics(result, variant)
+        lines.append(
+            f"   agreement[{variant:9s}]: unicast MAPE {_fmt(m.unicast_mape, 6)}%"
+            f" (max {_fmt(m.unicast_max_ape, 6)}%), multicast MAPE {_fmt(m.multicast_mape, 6)}%"
+            f" (max {_fmt(m.multicast_max_ape, 6)}%) over {m.points_used} points"
+        )
+    return "\n".join(lines)
+
+
+def render_broadcast_hops_table(sizes: Sequence[int] = (16, 32, 64, 128)) -> str:
+    """Experiment T-hops: broadcast hop counts, Quarc vs Spidergon.
+
+    Reproduces the Section 3 prose claims: a Quarc broadcast branch
+    traverses at most N/4 hops; a Spidergon broadcast needs N-1 hops.
+    """
+    lines = [
+        "== T-hops: broadcast hop counts (paper Section 3 prose) ==",
+        "    N | Quarc max branch hops (=N/4) | Spidergon chain hops (=N-1)",
+    ]
+    for n in sizes:
+        qt = QuarcTopology(n)
+        qr = QuarcRouting(qt)
+        q_hops = qr.broadcast_max_hops(0)
+        st = SpidergonTopology(n)
+        sr = SpidergonRouting(st)
+        s_hops = sr.broadcast_chain_hops(0)
+        lines.append(f"{n:5d} | {q_hops:28d} | {s_hops:27d}")
+    return "\n".join(lines)

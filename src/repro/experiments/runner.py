@@ -1,0 +1,106 @@
+"""Run one experiment config: model (both recursions) + simulator sweep."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.model import AnalyticalModel
+from repro.experiments.config import ExperimentConfig
+from repro.sim.network import NocSimulator, SimConfig
+
+__all__ = ["SweepPoint", "ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class SweepPoint:
+    """One offered-load point of a figure series."""
+
+    rate: float
+    model_paper_unicast: float
+    model_paper_multicast: float
+    model_occupancy_unicast: float
+    model_occupancy_multicast: float
+    sim_unicast: float = math.nan
+    sim_unicast_ci95: float = math.nan
+    sim_multicast: float = math.nan
+    sim_multicast_ci95: float = math.nan
+    sim_saturated: bool = False
+    sim_deadlock_recoveries: int = 0
+    sim_samples_unicast: int = 0
+    sim_samples_multicast: int = 0
+
+    @property
+    def has_sim(self) -> bool:
+        return not math.isnan(self.sim_unicast)
+
+
+@dataclass
+class ExperimentResult:
+    config: ExperimentConfig
+    saturation_rate: float  #: model (occupancy) saturation estimate
+    points: list[SweepPoint] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def finite_points(self) -> list[SweepPoint]:
+        return [p for p in self.points if not p.sim_saturated and p.has_sim]
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    include_sim: bool = True,
+    sim_config: Optional[SimConfig] = None,
+    rates: Optional[list[float]] = None,
+) -> ExperimentResult:
+    """Produce the model/sim series of one figure panel.
+
+    ``rates`` overrides the automatic sweep (fractions of the occupancy
+    model's saturation rate).  ``sim_config`` tunes sample counts -- the
+    benchmark defaults are deliberately small; validation tests use larger
+    targets.
+    """
+    start = time.perf_counter()
+    topo, routing = config.build_network()
+    model_paper = AnalyticalModel(topo, routing, recursion="paper")
+    model_occ = AnalyticalModel(topo, routing, recursion="occupancy")
+    spec0 = config.base_spec(routing)
+
+    sat = model_occ.saturation_rate(spec0.with_rate(1e-6))
+    sweep = rates if rates is not None else [f * sat for f in config.load_fractions]
+
+    simulator = NocSimulator(topo, routing) if include_sim else None
+    scfg = sim_config or SimConfig(
+        seed=config.seed,
+        warmup_cycles=3_000.0,
+        target_unicast_samples=2_000,
+        target_multicast_samples=300,
+    )
+
+    result = ExperimentResult(config=config, saturation_rate=sat)
+    for rate in sweep:
+        spec = spec0.with_rate(rate)
+        mp = model_paper.evaluate(spec)
+        mo = model_occ.evaluate(spec)
+        point = SweepPoint(
+            rate=rate,
+            model_paper_unicast=mp.unicast_latency,
+            model_paper_multicast=mp.multicast_latency,
+            model_occupancy_unicast=mo.unicast_latency,
+            model_occupancy_multicast=mo.multicast_latency,
+        )
+        if simulator is not None:
+            sim = simulator.run(spec, scfg)
+            point.sim_unicast = sim.unicast.mean
+            point.sim_unicast_ci95 = sim.unicast.ci95_halfwidth()
+            point.sim_multicast = sim.multicast.mean
+            point.sim_multicast_ci95 = sim.multicast.ci95_halfwidth()
+            point.sim_saturated = sim.saturated
+            point.sim_deadlock_recoveries = sim.deadlock_recoveries
+            point.sim_samples_unicast = sim.unicast.count
+            point.sim_samples_multicast = sim.multicast.count
+        result.points.append(point)
+    result.wall_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,26 @@
+"""Routing algorithms: Quarc quadrants + BRCP multicast, Spidergon
+across-first, and dimension-order (XY) routing for mesh/torus.
+
+All routing here is deterministic (a model assumption, paper Section 2) and
+produces explicit :class:`~repro.routing.base.Route` objects -- ordered link
+sequences -- that both the analytical model (channel rates, Eq. 6-7) and the
+flit-level simulator consume, guaranteeing the two always agree on paths.
+"""
+
+from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
+from repro.routing.quarc import QuarcRouting
+from repro.routing.spidergon import SpidergonRouting
+from repro.routing.mesh import MeshRouting, TorusRouting
+from repro.routing.bitstring import decode_bitstring, encode_bitstring
+
+__all__ = [
+    "Route",
+    "MulticastRoute",
+    "RoutingAlgorithm",
+    "QuarcRouting",
+    "SpidergonRouting",
+    "MeshRouting",
+    "TorusRouting",
+    "encode_bitstring",
+    "decode_bitstring",
+]

@@ -1,0 +1,176 @@
+"""Route types and the routing-algorithm interface.
+
+A :class:`Route` is an explicit ordered sequence of physical links from a
+source node to the *last* node a worm visits.  For a unicast the last node
+is the destination; for a path-based (BRCP) multicast the last node is the
+farthest target in the port's quadrant, and :class:`MulticastRoute` carries
+the full absorb set (the targets the worm absorb-and-forwards to on the
+way; paper Section 3.3.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.topology.base import Link, Topology
+
+__all__ = ["Route", "MulticastRoute", "RoutingAlgorithm"]
+
+
+def _check_contiguous(source: int, links: tuple[Link, ...]) -> None:
+    at = source
+    for link in links:
+        if link.src != at:
+            raise ValueError(
+                f"route is not contiguous: expected link from {at}, got {link}"
+            )
+        at = link.dst
+
+
+@dataclass(frozen=True)
+class Route:
+    """A deterministic unicast worm path.
+
+    Attributes
+    ----------
+    source:
+        Generating node.
+    dest:
+        Destination (the node whose sink absorbs the worm).
+    port:
+        Injection port the source transceiver picks (paper Section 3.3.1:
+        in the Quarc the route is completely determined by this choice).
+    links:
+        Network links in traversal order; ``links[-1].dst == dest``.
+    """
+
+    source: int
+    dest: int
+    port: str
+    links: tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("a route must traverse at least one link")
+        _check_contiguous(self.source, self.links)
+        if self.links[-1].dst != self.dest:
+            raise ValueError(
+                f"route ends at {self.links[-1].dst}, expected dest {self.dest}"
+            )
+
+    @property
+    def hops(self) -> int:
+        """Number of network links traversed (the paper's ``D``)."""
+        return len(self.links)
+
+    @property
+    def visited(self) -> tuple[int, ...]:
+        """Nodes visited after the source, in order (ends at ``dest``)."""
+        return tuple(l.dst for l in self.links)
+
+
+@dataclass(frozen=True)
+class MulticastRoute:
+    """A path-based multicast worm leaving one injection port.
+
+    ``targets`` is the set of absorbing nodes on the path (every target lies
+    on ``visited``; the last visited node is always a target -- the worm
+    never travels past its final absorber).
+    """
+
+    source: int
+    port: str
+    links: tuple[Link, ...]
+    targets: frozenset[int] = field()
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("a multicast route must traverse at least one link")
+        _check_contiguous(self.source, self.links)
+        visited = set(self.visited)
+        if not self.targets:
+            raise ValueError("a multicast route must have at least one target")
+        missing = set(self.targets) - visited
+        if missing:
+            raise ValueError(f"targets {sorted(missing)} are not on the worm path")
+        if self.last_node not in self.targets:
+            raise ValueError(
+                f"last visited node {self.last_node} must be a target "
+                "(worms stop at their final absorber)"
+            )
+
+    @property
+    def hops(self) -> int:
+        """``D_{j,c}``: hops to the last (farthest) target of the port."""
+        return len(self.links)
+
+    @property
+    def visited(self) -> tuple[int, ...]:
+        return tuple(l.dst for l in self.links)
+
+    @property
+    def last_node(self) -> int:
+        """The destination address written in the header flit (Section 3.3.2)."""
+        return self.links[-1].dst
+
+
+class RoutingAlgorithm(ABC):
+    """Deterministic routing over a fixed topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._link_map = topology.link_map()
+
+    # -- unicast -----------------------------------------------------------
+    @abstractmethod
+    def port_of(self, source: int, dest: int) -> str:
+        """Injection port the source transceiver uses for ``dest``."""
+
+    @abstractmethod
+    def unicast_route(self, source: int, dest: int) -> Route:
+        """The deterministic worm path from ``source`` to ``dest``."""
+
+    # -- multicast ----------------------------------------------------------
+    @abstractmethod
+    def multicast_routes(
+        self, source: int, destinations: Sequence[int]
+    ) -> list[MulticastRoute]:
+        """Split a destination set into per-port path-based worms.
+
+        Returns one :class:`MulticastRoute` per injection port that has at
+        least one destination in its quadrant (the paper's ``S_{j,c}``
+        subsets, Eq. 1); the subsets are disjoint (Eq. 2).
+        """
+
+    def port_subsets(self, source: int) -> Mapping[str, tuple[int, ...]]:
+        """``S_{j,c}`` for every port ``c`` (Eq. 1): the network nodes whose
+        traffic from ``source`` is injected through port ``c``."""
+        subsets: dict[str, list[int]] = {p: [] for p in self.topology.injection_ports()}
+        for dest in self.topology.nodes():
+            if dest == source:
+                continue
+            subsets[self.port_of(source, dest)].append(dest)
+        return {p: tuple(v) for p, v in subsets.items()}
+
+    def broadcast_routes(self, source: int) -> list[MulticastRoute]:
+        """Broadcast = multicast to all other nodes (paper Section 3.3.2)."""
+        dests = [n for n in self.topology.nodes() if n != source]
+        return self.multicast_routes(source, dests)
+
+    # -- helpers -------------------------------------------------------------
+    def _link(self, src: int, tag: str) -> Link:
+        try:
+            return self._link_map[(src, tag)]
+        except KeyError:
+            raise ValueError(f"no outgoing {tag!r} link at node {src}") from None
+
+    def _validate_pair(self, source: int, dest: int) -> None:
+        n = self.topology.num_nodes
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range [0, {n})")
+        if not 0 <= dest < n:
+            raise ValueError(f"dest {dest} out of range [0, {n})")
+        if source == dest:
+            raise ValueError(f"source and dest must differ, both are {source}")

@@ -1,0 +1,46 @@
+"""Multicast bitstring encoding (paper Section 3.3.3).
+
+In a Quarc multicast the header flit carries, besides the last-node
+destination address, a *bitstring*: "Each bit in the bitstring represents a
+node which its hop-distance from the source node corresponds to position of
+the bit in the bitstring.  Status of each bit indicates whether the visited
+node is a target of the multicast or not."
+
+We encode bit ``k`` (0-indexed, leftmost first) as the node visited after
+``k + 1`` link traversals on the worm's path, i.e. the string reads in
+travel order.  The bitstring length equals the worm's hop count and its
+last bit is always ``'1'`` (the worm stops at its final absorber).
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import MulticastRoute
+
+__all__ = ["encode_bitstring", "decode_bitstring"]
+
+
+def encode_bitstring(route: MulticastRoute) -> str:
+    """Encode a multicast worm's absorb set as the header bitstring."""
+    bits = []
+    for node in route.visited:
+        bits.append("1" if node in route.targets else "0")
+    encoded = "".join(bits)
+    assert encoded.endswith("1"), "worm must stop at a target"
+    return encoded
+
+
+def decode_bitstring(route: MulticastRoute, bits: str) -> frozenset[int]:
+    """Decode a header bitstring against the worm's path.
+
+    ``bits`` must be exactly as long as the path; returns the target set.
+    """
+    visited = route.visited
+    if len(bits) != len(visited):
+        raise ValueError(
+            f"bitstring length {len(bits)} != path length {len(visited)}"
+        )
+    if any(b not in "01" for b in bits):
+        raise ValueError(f"bitstring must contain only 0/1, got {bits!r}")
+    if not bits.endswith("1"):
+        raise ValueError("bitstring must end in 1: the worm stops at a target")
+    return frozenset(node for node, bit in zip(visited, bits) if bit == "1")

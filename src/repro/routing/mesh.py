@@ -1,0 +1,167 @@
+"""Dimension-order (XY) routing and column-path multicast for mesh/torus.
+
+This is the model-extension substrate for the paper's stated next objective
+("investigate the validity of the model in other relevant interconnection
+networks such as multi-port mesh and torus", Section 5).
+
+Unicast is classic XY: travel the X dimension first, then Y.  The injection
+port is the first hop's compass direction, so an all-port mesh router has
+four injection channels exactly like the Quarc's four.
+
+Multicast is *column-path* (BRCP-conformant): destinations are grouped by
+column; each column receives at most two worms (one covering targets on the
+north side of the source row, one the south side), and each worm follows
+exactly the XY unicast route to the farthest target of its group,
+absorb-and-forwarding at intermediate targets on its column segment.
+Because every worm path is a legal XY path, the scheme conforms to the base
+routing (deadlock-free whenever XY is).  Unlike the Quarc, several worms
+may share an injection port; they serialise in the port queue, which the
+multicast latency model accounts for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
+from repro.topology.base import Link
+from repro.topology.mesh import EAST, MeshTopology, NORTH, SOUTH, WEST
+from repro.topology.torus import TorusTopology
+
+__all__ = ["MeshRouting", "TorusRouting"]
+
+
+class MeshRouting(RoutingAlgorithm):
+    """XY dimension-order routing with column-path multicast on a mesh."""
+
+    def __init__(self, topology: MeshTopology):
+        if not isinstance(topology, MeshTopology):
+            raise TypeError(f"MeshRouting requires a MeshTopology, got {type(topology)}")
+        super().__init__(topology)
+        self.mesh = topology
+
+    # -- deltas (mesh: no wrap) -------------------------------------------
+    def _dx(self, xs: int, xd: int) -> int:
+        return xd - xs
+
+    def _dy(self, ys: int, yd: int) -> int:
+        return yd - ys
+
+    def port_of(self, source: int, dest: int) -> str:
+        self._validate_pair(source, dest)
+        xs, ys = self.mesh.coords(source)
+        xd, yd = self.mesh.coords(dest)
+        dx = self._dx(xs, xd)
+        if dx > 0:
+            return EAST
+        if dx < 0:
+            return WEST
+        return NORTH if self._dy(ys, yd) > 0 else SOUTH
+
+    def hop_count(self, source: int, dest: int) -> int:
+        self._validate_pair(source, dest)
+        xs, ys = self.mesh.coords(source)
+        xd, yd = self.mesh.coords(dest)
+        return abs(self._dx(xs, xd)) + abs(self._dy(ys, yd))
+
+    def _xy_links(self, source: int, dest: int) -> tuple[Link, ...]:
+        xs, ys = self.mesh.coords(source)
+        xd, yd = self.mesh.coords(dest)
+        links: list[Link] = []
+        at = source
+        dx = self._dx(xs, xd)
+        tag = EAST if dx > 0 else WEST
+        for _ in range(abs(dx)):
+            link = self._link(at, tag)
+            links.append(link)
+            at = link.dst
+        dy = self._dy(ys, yd)
+        tag = NORTH if dy > 0 else SOUTH
+        for _ in range(abs(dy)):
+            link = self._link(at, tag)
+            links.append(link)
+            at = link.dst
+        return tuple(links)
+
+    def unicast_route(self, source: int, dest: int) -> Route:
+        port = self.port_of(source, dest)
+        return Route(source=source, dest=dest, port=port,
+                     links=self._xy_links(source, dest))
+
+    # -- column-path multicast ---------------------------------------------
+    def _column_groups(
+        self, source: int, destinations: Sequence[int]
+    ) -> list[tuple[int, list[int]]]:
+        """Split destinations into per-worm groups.
+
+        Returns ``(farthest, members)`` per group; destinations at the
+        source row (``dy == 0``) join the north group of their column by
+        convention (they lie on both candidate paths).
+        """
+        xs, ys = self.mesh.coords(source)
+        by_column: dict[int, dict[str, list[int]]] = {}
+        for dest in sorted(set(destinations)):
+            xd, yd = self.mesh.coords(dest)
+            side = "N" if self._dy(ys, yd) >= 0 else "S"
+            by_column.setdefault(xd, {"N": [], "S": []})[side].append(dest)
+        groups: list[tuple[int, list[int]]] = []
+        for x in sorted(by_column):
+            for side in ("N", "S"):
+                members = by_column[x][side]
+                if not members:
+                    continue
+                far = max(members, key=lambda d: self.hop_count(source, d))
+                groups.append((far, members))
+        return groups
+
+    def multicast_routes(
+        self, source: int, destinations: Sequence[int]
+    ) -> list[MulticastRoute]:
+        dests = set(destinations)
+        if source in dests:
+            raise ValueError(f"multicast destination set contains the source {source}")
+        if not dests:
+            raise ValueError("multicast destination set is empty")
+        routes: list[MulticastRoute] = []
+        for far, members in self._column_groups(source, sorted(dests)):
+            links = self._xy_links(source, far)
+            on_path = set(l.dst for l in links)
+            targets = frozenset(m for m in members if m in on_path)
+            # column-path invariant: every member of the group lies on the
+            # XY path to the group's farthest node
+            assert targets == frozenset(members), (
+                f"column-path invariant violated: {members} vs path {sorted(on_path)}"
+            )
+            routes.append(
+                MulticastRoute(
+                    source=source,
+                    port=self.port_of(source, far),
+                    links=links,
+                    targets=targets,
+                )
+            )
+        return routes
+
+
+class TorusRouting(MeshRouting):
+    """Dimension-order routing on a torus: shortest wrap direction per axis.
+
+    Ties (distance exactly half the ring) break toward the positive
+    direction to stay deterministic.
+    """
+
+    def __init__(self, topology: TorusTopology):
+        if not isinstance(topology, TorusTopology):
+            raise TypeError(f"TorusRouting requires a TorusTopology, got {type(topology)}")
+        RoutingAlgorithm.__init__(self, topology)
+        self.mesh = topology  # type: ignore[assignment]
+
+    def _dx(self, xs: int, xd: int) -> int:
+        cols = self.mesh.cols
+        fwd = (xd - xs) % cols
+        return fwd if fwd <= cols - fwd else fwd - cols
+
+    def _dy(self, ys: int, yd: int) -> int:
+        rows = self.mesh.rows
+        fwd = (yd - ys) % rows
+        return fwd if fwd <= rows - fwd else fwd - rows

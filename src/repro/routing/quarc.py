@@ -1,0 +1,141 @@
+"""Quarc routing: quadrants, unicast paths and BRCP broadcast/multicast
+(paper Sections 3.3.1-3.3.3).
+
+Quadrants
+---------
+For a source ``j`` on an ``N``-node Quarc (``Q = N/4``) and a destination at
+clockwise distance ``d = (dest - j) mod N``:
+
+=====================  ======  =============================  =========
+distance range         port    path                           hops
+=====================  ======  =============================  =========
+``1 <= d <= Q``        ``L``   clockwise rim                  ``d``
+``Q < d < N/2``        ``CL``  cross, then counterclockwise   ``1 + N/2 - d``
+``N/2 <= d < 3Q``      ``CR``  cross, then clockwise          ``1 + d - N/2``
+``3Q <= d <= N - 1``   ``R``   counterclockwise rim           ``N - d``
+=====================  ======  =============================  =========
+
+This reproduces the paper's Fig. 3 example exactly: for ``N = 16`` a
+broadcast from node 0 sends worms whose header destination addresses are
+4 (port L), 5 (port CL), 11 (port CR) and 12 (port R).
+
+The four quadrants are pairwise disjoint and cover all other nodes
+(Eq. 1-2); each quadrant's worm is BRCP -- it follows exactly the unicast
+route to its farthest member, absorbing-and-forwarding at intermediate
+targets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
+from repro.topology.base import Link
+from repro.topology.quarc import CCW, CW, PORT_TO_TAG, PORTS, XCCW, XCW, QuarcTopology
+from repro.topology.ring import clockwise_distance
+
+__all__ = ["QuarcRouting"]
+
+
+class QuarcRouting(RoutingAlgorithm):
+    """Deterministic shortest-path quadrant routing for the Quarc NoC."""
+
+    def __init__(self, topology: QuarcTopology):
+        if not isinstance(topology, QuarcTopology):
+            raise TypeError(f"QuarcRouting requires a QuarcTopology, got {type(topology)}")
+        super().__init__(topology)
+        self._n = topology.num_nodes
+        self._q = topology.quarter
+
+    # ------------------------------------------------------------------ #
+    # unicast                                                             #
+    # ------------------------------------------------------------------ #
+    def port_of(self, source: int, dest: int) -> str:
+        self._validate_pair(source, dest)
+        n, q = self._n, self._q
+        d = clockwise_distance(source, dest, n)
+        if 1 <= d <= q:
+            return "L"
+        if q < d < n // 2:
+            return "CL"
+        if n // 2 <= d < 3 * q:
+            return "CR"
+        return "R"
+
+    def hop_count(self, source: int, dest: int) -> int:
+        """Hops of the deterministic route (without building it)."""
+        self._validate_pair(source, dest)
+        n, q = self._n, self._q
+        d = clockwise_distance(source, dest, n)
+        if 1 <= d <= q:
+            return d
+        if q < d < n // 2:
+            return 1 + n // 2 - d
+        if n // 2 <= d < 3 * q:
+            return 1 + d - n // 2
+        return n - d
+
+    def _links_for(self, source: int, dest: int, port: str) -> tuple[Link, ...]:
+        """Links of the worm injected at ``port`` travelling to ``dest``."""
+        n = self._n
+        links: list[Link] = []
+        at = source
+        if port in ("CL", "CR"):
+            cross = self._link(source, PORT_TO_TAG[port])
+            links.append(cross)
+            at = cross.dst
+        rim_tag = CW if port in ("L", "CR") else CCW
+        step = 1 if rim_tag == CW else -1
+        while at != dest:
+            link = self._link(at, rim_tag)
+            links.append(link)
+            at = (at + step) % n
+            assert link.dst == at
+        return tuple(links)
+
+    def unicast_route(self, source: int, dest: int) -> Route:
+        port = self.port_of(source, dest)
+        links = self._links_for(source, dest, port)
+        return Route(source=source, dest=dest, port=port, links=links)
+
+    # ------------------------------------------------------------------ #
+    # multicast / broadcast (BRCP, Section 3.3.2-3.3.3)                   #
+    # ------------------------------------------------------------------ #
+    def multicast_routes(
+        self, source: int, destinations: Sequence[int]
+    ) -> list[MulticastRoute]:
+        dests = set(destinations)
+        if source in dests:
+            raise ValueError(f"multicast destination set contains the source {source}")
+        if not dests:
+            raise ValueError("multicast destination set is empty")
+        by_port: dict[str, list[int]] = {}
+        for dest in sorted(dests):
+            by_port.setdefault(self.port_of(source, dest), []).append(dest)
+        routes: list[MulticastRoute] = []
+        for port in PORTS:  # deterministic paper-legend order
+            if port not in by_port:
+                continue
+            group = by_port[port]
+            last = max(group, key=lambda t: self.hop_count(source, t))
+            links = self._links_for(source, last, port)
+            routes.append(
+                MulticastRoute(
+                    source=source,
+                    port=port,
+                    links=links,
+                    targets=frozenset(group),
+                )
+            )
+        return routes
+
+    # ------------------------------------------------------------------ #
+    # convenience / paper-checkable facts                                 #
+    # ------------------------------------------------------------------ #
+    def broadcast_last_nodes(self, source: int) -> dict[str, int]:
+        """Header destination address per port for a broadcast (Fig. 3)."""
+        return {r.port: r.last_node for r in self.broadcast_routes(source)}
+
+    def broadcast_max_hops(self, source: int) -> int:
+        """Hops traversed by the longest broadcast branch: ``N/4``."""
+        return max(r.hops for r in self.broadcast_routes(source))

@@ -1,0 +1,132 @@
+"""Spidergon routing (one-port baseline, paper Sections 3.1-3.2).
+
+Unicast uses the same shortest-path quadrant decision as the Quarc -- the
+Quarc "preserves all features of the Spidergon including the ...
+deterministic shortest path routing algorithm" -- but all quadrants share
+the *single* injection port and the *single* cross physical link.
+
+Broadcast/multicast: the Spidergon has no hardware multicast; deadlock-free
+broadcast "can only be achieved by consecutive unicast transmissions"
+(Section 3.2).  :meth:`SpidergonRouting.multicast_routes` therefore returns
+one single-target route per destination (a worm per destination, all
+serialised through the one port), and the most efficient broadcast chain
+traverses ``N - 1`` hops (:meth:`broadcast_chain_hops`), versus the Quarc's
+``N/4`` -- the quantitative claim reproduced by the T-hops experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
+from repro.topology.base import Link
+from repro.topology.ring import clockwise_distance
+from repro.topology.spidergon import CCW, CROSS, CW, SpidergonTopology
+
+__all__ = ["SpidergonRouting"]
+
+
+class SpidergonRouting(RoutingAlgorithm):
+    """Across-first shortest-path routing on the one-port Spidergon."""
+
+    def __init__(self, topology: SpidergonTopology):
+        if not isinstance(topology, SpidergonTopology):
+            raise TypeError(
+                f"SpidergonRouting requires a SpidergonTopology, got {type(topology)}"
+            )
+        super().__init__(topology)
+        self._n = topology.num_nodes
+
+    # The Spidergon's only injection port.
+    @property
+    def port(self) -> str:
+        return SpidergonTopology.PORT
+
+    def port_of(self, source: int, dest: int) -> str:
+        self._validate_pair(source, dest)
+        return self.port
+
+    def _segments(self, source: int, dest: int) -> tuple[bool, str, int]:
+        """Return (use_cross, rim_tag, rim_hops) of the shortest path.
+
+        Across-first: if the clockwise distance ``d`` satisfies
+        ``d <= N/4`` go clockwise, ``d >= 3N/4`` go counterclockwise,
+        otherwise cross first and continue on the shorter rim direction.
+        Quarters of odd size (N not divisible by 4) break ties toward the
+        rim (no cross) to keep the algorithm deterministic.
+        """
+        n = self._n
+        d = clockwise_distance(source, dest, n)
+        cw_only = d
+        ccw_only = n - d
+        after_cross_cw = (d - n // 2) % n
+        after_cross_ccw = (n // 2 - d) % n
+        via_cross = 1 + min(after_cross_cw, after_cross_ccw)
+        best = min(cw_only, ccw_only, via_cross)
+        if cw_only == best:
+            return False, CW, cw_only
+        if ccw_only == best:
+            return False, CCW, ccw_only
+        if after_cross_cw <= after_cross_ccw:
+            return True, CW, after_cross_cw
+        return True, CCW, after_cross_ccw
+
+    def hop_count(self, source: int, dest: int) -> int:
+        self._validate_pair(source, dest)
+        use_cross, _tag, rim = self._segments(source, dest)
+        return (1 if use_cross else 0) + rim
+
+    def unicast_route(self, source: int, dest: int) -> Route:
+        self._validate_pair(source, dest)
+        n = self._n
+        use_cross, rim_tag, rim_hops = self._segments(source, dest)
+        links: list[Link] = []
+        at = source
+        if use_cross:
+            link = self._link(at, CROSS)
+            links.append(link)
+            at = link.dst
+        step = 1 if rim_tag == CW else -1
+        for _ in range(rim_hops):
+            link = self._link(at, rim_tag)
+            links.append(link)
+            at = (at + step) % n
+        return Route(source=source, dest=dest, port=self.port, links=tuple(links))
+
+    def multicast_routes(
+        self, source: int, destinations: Sequence[int]
+    ) -> list[MulticastRoute]:
+        """Software multicast: one unicast worm per destination.
+
+        All worms leave the single port; the simulator serialises them in
+        the injection queue, reproducing the "consecutive unicast
+        transmissions" of Section 3.2.
+        """
+        dests = sorted(set(destinations))
+        if source in dests:
+            raise ValueError(f"multicast destination set contains the source {source}")
+        if not dests:
+            raise ValueError("multicast destination set is empty")
+        routes: list[MulticastRoute] = []
+        for dest in dests:
+            unicast = self.unicast_route(source, dest)
+            routes.append(
+                MulticastRoute(
+                    source=source,
+                    port=self.port,
+                    links=unicast.links,
+                    targets=frozenset({dest}),
+                )
+            )
+        return routes
+
+    def broadcast_chain_hops(self, source: int) -> int:
+        """Hops traversed by the most efficient broadcast: ``N - 1``.
+
+        A broadcast must deliver to ``N - 1`` nodes; a relay chain visiting
+        each exactly once traverses one link per new node, and no scheme
+        conforming to the base routing does better on the Spidergon
+        (Section 3.1's claim, reproduced by experiment T-hops).
+        """
+        self.topology._check_node(source)
+        return self._n - 1

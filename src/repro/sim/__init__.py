@@ -1,0 +1,40 @@
+"""Flit-level wormhole NoC simulator (the validation substrate).
+
+The paper validates its model against a flit-level OMNET++ simulator
+(Section 4).  We rebuild that simulator as an *exact event-driven worm
+simulator*: under the paper's own assumptions -- single-flit channel
+buffers, one flit per channel per cycle, messages longer than the network
+diameter, non-preemptive FIFO arbitration -- a worm's flits form a rigid
+train behind its header, so the complete flit-level timing (including the
+absorb-and-forward clone absorption instants of every multicast target) is
+an exact closed-form function of the header's channel-acquisition times.
+The event-driven simulator therefore reproduces cycle-accurate flit-level
+behaviour at a small fraction of the cost of ticking every flit.
+
+See ``DESIGN.md`` ("Substitutions") and :mod:`repro.sim.worm` for the
+derivation and :mod:`repro.sim.network` for the simulator facade.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.worm import Worm, WormClass
+from repro.sim.network import NocSimulator, SimConfig, SimResult
+from repro.sim.measurement import LatencyStats
+from repro.sim.replication import ReplicationSummary, mser_truncation, run_replications
+from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
+from repro.sim.wormengine import WormEngine
+
+__all__ = [
+    "EventQueue",
+    "Worm",
+    "WormClass",
+    "NocSimulator",
+    "SimConfig",
+    "SimResult",
+    "LatencyStats",
+    "ReplicationSummary",
+    "run_replications",
+    "mser_truncation",
+    "ChannelUtilizationTracer",
+    "CompositeTracer",
+    "WormEngine",
+]

@@ -1,0 +1,62 @@
+"""Deadlock detection for single-lane wormhole channels.
+
+The Quarc rims are rings; deterministic wormhole routing on a ring can --
+at loads near saturation -- close a cyclic channel-wait dependency
+(Dally-Seitz).  The production Spidergon/Quarc avoid this with two virtual
+channels per physical link; the *analytical model* (like all models in this
+family) treats each physical link as a single M/G/1 server, so for
+validation we simulate single-lane channels (exactly the modelled system)
+and use detection + recovery: when a block closes a wait cycle, the
+youngest worm in the cycle is "teleported" (its channels released, its
+remaining journey completed at the zero-contention rate) and the event is
+counted.  Below saturation recoveries are vanishingly rare (the test suite
+asserts zero at the loads used for validation); a non-zero count flags a
+series point as past the model's validity range, which is also where the
+M/G/1 fixed point diverges.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.worm import Worm
+
+__all__ = ["find_wait_cycle", "choose_victim"]
+
+
+def find_wait_cycle(
+    start: "Worm",
+    holder_of: Sequence[Optional["Worm"]],
+) -> list["Worm"] | None:
+    """Follow the blocked-on/held-by chain from ``start``.
+
+    ``holder_of[channel]`` is the worm currently holding ``channel`` (or
+    None).  Returns the cycle as a worm list if the chain returns to a
+    previously visited worm and ``start`` belongs to the loop; otherwise
+    None.  The chain is a function (each worm blocks on at most one
+    channel, each channel has one holder) so the walk is linear.
+    """
+    seen: dict[int, int] = {}
+    chain: list[Worm] = []
+    w: Optional[Worm] = start
+    while w is not None:
+        if w.uid in seen:
+            loop_start = seen[w.uid]
+            return chain[loop_start:]
+        seen[w.uid] = len(chain)
+        chain.append(w)
+        ch = w.blocked_on
+        if ch is None:
+            return None
+        w = holder_of[ch]
+    return None
+
+
+def choose_victim(cycle: Sequence["Worm"]) -> "Worm":
+    """Pick the worm to teleport: the youngest (largest creation time,
+    ties by uid) -- it has accrued the least measured history, so removing
+    it perturbs the steady-state statistics least."""
+    if not cycle:
+        raise ValueError("empty cycle")
+    return max(cycle, key=lambda w: (w.creation_time, w.uid))

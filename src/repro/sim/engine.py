@@ -1,0 +1,64 @@
+"""Discrete-event kernel: a deterministic time-ordered event queue.
+
+A thin, fast wrapper over :mod:`heapq` with a monotonically increasing
+sequence number as tie-breaker, so simultaneous events fire in insertion
+order and runs are exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq", "_now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the timestamp of the last fired event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to fire at ``time``.
+
+        Scheduling in the past is a programming error and raises.
+        """
+        if time < self._now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Callable[[], None]]:
+        """Remove and return the next ``(time, action)`` pair."""
+        time, _seq, action = heapq.heappop(self._heap)
+        self._now = time
+        return time, action
+
+    def run_until(self, horizon: float, *, max_events: int | None = None) -> int:
+        """Fire events until the queue is empty or the next event would be
+        after ``horizon``.  Returns the number of events fired."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= horizon:
+            if max_events is not None and fired >= max_events:
+                break
+            _t, action = self.pop()
+            action()
+            fired += 1
+        return fired
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

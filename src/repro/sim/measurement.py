@@ -1,0 +1,119 @@
+"""Latency statistics collection: warmup truncation and confidence bounds."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["LatencyStats"]
+
+
+class LatencyStats:
+    """Streaming mean/variance (Welford) plus retained samples.
+
+    Samples are retained so tests and reports can compute percentiles and
+    batch-means confidence intervals; at the volumes used here (<= a few
+    hundred thousand floats) this is cheap.
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_samples", "keep_samples")
+
+    def __init__(self, keep_samples: bool = True) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: list[float] = []
+        self.keep_samples = keep_samples
+
+    def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"latency sample must be finite, got {value}")
+        if value < 0.0:
+            raise ValueError(f"latency sample must be >= 0, got {value}")
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self.keep_samples:
+            self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else math.nan
+
+    def stderr(self) -> float:
+        return self.std / math.sqrt(self._n) if self._n else math.nan
+
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        return 1.96 * self.stderr() if self._n else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Empirical percentile ``q`` in [0, 100] (needs retained samples)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            raise ValueError("no samples retained")
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def batch_means_ci95(self, batches: int = 20) -> float:
+        """Batch-means 95% half-width: robust to autocorrelation in the
+        latency sequence (standard steady-state simulation methodology)."""
+        data = self._samples
+        if len(data) < 2 * batches:
+            return self.ci95_halfwidth()
+        size = len(data) // batches
+        means = [
+            sum(data[b * size : (b + 1) * size]) / size for b in range(batches)
+        ]
+        grand = sum(means) / batches
+        var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+        # t_{0.975, 19} ~ 2.093 for the default 20 batches
+        t = 2.093 if batches == 20 else 1.96
+        return t * math.sqrt(var / batches)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self._n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci95": self.ci95_halfwidth(),
+        }

@@ -1,0 +1,466 @@
+"""The wormhole NoC simulator: Poisson traffic over the worm engine.
+
+Reproduces the paper's OMNET++ validation simulator (Section 4):
+
+* every node has a Poisson **source** for unicast and (independently)
+  multicast messages,
+* the **passive queue** holds generated messages in creation-time order;
+  with an all-port router each injection channel has its own FIFO, so a
+  message never blocks behind one headed for a different port (the Quarc's
+  architectural point); a one-port router collapses all of a node's worms
+  onto a single injection FIFO,
+* the **router** is non-preemptive; messages that find a channel busy are
+  recorded and served FIFO when it frees,
+* the **sink** absorbs one flit per cycle per ejection channel; multicast
+  targets absorb-and-forward (clone) flits without stalling the worm,
+* **unicast latency** is creation -> last flit absorbed at the destination;
+  **multicast latency** is creation -> last flit absorbed at the last
+  destination over all of the message's port worms.
+
+Timing is flit-exact via the rigid-train theorem (:mod:`repro.sim.worm`);
+the channel mechanics live in :mod:`repro.sim.wormengine` and are
+cross-checked cycle-exactly against a brute-force per-flit simulator
+(:mod:`repro.sim.reference`) by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.channel_graph import ChannelGraph
+from repro.core.flows import TrafficSpec
+from repro.routing.base import RoutingAlgorithm
+from repro.sim.engine import EventQueue
+from repro.sim.measurement import LatencyStats
+from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
+from repro.sim.worm import Worm, WormClass
+from repro.sim.wormengine import WormEngine
+from repro.topology.base import Topology
+
+__all__ = ["SimConfig", "SimResult", "NocSimulator", "MulticastTransaction"]
+
+
+@dataclass
+class SimConfig:
+    """Run-control knobs for one simulation."""
+
+    seed: int = 1
+    #: cycles before statistics collection starts (messages created earlier
+    #: are simulated but not measured)
+    warmup_cycles: float = 5_000.0
+    #: measured unicast latency samples to collect (0 disables the target)
+    target_unicast_samples: int = 2_000
+    #: measured multicast latency samples to collect
+    target_multicast_samples: int = 400
+    #: hard simulation horizon (cycles)
+    max_cycles: float = 2_000_000.0
+    #: worms in flight beyond which the run is declared saturated;
+    #: None -> max(500, 20 * N)
+    max_in_flight: Optional[int] = None
+    #: events between bookkeeping checks
+    check_interval: int = 4096
+
+    def resolved_max_in_flight(self, num_nodes: int) -> int:
+        if self.max_in_flight is not None:
+            return self.max_in_flight
+        return max(500, 20 * num_nodes)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    spec: TrafficSpec
+    config: SimConfig
+    unicast: LatencyStats
+    multicast: LatencyStats
+    sim_time: float
+    events: int
+    generated_messages: int
+    completed_messages: int
+    deadlock_recoveries: int
+    recovered_samples: int
+    saturated: bool
+    target_met: bool
+    #: per-channel utilisation instrument (present when the run was made
+    #: with ``measure_utilization=True``)
+    utilization: Optional[ChannelUtilizationTracer] = None
+
+    @property
+    def unicast_latency(self) -> float:
+        return self.unicast.mean
+
+    @property
+    def multicast_latency(self) -> float:
+        return self.multicast.mean
+
+    def accepted_rate_per_node(self, num_nodes: int) -> float:
+        """Completed messages per node per cycle over the whole run."""
+        if self.sim_time <= 0.0:
+            return 0.0
+        return self.completed_messages / (self.sim_time * num_nodes)
+
+
+class MulticastTransaction:
+    """Aggregates the port worms of one multicast message."""
+
+    __slots__ = ("creation_time", "pending", "latest_absorption", "recovered", "measured")
+
+    def __init__(self, creation_time: float, pending: int, measured: bool):
+        if pending < 1:
+            raise ValueError("a multicast needs at least one worm")
+        self.creation_time = creation_time
+        self.pending = pending
+        self.latest_absorption = -math.inf
+        self.recovered = False
+        self.measured = measured
+
+    def note_absorption(self, t: float) -> None:
+        if t > self.latest_absorption:
+            self.latest_absorption = t
+
+    def worm_finished(self) -> bool:
+        """Mark one worm done; True when the whole multicast completed."""
+        self.pending -= 1
+        if self.pending < 0:
+            raise RuntimeError("multicast transaction over-completed")
+        return self.pending == 0
+
+    @property
+    def latency(self) -> float:
+        return self.latest_absorption - self.creation_time
+
+
+class _StatsTracer:
+    """Feeds engine completions into the latency statistics."""
+
+    def __init__(self, sim: "_RunState"):
+        self.sim = sim
+
+    def on_acquire(self, worm: Worm, position: int, t: float) -> None:
+        pass
+
+    def on_release(self, worm: Worm, position: int, t: float) -> None:
+        pass
+
+    def on_clone_absorbed(self, worm: Worm, position: int, t: float) -> None:
+        txn = worm.transaction
+        if txn is not None:
+            txn.note_absorption(t)  # type: ignore[attr-defined]
+
+    def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None:
+        s = self.sim
+        measured = worm.creation_time >= s.warmup
+        if recovered and measured:
+            s.recovered_samples += 1
+        if worm.klass is WormClass.UNICAST:
+            s.completed += 1
+            if measured:
+                s.unicast.add(t_done - worm.creation_time)
+        else:
+            txn: MulticastTransaction = worm.transaction  # type: ignore[assignment]
+            if recovered:
+                txn.recovered = True
+            txn.note_absorption(t_done)
+            if txn.worm_finished():
+                s.completed += 1
+                if txn.measured:
+                    s.multicast.add(txn.latency)
+
+
+class _RunState:
+    __slots__ = (
+        "warmup",
+        "unicast",
+        "multicast",
+        "completed",
+        "generated",
+        "recovered_samples",
+    )
+
+    def __init__(self, warmup: float):
+        self.warmup = warmup
+        self.unicast = LatencyStats()
+        self.multicast = LatencyStats()
+        self.completed = 0
+        self.generated = 0
+        self.recovered_samples = 0
+
+
+#: link tags that ride a ring and need dateline lanes for deadlock freedom
+DEFAULT_DATELINE_TAGS = frozenset({"CW", "CCW", "E", "W", "N", "S"})
+
+
+class NocSimulator:
+    """Flit-exact wormhole simulator for any (topology, routing) pair.
+
+    The simulator shares its channel index space with the analytical
+    model's :class:`~repro.core.channel_graph.ChannelGraph`, so the two are
+    structurally incapable of disagreeing about paths.
+
+    Parameters
+    ----------
+    one_port:
+        Collapse every node's injection channels onto one (the Spidergon-
+        style baseline).
+    lanes:
+        Virtual lanes per ring network channel.  The default 1 simulates
+        exactly the modelled system (single M/G/1 server per physical
+        channel) with deadlock detection + recovery.  ``lanes=2`` enables
+        classic **dateline** deadlock *avoidance*: a worm starts its rim
+        segment on lane 0 and switches to lane 1 after crossing the
+        ring's wrap-around link, breaking the cyclic channel dependency
+        (Dally-Seitz).  Lanes are modelled as independent full-bandwidth
+        servers -- a standard simplification that slightly under-counts
+        contention; use it for deadlock-freedom studies, not for the
+        model-validation runs.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        *,
+        one_port: bool = False,
+        lanes: int = 1,
+        dateline_tags: frozenset[str] = DEFAULT_DATELINE_TAGS,
+    ):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.topology = topology
+        self.routing = routing
+        self.one_port = one_port
+        self.lanes = lanes
+        self.dateline_tags = dateline_tags
+        self.graph = ChannelGraph(topology, routing, one_port=one_port)
+        self._unicast_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        # lane expansion: (base channel, lane>0) -> extra engine channel
+        self._lane_index: dict[tuple[int, int], int] = {}
+        self._num_engine_channels = self.graph.num_channels
+        if lanes > 1:
+            for link in topology.links():
+                if link.tag in dateline_tags:
+                    base = self.graph.network(link)
+                    for lane in range(1, lanes):
+                        self._lane_index[(base, lane)] = self._num_engine_channels
+                        self._num_engine_channels += 1
+
+    # ------------------------------------------------------------------ #
+    def _lane_of(self, base: int, lane: int) -> int:
+        if lane == 0:
+            return base
+        return self._lane_index[(base, lane)]
+
+    def _route_engine_channels(self, route) -> tuple[int, ...]:
+        """Translate a route into engine channels, applying the dateline
+        lane switch on wrap-around links when lanes are enabled."""
+        seq = self.graph.route_channels(route) if hasattr(route, "dest") else (
+            self.graph.multicast_worm_channels(route)
+        )
+        if self.lanes == 1:
+            return tuple(seq)
+        out = [seq[0]]
+        lane = 0
+        for link, ch in zip(route.links, seq[1:-1]):
+            if link.tag in self.dateline_tags:
+                if self._wraps(link):
+                    lane = min(lane + 1, self.lanes - 1)
+                out.append(self._lane_of(ch, lane))
+            else:
+                out.append(ch)
+                lane = 0  # a non-ring hop (cross link) resets the segment
+        out.append(seq[-1])
+        return tuple(out)
+
+    @staticmethod
+    def _wraps(link) -> bool:
+        """True for a ring's wrap-around link (the dateline): the link
+        whose modular step crosses node id 0."""
+        if link.tag in ("CW", "E", "N"):
+            return link.dst < link.src
+        return link.dst > link.src
+
+    def _unicast_channels(self, source: int, dest: int) -> tuple[int, ...]:
+        key = (source, dest)
+        cached = self._unicast_cache.get(key)
+        if cached is None:
+            route = self.routing.unicast_route(source, dest)
+            cached = self._route_engine_channels(route)
+            self._unicast_cache[key] = cached
+        return cached
+
+    def _multicast_templates(
+        self, spec: TrafficSpec
+    ) -> Mapping[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]:
+        """Per node: list of (worm channel sequence, clone positions)."""
+        templates: dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
+        for node, dests in sorted(spec.multicast_sets.items()):
+            if not dests:
+                continue
+            worms = []
+            for route in self.routing.multicast_routes(node, sorted(dests)):
+                seq = self._route_engine_channels(route)
+                # network link k (0-based among links) occupies path
+                # position k + 2 (after the injection channel, 1-based)
+                clone_pos = tuple(
+                    k + 2
+                    for k, link in enumerate(route.links)
+                    if link.dst in route.targets and link.dst != route.last_node
+                )
+                worms.append((seq, clone_pos))
+            templates[node] = worms
+        return templates
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: TrafficSpec,
+        config: SimConfig | None = None,
+        *,
+        measure_utilization: bool = False,
+    ) -> SimResult:
+        config = config or SimConfig()
+        n = self.topology.num_nodes
+        rng = np.random.default_rng(config.seed)
+        events = EventQueue()
+        state = _RunState(config.warmup_cycles)
+        tracer = _StatsTracer(state)
+        util_tracer: Optional[ChannelUtilizationTracer] = None
+        if measure_utilization:
+            util_tracer = ChannelUtilizationTracer(
+                self._num_engine_channels, start_time=config.warmup_cycles
+            )
+            tracer = CompositeTracer([tracer, util_tracer])
+        engine = WormEngine(self._num_engine_channels, events, tracer)
+
+        max_in_flight = config.resolved_max_in_flight(n)
+        msg_len = spec.message_length
+        lam_u = spec.unicast_rate
+        lam_m = spec.multicast_rate
+        mtemplates = self._multicast_templates(spec) if lam_m > 0.0 else {}
+        uid_counter = [0]
+        stop_generation = [False]
+        saturated = [False]
+
+        def new_uid() -> int:
+            uid_counter[0] += 1
+            return uid_counter[0]
+
+        # per-source destination CDFs (weighted patterns only; the uniform
+        # default keeps the cheap integer-draw fast path)
+        dest_cdfs: Optional[list[np.ndarray]] = None
+        if spec.unicast_weights is not None:
+            dest_cdfs = [
+                np.cumsum(spec.destination_probabilities(s, n)) for s in range(n)
+            ]
+
+        def spawn_unicast(node: int, t: float) -> None:
+            if dest_cdfs is None:
+                dest = int(rng.integers(0, n - 1))
+                if dest >= node:
+                    dest += 1
+            else:
+                dest = int(np.searchsorted(dest_cdfs[node], rng.random(), side="right"))
+                dest = min(dest, n - 1)
+            worm = Worm(
+                new_uid(),
+                WormClass.UNICAST,
+                node,
+                t,
+                self._unicast_channels(node, dest),
+                msg_len,
+            )
+            state.generated += 1
+            engine.inject(worm, t)
+
+        def spawn_multicast(node: int, t: float) -> None:
+            worms = mtemplates.get(node)
+            if not worms:
+                return
+            txn = MulticastTransaction(
+                t, pending=len(worms), measured=t >= config.warmup_cycles
+            )
+            state.generated += 1
+            created = [
+                Worm(
+                    new_uid(),
+                    WormClass.MULTICAST,
+                    node,
+                    t,
+                    seq,
+                    msg_len,
+                    clone_positions=clone_pos,
+                    transaction=txn,
+                )
+                for seq, clone_pos in worms
+            ]
+            # inject after creating all, preserving FIFO order on shared ports
+            for worm in created:
+                engine.inject(worm, t)
+
+        def gen_event(node: int, klass: WormClass, rate: float) -> None:
+            if stop_generation[0]:
+                return
+            t = events.now
+            if klass is WormClass.UNICAST:
+                spawn_unicast(node, t)
+            else:
+                spawn_multicast(node, t)
+            events.schedule(
+                t + rng.exponential(1.0 / rate), lambda: gen_event(node, klass, rate)
+            )
+
+        if lam_u > 0.0:
+            for node in range(n):
+                events.schedule(
+                    rng.exponential(1.0 / lam_u),
+                    lambda nd=node: gen_event(nd, WormClass.UNICAST, lam_u),
+                )
+        if lam_m > 0.0:
+            for node in sorted(mtemplates):
+                events.schedule(
+                    rng.exponential(1.0 / lam_m),
+                    lambda nd=node: gen_event(nd, WormClass.MULTICAST, lam_m),
+                )
+
+        want_unicast = config.target_unicast_samples if lam_u > 0.0 else 0
+        want_multicast = (
+            config.target_multicast_samples if (lam_m > 0.0 and mtemplates) else 0
+        )
+        target_met = want_unicast == 0 and want_multicast == 0
+        fired_total = 0
+        while len(events) > 0 and events.now <= config.max_cycles:
+            fired = events.run_until(config.max_cycles, max_events=config.check_interval)
+            fired_total += fired
+            if fired == 0:
+                break
+            if engine.active_worms > max_in_flight:
+                saturated[0] = True
+                break
+            if (want_unicast or want_multicast) and (
+                state.unicast.count >= want_unicast
+                and state.multicast.count >= want_multicast
+            ):
+                target_met = True
+                break
+        stop_generation[0] = True
+
+        return SimResult(
+            spec=spec,
+            config=config,
+            unicast=state.unicast,
+            multicast=state.multicast,
+            sim_time=events.now,
+            events=fired_total,
+            generated_messages=state.generated,
+            completed_messages=state.completed,
+            deadlock_recoveries=engine.deadlock_recoveries,
+            recovered_samples=state.recovered_samples,
+            saturated=saturated[0],
+            target_met=target_met,
+            utilization=util_tracer,
+        )

@@ -1,0 +1,226 @@
+"""Brute-force cycle-accurate per-flit wormhole simulator.
+
+This is the ground-truth oracle for the event-driven engine: it ticks every
+flit through every channel with no closed-form shortcuts.  It is
+O(flits x cycles x channels) and only suitable for small scripted
+scenarios -- exactly its purpose: ``tests/test_rigid_train.py`` replays
+identical worm scenarios through this simulator and through
+:class:`repro.sim.network.NocSimulator` and asserts *cycle-exact* equality
+of every header acquisition, channel release, clone absorption and
+completion time.
+
+Modelled hardware (paper Sections 3-4):
+
+* a channel buffers at most one flit and is allocated to at most one worm
+  from header acquisition until its tail departs,
+* a flit that entered a channel at time ``t`` may leave at ``t + 1``,
+* a header requests its next channel upon arriving at its entrance
+  (one cycle after entering the current channel); free channels are
+  granted in FIFO request order,
+* releases, grants and the resulting train shifts cascade within a single
+  cycle (a freed channel is re-granted and entered at the same timestamp,
+  matching the event engine),
+* ejection channels drain into sinks at one flit per cycle,
+* at intermediate multicast targets, flits clone into the local ejection
+  channel as they are forwarded (absorb-and-forward) and are absorbed one
+  cycle later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ScriptedWorm", "FlitLevelResult", "FlitLevelSimulator"]
+
+
+@dataclass(frozen=True)
+class ScriptedWorm:
+    """One worm of a scripted scenario (all times integer cycles)."""
+
+    uid: int
+    creation_time: int
+    path: tuple[int, ...]  #: channel indices c_1..c_H (inj, nets..., ej)
+    message_length: int
+    clone_positions: tuple[int, ...] = ()  #: 1-based positions with clones
+
+    def __post_init__(self) -> None:
+        if self.message_length < 1:
+            raise ValueError("message_length must be >= 1")
+        if len(self.path) < 2:
+            raise ValueError("path needs at least injection + ejection")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("paths must not revisit channels")
+
+
+@dataclass
+class FlitLevelResult:
+    """Cycle-exact observations for one worm."""
+
+    acquisition_times: list[int] = field(default_factory=list)  #: a_1..a_H
+    release_times: dict[int, int] = field(default_factory=dict)  #: 1-based pos -> t
+    clone_absorptions: dict[int, int] = field(default_factory=dict)  #: pos -> t
+    completion_time: int | None = None  #: last flit absorbed at final dest
+
+
+class _WormState:
+    __slots__ = (
+        "script",
+        "acquired",
+        "flit_at",
+        "entry_time",
+        "injected",
+        "last_injection",
+        "absorbed",
+        "result",
+    )
+
+    def __init__(self, script: ScriptedWorm):
+        self.script = script
+        self.acquired = 0  # channels granted so far
+        self.flit_at: dict[int, int] = {}  # 1-based position -> flit index
+        self.entry_time: dict[int, int] = {}  # 1-based position -> entry cycle
+        self.injected = 0
+        self.last_injection = -1
+        self.absorbed = 0
+        self.result = FlitLevelResult()
+
+    @property
+    def done(self) -> bool:
+        return self.absorbed == self.script.message_length
+
+
+class FlitLevelSimulator:
+    """Run a scripted scenario flit by flit."""
+
+    def __init__(self, num_channels: int):
+        if num_channels < 1:
+            raise ValueError("need at least one channel")
+        self.num_channels = num_channels
+        #: True when two worms requested the same channel at the same
+        #: timestamp; FIFO order between them is implementation-defined,
+        #: so cycle-exact comparison against another engine is only
+        #: meaningful for tie-free scenarios.
+        self.ties_detected = False
+
+    def run(
+        self, worms: Sequence[ScriptedWorm], *, max_cycles: int = 100_000
+    ) -> dict[int, FlitLevelResult]:
+        for w in worms:
+            for ch in w.path:
+                if not 0 <= ch < self.num_channels:
+                    raise ValueError(f"channel {ch} out of range")
+        states = {w.uid: _WormState(w) for w in worms}
+        if len(states) != len(worms):
+            raise ValueError("duplicate worm uids")
+        order = sorted(states)
+        allocated: dict[int, int] = {}  # channel -> worm uid
+        queues: dict[int, list[tuple[int, int]]] = {}  # channel -> [(rt, uid)]
+
+        def request(ch: int, rt: int, uid: int) -> None:
+            q = queues.setdefault(ch, [])
+            if any(existing_rt == rt for existing_rt, _u in q):
+                self.ties_detected = True
+            q.append((rt, uid))
+            q.sort()
+
+        for uid in order:
+            s = states[uid]
+            request(s.script.path[0], s.script.creation_time, uid)
+
+        for t in range(max_cycles + 1):
+            if all(s.done for s in states.values()):
+                return {uid: s.result for uid, s in states.items()}
+            self._tick(t, order, states, allocated, queues, request)
+
+        raise RuntimeError(f"scenario did not complete within {max_cycles} cycles")
+
+    # ------------------------------------------------------------------ #
+    def _tick(self, t, order, states, allocated, queues, request) -> None:
+        """Grants, moves and releases cascade at timestamp ``t`` until the
+        network state is stable (matching the event engine, where a
+        release and the consequent grant share a timestamp)."""
+        changed = True
+        while changed:
+            changed = False
+
+            for ch in list(queues):
+                if ch in allocated:
+                    continue
+                q = queues.get(ch)
+                if not q or q[0][0] > t:
+                    continue
+                _rt, uid = q.pop(0)
+                if not q:
+                    queues.pop(ch, None)
+                allocated[ch] = uid
+                s = states[uid]
+                s.acquired += 1
+                s.result.acquisition_times.append(t)
+                changed = True
+
+            for uid in order:
+                if self._move_worm(t, states[uid], allocated, request):
+                    changed = True
+
+    def _move_worm(self, t, s: _WormState, allocated, request) -> bool:
+        w = s.script
+        if s.acquired == 0 or s.done:
+            return False
+        changed = False
+        h = len(w.path)
+        m = w.message_length
+
+        # absorption out of the ejection channel (position h)
+        flit = s.flit_at.get(h)
+        if flit is not None and t >= s.entry_time[h] + 1:
+            del s.flit_at[h]
+            s.absorbed += 1
+            if flit == m - 1:
+                s.result.completion_time = t
+                s.result.release_times[h] = t
+                allocated.pop(w.path[h - 1], None)
+            changed = True
+
+        # forward shifts, head side first so cascades complete in one pass
+        for p in range(h - 1, 0, -1):
+            flit = s.flit_at.get(p)
+            if flit is None or t < s.entry_time[p] + 1:
+                continue
+            nxt = p + 1
+            if nxt > s.acquired:
+                continue  # header waiting for its grant
+            if s.flit_at.get(nxt) is not None:
+                continue
+            s.flit_at[nxt] = flit
+            del s.flit_at[p]
+            s.entry_time[nxt] = t
+            if flit == 0 and nxt < h:
+                # header arrived at the entrance of the channel at position
+                # nxt+1; eligible for a grant from t + 1 onward
+                request(w.path[nxt], t + 1, w.uid)
+            if p in w.clone_positions and flit == m - 1:
+                s.result.clone_absorptions[p] = t + 1
+            if flit == m - 1:
+                s.result.release_times[p] = t
+                allocated.pop(w.path[p - 1], None)
+            changed = True
+
+        # source injection into position 1
+        if s.injected < m and s.flit_at.get(1) is None:
+            if s.injected == 0:
+                if t >= s.result.acquisition_times[0]:
+                    s.flit_at[1] = 0
+                    s.entry_time[1] = t
+                    s.last_injection = t
+                    s.injected = 1
+                    if h > 1:
+                        request(w.path[1], t + 1, w.uid)
+                    changed = True
+            elif t >= s.last_injection + 1:
+                s.flit_at[1] = s.injected
+                s.entry_time[1] = t
+                s.last_injection = t
+                s.injected += 1
+                changed = True
+        return changed

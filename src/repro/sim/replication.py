@@ -1,0 +1,167 @@
+"""Steady-state simulation methodology: replications and warmup detection.
+
+A single simulation run gives a point estimate whose confidence interval
+(normal or batch-means) can be optimistic when latencies are
+autocorrelated.  This module provides the textbook remedies:
+
+* :func:`run_replications` -- independent replications (different seeds),
+  pooled with a Student-t interval over the replication means, plus
+  cross-replication agreement diagnostics,
+* :func:`mser_truncation` -- MSER-5 warmup detection (White 1997): choose
+  the truncation point that minimises the standard error of the remaining
+  batch means, bounded to the first half of the series.
+
+Used by the validation suite to confirm the default single-run settings
+(fixed warmup, normal CI) are not hiding bias.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.flows import TrafficSpec
+from repro.sim.network import NocSimulator, SimConfig, SimResult
+
+__all__ = ["ReplicationSummary", "run_replications", "mser_truncation", "t_quantile_975"]
+
+# two-sided 95% Student-t quantiles by degrees of freedom (abridged table;
+# > 30 dof uses the normal 1.96)
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    12: 2.179, 14: 2.145, 16: 2.120, 18: 2.101, 20: 2.086,
+    24: 2.064, 30: 2.042,
+}
+
+
+def t_quantile_975(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of
+    freedom (exact table to 10, interpolation-free floor lookup after)."""
+    if dof < 1:
+        raise ValueError(f"dof must be >= 1, got {dof}")
+    if dof in _T_975:
+        return _T_975[dof]
+    if dof > 30:
+        return 1.96
+    usable = max(k for k in _T_975 if k <= dof)
+    return _T_975[usable]
+
+
+@dataclass
+class ReplicationSummary:
+    """Pooled statistics over independent replications."""
+
+    spec: TrafficSpec
+    replications: list[SimResult] = field(default_factory=list)
+
+    def _means(self, which: str) -> list[float]:
+        out = []
+        for rep in self.replications:
+            stats = getattr(rep, which)
+            if stats.count > 0 and math.isfinite(stats.mean):
+                out.append(stats.mean)
+        return out
+
+    def _pooled(self, which: str) -> tuple[float, float]:
+        means = self._means(which)
+        if not means:
+            return math.nan, math.nan
+        n = len(means)
+        grand = sum(means) / n
+        if n == 1:
+            return grand, math.nan
+        var = sum((m - grand) ** 2 for m in means) / (n - 1)
+        half = t_quantile_975(n - 1) * math.sqrt(var / n)
+        return grand, half
+
+    @property
+    def unicast_mean(self) -> float:
+        return self._pooled("unicast")[0]
+
+    @property
+    def unicast_ci95(self) -> float:
+        return self._pooled("unicast")[1]
+
+    @property
+    def multicast_mean(self) -> float:
+        return self._pooled("multicast")[0]
+
+    @property
+    def multicast_ci95(self) -> float:
+        return self._pooled("multicast")[1]
+
+    @property
+    def any_saturated(self) -> bool:
+        return any(r.saturated for r in self.replications)
+
+    @property
+    def total_deadlock_recoveries(self) -> int:
+        return sum(r.deadlock_recoveries for r in self.replications)
+
+    def relative_spread(self, which: str = "unicast") -> float:
+        """(max - min) / mean of the replication means -- a quick
+        cross-replication consistency diagnostic."""
+        means = self._means(which)
+        if len(means) < 2:
+            return 0.0
+        grand = sum(means) / len(means)
+        return (max(means) - min(means)) / grand if grand > 0 else math.nan
+
+
+def run_replications(
+    simulator: NocSimulator,
+    spec: TrafficSpec,
+    base_config: Optional[SimConfig] = None,
+    *,
+    replications: int = 5,
+    seed_stride: int = 1_000,
+) -> ReplicationSummary:
+    """Run ``replications`` independent simulations, seeds
+    ``base.seed + k * seed_stride``."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    base = base_config or SimConfig()
+    summary = ReplicationSummary(spec=spec)
+    for k in range(replications):
+        cfg = SimConfig(
+            seed=base.seed + k * seed_stride,
+            warmup_cycles=base.warmup_cycles,
+            target_unicast_samples=base.target_unicast_samples,
+            target_multicast_samples=base.target_multicast_samples,
+            max_cycles=base.max_cycles,
+            max_in_flight=base.max_in_flight,
+            check_interval=base.check_interval,
+        )
+        summary.replications.append(simulator.run(spec, cfg))
+    return summary
+
+
+def mser_truncation(samples: Sequence[float], *, batch: int = 5) -> int:
+    """MSER warmup truncation point (in samples, a multiple of ``batch``).
+
+    Batches the time-ordered series into means of ``batch`` observations
+    and returns the truncation minimising the marginal standard error of
+    the remaining batch means; the search is restricted to the first half
+    of the series (the standard MSER guard against degenerate tails).
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if len(samples) < 4 * batch:
+        return 0
+    nb = len(samples) // batch
+    means = [
+        sum(samples[i * batch : (i + 1) * batch]) / batch for i in range(nb)
+    ]
+    best_d, best_stat = 0, math.inf
+    for d in range(0, nb // 2):
+        rest = means[d:]
+        m = len(rest)
+        grand = sum(rest) / m
+        sse = sum((x - grand) ** 2 for x in rest)
+        stat = sse / (m * m)
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+    return best_d * batch

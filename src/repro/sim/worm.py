@@ -1,0 +1,144 @@
+"""Worm state and the rigid-train flit timing theorem.
+
+A worm is one wormhole-switched packet: a header flit that acquires
+channels one per cycle (stalling FIFO-fashion at busy channels) followed by
+``M - 1`` payload flits.
+
+Rigid-train timing
+------------------
+Under the paper's assumptions (single-flit channel buffers, one flit per
+channel per cycle, sinks absorbing one flit per cycle), a worm's flits
+occupy a contiguous window of channels trailing the header, and *every*
+flit movement coincides with a train shift.  Number the worm's channels
+``c_1 .. c_H`` (injection, networks, ejection) and let ``a_k`` be the time
+the header acquires ``c_k``.  Define the *movement clock*::
+
+    tau_n = a_n                 for n <= H      (header acquisitions)
+    tau_n = a_H + (n - H)       for n >  H      (drain: 1 shift/cycle)
+
+Then, exactly:
+
+* flit ``i`` enters channel ``c_j`` at ``tau_{i+j}``,
+* the worm releases ``c_j`` (tail leaves) at ``tau_{M+j}``,
+* the last flit is absorbed at the final destination at ``a_H + M``,
+* an absorb-and-forward clone at the intermediate target reached by
+  channel ``c_j`` has its last flit absorbed at ``tau_{M+j} + 1``.
+
+The proofs are one-line inductions on the shift count; the test suite
+cross-checks them against a brute-force per-flit cycle simulator
+(``tests/test_rigid_train.py``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+__all__ = ["WormClass", "Worm"]
+
+
+class WormClass(Enum):
+    UNICAST = "unicast"
+    MULTICAST = "multicast"
+
+
+class Worm:
+    """Mutable per-worm simulation state."""
+
+    __slots__ = (
+        "uid",
+        "klass",
+        "source",
+        "creation_time",
+        "path",
+        "acq_times",
+        "ptr",
+        "message_length",
+        "clone_positions",
+        "transaction",
+        "blocked_on",
+        "done",
+    )
+
+    def __init__(
+        self,
+        uid: int,
+        klass: WormClass,
+        source: int,
+        creation_time: float,
+        path: Sequence[int],
+        message_length: int,
+        clone_positions: tuple[int, ...] = (),
+        transaction: "object | None" = None,
+    ) -> None:
+        if len(path) < 2:
+            raise ValueError("a worm path needs at least injection + ejection")
+        self.uid = uid
+        self.klass = klass
+        self.source = source
+        self.creation_time = creation_time
+        #: channel indices c_1..c_H (0-based list, 1-based in the math)
+        self.path = list(path)
+        self.acq_times: list[float] = []
+        self.ptr = 0  # index of the next channel to acquire
+        self.message_length = message_length
+        #: 1-based positions j of channels whose dst is an intermediate target
+        self.clone_positions = clone_positions
+        self.transaction = transaction
+        self.blocked_on: int | None = None
+        self.done = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def H(self) -> int:
+        """Total channels on the path (inj + networks + ejection)."""
+        return len(self.path)
+
+    @property
+    def hops(self) -> int:
+        """Network hops D (path minus injection and ejection)."""
+        return self.H - 2
+
+    def next_channel(self) -> int:
+        return self.path[self.ptr]
+
+    def held_channels(self) -> list[tuple[int, int]]:
+        """``(position_1based, channel)`` for all currently held channels."""
+        return [(k + 1, self.path[k]) for k in range(self.ptr)]
+
+    # -- rigid-train clock ------------------------------------------------
+    def tau(self, n: int) -> float:
+        """Movement clock: time of the n-th train shift (1-based)."""
+        if n < 1:
+            raise ValueError(f"movement index must be >= 1, got {n}")
+        if not self.acq_times or len(self.acq_times) < self.H:
+            raise RuntimeError("tau is defined once the header has fully routed")
+        if n <= self.H:
+            return self.acq_times[n - 1]
+        return self.acq_times[self.H - 1] + (n - self.H)
+
+    def release_time(self, position: int) -> float:
+        """Time the worm releases its ``position``-th channel (1-based):
+        ``tau_{M + position}``."""
+        return self.tau(self.message_length + position)
+
+    def final_absorption_time(self) -> float:
+        """Last flit absorbed at the final destination: ``a_H + M``."""
+        return self.acq_times[self.H - 1] + self.message_length
+
+    def clone_absorption_time(self, position: int) -> float:
+        """Last clone flit absorbed at the intermediate target reached by
+        the ``position``-th channel: ``tau_{M + position} + 1``."""
+        return self.tau(self.message_length + position) + 1.0
+
+    def ideal_remaining_time(self, now: float) -> float:
+        """Zero-contention completion time from the current state (used by
+        deadlock recovery to assign a latency to a teleported worm)."""
+        remaining_acquisitions = self.H - self.ptr
+        return now + remaining_acquisitions + self.message_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Worm(uid={self.uid}, {self.klass.value}, src={self.source}, "
+            f"ptr={self.ptr}/{self.H}, t0={self.creation_time:.2f})"
+        )

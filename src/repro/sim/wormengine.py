@@ -1,0 +1,150 @@
+"""The channel-acquisition engine shared by all simulator frontends.
+
+Implements the wormhole mechanics -- FIFO channel queues, header
+progression, rigid-train releases, absorb-and-forward clone timing,
+deadlock detection/recovery -- independent of traffic generation, so the
+same engine code runs under Poisson traffic (:class:`repro.sim.network.
+NocSimulator`) and under scripted scenarios (:func:`repro.sim.scripted.
+run_scripted`), which the test suite cross-checks cycle-exactly against the
+brute-force per-flit simulator (:mod:`repro.sim.reference`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.sim.deadlock import choose_victim, find_wait_cycle
+from repro.sim.engine import EventQueue
+from repro.sim.worm import Worm
+
+__all__ = ["Tracer", "NullTracer", "WormEngine"]
+
+
+class Tracer(Protocol):
+    """Observation hooks; all times are simulation timestamps."""
+
+    def on_acquire(self, worm: Worm, position: int, t: float) -> None: ...
+
+    def on_release(self, worm: Worm, position: int, t: float) -> None: ...
+
+    def on_clone_absorbed(self, worm: Worm, position: int, t: float) -> None: ...
+
+    def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None: ...
+
+
+class NullTracer:
+    """No-op tracer."""
+
+    def on_acquire(self, worm: Worm, position: int, t: float) -> None:
+        pass
+
+    def on_release(self, worm: Worm, position: int, t: float) -> None:
+        pass
+
+    def on_clone_absorbed(self, worm: Worm, position: int, t: float) -> None:
+        pass
+
+    def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None:
+        pass
+
+
+class WormEngine:
+    """Event-driven wormhole channel mechanics over a dense channel space.
+
+    The engine owns channel state (holder + FIFO per channel) and drives
+    worms through their paths; completion, releases and clone absorptions
+    are reported through the :class:`Tracer`.
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        events: EventQueue,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.events = events
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.holders: list[Optional[Worm]] = [None] * num_channels
+        self.fifos: list[list[Worm]] = [[] for _ in range(num_channels)]
+        self.deadlock_recoveries = 0
+        self.active_worms = 0
+
+    # ------------------------------------------------------------------ #
+    def inject(self, worm: Worm, t: float) -> None:
+        """Offer a newly created worm to its injection channel at ``t``."""
+        self.active_worms += 1
+        self._request(worm, t)
+
+    # ------------------------------------------------------------------ #
+    def _request(self, worm: Worm, t: float) -> None:
+        if worm.done:
+            return
+        ch = worm.next_channel()
+        if self.holders[ch] is None:
+            self._grant(worm, ch, t)
+        else:
+            self.fifos[ch].append(worm)
+            worm.blocked_on = ch
+            cycle = find_wait_cycle(worm, self.holders)
+            if cycle:
+                self._recover(cycle, t)
+
+    def _grant(self, worm: Worm, ch: int, t: float) -> None:
+        self.holders[ch] = worm
+        worm.blocked_on = None
+        worm.acq_times.append(t)
+        worm.ptr += 1
+        k = worm.ptr
+        self.tracer.on_acquire(worm, k, t)
+        # early tail release: for messages shorter than the path, the tail
+        # leaves position k - M exactly when the header acquires position k
+        pos = k - worm.message_length
+        if pos >= 1:
+            self._release_position(worm, pos, t)
+        if k < worm.H:
+            self.events.schedule(t + 1.0, lambda w=worm: self._request(w, self.events.now))
+        else:
+            self._finish_routing(worm, t)
+
+    def _release_position(self, worm: Worm, pos: int, t: float) -> None:
+        if pos in worm.clone_positions:
+            self.tracer.on_clone_absorbed(worm, pos, t + 1.0)
+        ch = worm.path[pos - 1]
+        if self.holders[ch] is not worm:
+            return  # already released (teleported by deadlock recovery)
+        self.tracer.on_release(worm, pos, t)
+        self.holders[ch] = None
+        if self.fifos[ch]:
+            nxt = self.fifos[ch].pop(0)
+            self._grant(nxt, ch, t)
+
+    def _finish_routing(self, worm: Worm, t: float) -> None:
+        # t == a_H: the header just acquired the ejection channel
+        worm.done = True
+        h, m = worm.H, worm.message_length
+        for pos in range(max(0, h - m) + 1, h + 1):
+            rel_t = t + (m + pos - h)
+            self.events.schedule(
+                rel_t, lambda w=worm, p=pos: self._release_position(w, p, self.events.now)
+            )
+        self.active_worms -= 1
+        self.tracer.on_complete(worm, t + m, recovered=False)
+
+    # ------------------------------------------------------------------ #
+    def _recover(self, cycle: list[Worm], t: float) -> None:
+        self.deadlock_recoveries += 1
+        victim = choose_victim(cycle)
+        if victim.blocked_on is not None:
+            q = self.fifos[victim.blocked_on]
+            if victim in q:
+                q.remove(victim)
+            victim.blocked_on = None
+        for pos, ch in victim.held_channels():
+            if self.holders[ch] is victim:
+                self.tracer.on_release(victim, pos, t)
+                self.holders[ch] = None
+                if self.fifos[ch]:
+                    self._grant(self.fifos[ch].pop(0), ch, t)
+        victim.done = True
+        self.active_worms -= 1
+        self.tracer.on_complete(victim, victim.ideal_remaining_time(t), recovered=True)

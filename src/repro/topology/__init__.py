@@ -1,0 +1,30 @@
+"""Network topologies: Spidergon, Quarc (paper Section 3), mesh and torus.
+
+A topology is a set of nodes plus directed physical *links*, each carrying a
+direction ``tag`` that the routing layer and the wormhole switch use to
+decide forwarding (the Quarc switch has no routing logic -- the input tag
+alone determines the output link, paper Section 3.3.1).
+"""
+
+from repro.topology.base import Link, Topology
+from repro.topology.ring import (
+    clockwise_distance,
+    counterclockwise_distance,
+    ring_distance,
+)
+from repro.topology.spidergon import SpidergonTopology
+from repro.topology.quarc import QuarcTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "Link",
+    "Topology",
+    "clockwise_distance",
+    "counterclockwise_distance",
+    "ring_distance",
+    "SpidergonTopology",
+    "QuarcTopology",
+    "MeshTopology",
+    "TorusTopology",
+]

@@ -1,0 +1,99 @@
+"""Topology base types.
+
+A :class:`Link` is a *directed physical channel* between two routers.  The
+``tag`` names the direction/class of the link (e.g. ``"CW"`` for a clockwise
+rim link in the Quarc); tags are what the (routing-free) Quarc switch keys
+its forwarding on, and what ejection channels are dedicated to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """A directed physical link ``src -> dst`` with direction tag ``tag``."""
+
+    src: int
+    dst: int
+    tag: str
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"link endpoints must be >= 0, got {self.src}->{self.dst}")
+        if self.src == self.dst:
+            raise ValueError(f"self-links are not allowed, got {self.src}->{self.dst}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tag}({self.src}->{self.dst})"
+
+
+class Topology(ABC):
+    """Abstract base for all topologies.
+
+    Subclasses fix the node count, the directed links and the router port
+    structure (injection port names and, per node, the set of input tags for
+    which a dedicated ejection channel exists in an all-port router).
+    """
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Number of nodes ``N``."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable topology name."""
+
+    @abstractmethod
+    def links(self) -> Sequence[Link]:
+        """All directed physical links, in a deterministic order."""
+
+    @abstractmethod
+    def injection_ports(self) -> Sequence[str]:
+        """Names of the injection ports of a (multi-port) router.
+
+        A one-port architecture exposes a single port name.
+        """
+
+    @abstractmethod
+    def input_tags(self, node: int) -> Sequence[str]:
+        """Direction tags of links arriving at ``node`` (ejection classes)."""
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def link_map(self) -> Mapping[tuple[int, str], Link]:
+        """Map ``(src_node, tag) -> Link`` for deterministic lookup.
+
+        Every topology here has at most one outgoing link per (node, tag).
+        """
+        out: dict[tuple[int, str], Link] = {}
+        for link in self.links():
+            key = (link.src, link.tag)
+            if key in out:
+                raise ValueError(f"duplicate outgoing link for {key}: {link} vs {out[key]}")
+            out[key] = link
+        return out
+
+    def out_links(self, node: int) -> list[Link]:
+        self._check_node(node)
+        return [l for l in self.links() if l.src == node]
+
+    def in_links(self, node: int) -> list[Link]:
+        self._check_node(node)
+        return [l for l in self.links() if l.dst == node]
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node`` (number of outgoing physical links)."""
+        return len(self.out_links(node))

@@ -1,0 +1,92 @@
+"""2D mesh topology (paper Section 5 future work: multi-port mesh).
+
+Nodes are laid out row-major on a ``rows x cols`` grid; node id of
+coordinate ``(x, y)`` (column, row) is ``y * cols + x``.  Links carry the
+usual compass tags ``"E"``, ``"W"``, ``"N"``, ``"S"`` (E increases x, N
+increases y).  Routers are all-port: one injection port per compass
+direction (named like the tags) -- the multi-port generalisation the paper
+names as its next objective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Link, Topology
+
+__all__ = ["MeshTopology", "MESH_PORTS"]
+
+EAST = "E"
+WEST = "W"
+NORTH = "N"
+SOUTH = "S"
+
+MESH_PORTS: tuple[str, ...] = (EAST, WEST, NORTH, SOUTH)
+
+
+class MeshTopology(Topology):
+    """A ``rows x cols`` 2D mesh with all-port routers."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 2 or cols < 2:
+            raise ValueError(f"mesh needs rows, cols >= 2, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._links = self._build_links()
+
+    # -- coordinates -----------------------------------------------------
+    def node_id(self, x: int, y: int) -> int:
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"coordinate ({x},{y}) outside {self.cols}x{self.rows} mesh")
+        return y * self.cols + x
+
+    def coords(self, node: int) -> tuple[int, int]:
+        self._check_node(node)
+        return node % self.cols, node // self.cols
+
+    # -- topology protocol -----------------------------------------------
+    def _build_links(self) -> list[Link]:
+        links: list[Link] = []
+        for y in range(self.rows):
+            for x in range(self.cols):
+                n = y * self.cols + x
+                if x + 1 < self.cols:
+                    links.append(Link(n, n + 1, EAST))
+                if x - 1 >= 0:
+                    links.append(Link(n, n - 1, WEST))
+                if y + 1 < self.rows:
+                    links.append(Link(n, n + self.cols, NORTH))
+                if y - 1 >= 0:
+                    links.append(Link(n, n - self.cols, SOUTH))
+        return links
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def name(self) -> str:
+        return f"mesh-{self.rows}x{self.cols}"
+
+    def links(self) -> Sequence[Link]:
+        return list(self._links)
+
+    def injection_ports(self) -> Sequence[str]:
+        return list(MESH_PORTS)
+
+    def input_tags(self, node: int) -> Sequence[str]:
+        x, y = self.coords(node)
+        tags = []
+        if x - 1 >= 0:
+            tags.append(EAST)  # east-going link arrives from the west neighbor
+        if x + 1 < self.cols:
+            tags.append(WEST)
+        if y - 1 >= 0:
+            tags.append(NORTH)
+        if y + 1 < self.rows:
+            tags.append(SOUTH)
+        return tags
+
+    @property
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)

@@ -1,0 +1,116 @@
+"""The Quarc topology (paper Section 3.2).
+
+The Quarc improves the Spidergon by
+
+(i)   splitting the cross link into **two** physical links so the
+      right-cross quarter and left-cross quarter have dedicated channels,
+(ii)  upgrading the one-port router to an **all-port** router (one
+      injection and one ejection channel per external link direction), and
+(iii) letting routers absorb-and-forward flits simultaneously.
+
+Link tags
+---------
+``"CW"``
+    clockwise rim link ``i -> i+1`` (the paper's *left* rim),
+``"CCW"``
+    counterclockwise rim link ``i -> i-1`` (the paper's *right* rim),
+``"XCW"``
+    cross link ``i -> i+N/2`` whose traffic continues clockwise after
+    crossing (serves the paper's *cross-right* quarter, port ``CR``),
+``"XCCW"``
+    cross link ``i -> i+N/2`` whose traffic continues counterclockwise
+    (serves the *cross-left* quarter, port ``CL``).
+
+Injection ports are named after the paper's figure legends: ``L`` (left =
+clockwise rim), ``R`` (right = counterclockwise rim), ``CL`` (cross-left)
+and ``CR`` (cross-right); see :mod:`repro.routing.quarc` for the quadrant
+definitions and the worked broadcast example of paper Fig. 3.
+
+The switch has no routing logic (Section 3.3.1): the input tag determines
+the output link (``CW -> CW``, ``XCW -> CW``, ``CCW -> CCW``,
+``XCCW -> CCW``), or ejection at the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Link, Topology
+
+__all__ = ["QuarcTopology", "PORTS", "PORT_TO_TAG", "TAG_CONTINUATION"]
+
+CW = "CW"
+CCW = "CCW"
+XCW = "XCW"
+XCCW = "XCCW"
+
+#: Injection ports in paper legend order: left, right, cross-left, cross-right.
+PORTS: tuple[str, ...] = ("L", "R", "CL", "CR")
+
+#: First link tag used by a worm injected at each port.
+PORT_TO_TAG: dict[str, str] = {"L": CW, "R": CCW, "CL": XCCW, "CR": XCW}
+
+#: Forwarding function of the routing-free Quarc switch: a flit arriving on
+#: an input of tag ``t`` that is not ejected continues on the output link of
+#: tag ``TAG_CONTINUATION[t]``.
+TAG_CONTINUATION: dict[str, str] = {CW: CW, CCW: CCW, XCW: CW, XCCW: CCW}
+
+
+class QuarcTopology(Topology):
+    """The Quarc NoC topology with all-port routers."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 8:
+            raise ValueError(f"Quarc needs at least 8 nodes, got {num_nodes}")
+        if num_nodes % 4 != 0:
+            raise ValueError(
+                f"Quarc quadrant routing needs N divisible by 4, got {num_nodes}"
+            )
+        self._n = num_nodes
+        self._links = self._build_links()
+
+    def _build_links(self) -> list[Link]:
+        n = self._n
+        links: list[Link] = []
+        for i in range(n):
+            links.append(Link(i, (i + 1) % n, CW))
+        for i in range(n):
+            links.append(Link(i, (i - 1) % n, CCW))
+        for i in range(n):
+            links.append(Link(i, (i + n // 2) % n, XCW))
+        for i in range(n):
+            links.append(Link(i, (i + n // 2) % n, XCCW))
+        return links
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return f"quarc-{self._n}"
+
+    @property
+    def quarter(self) -> int:
+        """``N/4`` -- the size of each routing quadrant."""
+        return self._n // 4
+
+    def links(self) -> Sequence[Link]:
+        return list(self._links)
+
+    def injection_ports(self) -> Sequence[str]:
+        return list(PORTS)
+
+    def input_tags(self, node: int) -> Sequence[str]:
+        self._check_node(node)
+        return [CW, CCW, XCW, XCCW]
+
+    def cross_neighbor(self, node: int) -> int:
+        self._check_node(node)
+        return (node + self._n // 2) % self._n
+
+    @property
+    def diameter(self) -> int:
+        """Worst-case unicast hop count: ``N/4`` (rim quadrant edge) --
+        equal to ``1 + (N/4 - 1)`` for the farthest cross destinations."""
+        return self._n // 4

@@ -1,0 +1,57 @@
+"""Ring (modular) distance arithmetic shared by Spidergon and Quarc.
+
+Node labels follow the paper (Section 3.1): an arbitrary node is labelled 0
+and labels increase clockwise, so "clockwise distance" from ``a`` to ``b``
+is ``(b - a) mod N``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "clockwise_distance",
+    "counterclockwise_distance",
+    "ring_distance",
+    "clockwise_range",
+    "counterclockwise_range",
+]
+
+
+def _check(n: int) -> None:
+    if n <= 0:
+        raise ValueError(f"ring size must be positive, got {n}")
+
+
+def clockwise_distance(a: int, b: int, n: int) -> int:
+    """Hops from ``a`` to ``b`` moving clockwise on an ``n``-ring."""
+    _check(n)
+    return (b - a) % n
+
+
+def counterclockwise_distance(a: int, b: int, n: int) -> int:
+    """Hops from ``a`` to ``b`` moving counterclockwise on an ``n``-ring."""
+    _check(n)
+    return (a - b) % n
+
+
+def ring_distance(a: int, b: int, n: int) -> int:
+    """Shortest-path distance on the rim ring only (no cross links)."""
+    cw = clockwise_distance(a, b, n)
+    return min(cw, n - cw)
+
+
+def clockwise_range(start: int, hops: int, n: int) -> list[int]:
+    """Nodes visited moving clockwise from ``start`` for ``hops`` steps
+    (excluding ``start`` itself): ``[start+1, ..., start+hops] mod n``."""
+    _check(n)
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    return [(start + k) % n for k in range(1, hops + 1)]
+
+
+def counterclockwise_range(start: int, hops: int, n: int) -> list[int]:
+    """Nodes visited moving counterclockwise from ``start`` for ``hops``
+    steps (excluding ``start``)."""
+    _check(n)
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    return [(start - k) % n for k in range(1, hops + 1)]

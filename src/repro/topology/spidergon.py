@@ -1,0 +1,84 @@
+"""The Spidergon topology (paper Section 3.1).
+
+``N = 2n`` nodes on a ring; every node ``x_i`` has a clockwise link to
+``x_{(i+1) mod N}``, a counterclockwise link to ``x_{(i-1) mod N}`` and a
+single cross link to ``x_{(i+N/2) mod N}``.  Routers are **one-port**: one
+injection channel and one ejection channel per node.
+
+Link tags: ``"CW"`` (clockwise rim), ``"CCW"`` (counterclockwise rim),
+``"X"`` (cross).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Link, Topology
+
+__all__ = ["SpidergonTopology"]
+
+CW = "CW"
+CCW = "CCW"
+CROSS = "X"
+
+
+class SpidergonTopology(Topology):
+    """STMicroelectronics' Spidergon NoC topology (one-port routers)."""
+
+    #: the single injection port of a one-port router
+    PORT = "P0"
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 4:
+            raise ValueError(f"Spidergon needs at least 4 nodes, got {num_nodes}")
+        if num_nodes % 2 != 0:
+            raise ValueError(f"Spidergon needs an even node count, got {num_nodes}")
+        self._n = num_nodes
+        self._links = self._build_links()
+
+    def _build_links(self) -> list[Link]:
+        n = self._n
+        links: list[Link] = []
+        for i in range(n):
+            links.append(Link(i, (i + 1) % n, CW))
+        for i in range(n):
+            links.append(Link(i, (i - 1) % n, CCW))
+        for i in range(n):
+            links.append(Link(i, (i + n // 2) % n, CROSS))
+        return links
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return f"spidergon-{self._n}"
+
+    def links(self) -> Sequence[Link]:
+        return list(self._links)
+
+    def injection_ports(self) -> Sequence[str]:
+        return [self.PORT]
+
+    def input_tags(self, node: int) -> Sequence[str]:
+        self._check_node(node)
+        return [CW, CCW, CROSS]
+
+    def cross_neighbor(self, node: int) -> int:
+        self._check_node(node)
+        return (node + self._n // 2) % self._n
+
+    @property
+    def diameter(self) -> int:
+        """Network diameter: worst-case shortest path is ~N/4 + 1 hops."""
+        n = self._n
+        # farthest destination: take cross then rim; shortest paths computed
+        # exactly by scanning all clockwise distances.
+        best = 0
+        for d in range(1, n):
+            cw = d
+            ccw = n - d
+            via_cross = 1 + min((d - n // 2) % n, (n // 2 - d) % n)
+            best = max(best, min(cw, ccw, via_cross))
+        return best

@@ -1,0 +1,68 @@
+"""2D torus topology (paper Section 5 future work: multi-port torus).
+
+Like :class:`repro.topology.mesh.MeshTopology` but with wrap-around links,
+so every node has all four compass neighbours.  Dimension-order routing on
+a torus ring needs virtual channels for deadlock freedom exactly like the
+Quarc rim; the simulator reuses its dateline lane assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Link, Topology
+from repro.topology.mesh import EAST, MESH_PORTS, NORTH, SOUTH, WEST
+
+__all__ = ["TorusTopology"]
+
+
+class TorusTopology(Topology):
+    """A ``rows x cols`` 2D torus with all-port routers."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 3 or cols < 3:
+            # a 2-ring degenerates (both directions reach the same node)
+            raise ValueError(f"torus needs rows, cols >= 3, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._links = self._build_links()
+
+    def node_id(self, x: int, y: int) -> int:
+        return (y % self.rows) * self.cols + (x % self.cols)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        self._check_node(node)
+        return node % self.cols, node // self.cols
+
+    def _build_links(self) -> list[Link]:
+        links: list[Link] = []
+        for y in range(self.rows):
+            for x in range(self.cols):
+                n = y * self.cols + x
+                links.append(Link(n, self.node_id(x + 1, y), EAST))
+                links.append(Link(n, self.node_id(x - 1, y), WEST))
+                links.append(Link(n, self.node_id(x, y + 1), NORTH))
+                links.append(Link(n, self.node_id(x, y - 1), SOUTH))
+        return links
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def name(self) -> str:
+        return f"torus-{self.rows}x{self.cols}"
+
+    def links(self) -> Sequence[Link]:
+        return list(self._links)
+
+    def injection_ports(self) -> Sequence[str]:
+        return list(MESH_PORTS)
+
+    def input_tags(self, node: int) -> Sequence[str]:
+        self._check_node(node)
+        return list(MESH_PORTS)
+
+    @property
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2

@@ -1,0 +1,23 @@
+"""Workload generators: multicast destination sets and traffic helpers."""
+
+from repro.workloads.destsets import (
+    localized_multicast_sets,
+    quadrant_members_by_distance,
+    random_multicast_sets,
+    sets_from_relative_positions,
+)
+from repro.workloads.patterns import (
+    hotspot_weights,
+    normalized_probabilities,
+    uniform_weights,
+)
+
+__all__ = [
+    "random_multicast_sets",
+    "localized_multicast_sets",
+    "sets_from_relative_positions",
+    "quadrant_members_by_distance",
+    "uniform_weights",
+    "hotspot_weights",
+    "normalized_probabilities",
+]

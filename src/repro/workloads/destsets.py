@@ -1,0 +1,174 @@
+"""Multicast destination-set generators (paper Section 4 workloads).
+
+The paper fixes the multicast destination sets once, at the start of each
+simulation: "The multicast destinations are selected randomly (by the
+authors) at the beginning of the simulation."  Its figure legends describe
+the sets as per-quadrant bitstrings (L, R, LO, RO) *relative to each
+node*, i.e. every node uses the same relative pattern -- which keeps the
+(vertex-symmetric) network symmetric under the workload.  Two figure
+families are evaluated:
+
+* **Fig. 6**: positions drawn randomly across all four quadrants,
+* **Fig. 7**: positions confined to a single rim ("localized" sets).
+
+This module provides both, plus a fully per-node random mode for
+asymmetric studies.  All generators are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = [
+    "quadrant_members_by_distance",
+    "sets_from_relative_positions",
+    "random_multicast_sets",
+    "localized_multicast_sets",
+]
+
+
+def quadrant_members_by_distance(
+    routing: RoutingAlgorithm, source: int
+) -> dict[str, list[int]]:
+    """Per port: the quadrant members ``S_{j,c}`` ordered nearest-first
+    (bit position k of the paper's header bitstring = k-th nearest)."""
+    subsets = routing.port_subsets(source)
+    out: dict[str, list[int]] = {}
+    for port, members in subsets.items():
+        if not members:
+            continue
+        ordered = sorted(
+            members,
+            key=lambda t: (len(routing.unicast_route(source, t).links), t),
+        )
+        out[port] = ordered
+    return out
+
+
+def sets_from_relative_positions(
+    routing: RoutingAlgorithm,
+    positions: Mapping[str, Sequence[int]],
+) -> dict[int, frozenset[int]]:
+    """Build per-node destination sets from *relative* quadrant positions.
+
+    ``positions[port]`` lists 1-based ranks into the port's
+    nearest-first member list; the same relative pattern is applied at
+    every node (the paper's legend semantics).  Example for a Quarc-16:
+    ``{"L": [1, 3], "CR": [2]}`` makes every node ``j`` multicast to its
+    1st and 3rd nearest left-rim members and its 2nd nearest
+    cross-right member.
+    """
+    topo = routing.topology
+    sets: dict[int, frozenset[int]] = {}
+    for node in topo.nodes():
+        members = quadrant_members_by_distance(routing, node)
+        targets: set[int] = set()
+        for port, ranks in positions.items():
+            if not ranks:
+                continue
+            if port not in members:
+                raise ValueError(f"port {port!r} has no quadrant members")
+            avail = members[port]
+            for rank in ranks:
+                if not 1 <= rank <= len(avail):
+                    raise ValueError(
+                        f"rank {rank} out of range for port {port!r} at node "
+                        f"{node} (quadrant size {len(avail)}); relative "
+                        "positions require a vertex-symmetric topology "
+                        "(Quarc, Spidergon, torus) -- use "
+                        "random_multicast_sets(..., mode='per_node') on a mesh"
+                    )
+                targets.add(avail[rank - 1])
+        if targets:
+            sets[node] = frozenset(targets)
+    if not sets:
+        raise ValueError("no positions given: empty multicast sets")
+    return sets
+
+
+def _relative_random_positions(
+    routing: RoutingAlgorithm,
+    group_size: int,
+    rng: np.random.Generator,
+    ports: Sequence[str] | None = None,
+) -> dict[str, list[int]]:
+    """Draw ``group_size`` distinct relative positions across the given
+    ports (default: all ports with members), uniformly."""
+    members = quadrant_members_by_distance(routing, 0)
+    if ports is not None:
+        unknown = set(ports) - set(members)
+        if unknown:
+            raise ValueError(f"ports {sorted(unknown)} have no quadrant members")
+        members = {p: members[p] for p in ports}
+    pool: list[tuple[str, int]] = [
+        (port, rank)
+        for port, mem in sorted(members.items())
+        for rank in range(1, len(mem) + 1)
+    ]
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if group_size > len(pool):
+        raise ValueError(
+            f"group_size {group_size} exceeds available positions {len(pool)}"
+        )
+    chosen = rng.choice(len(pool), size=group_size, replace=False)
+    out: dict[str, list[int]] = {}
+    for idx in sorted(int(i) for i in chosen):
+        port, rank = pool[idx]
+        out.setdefault(port, []).append(rank)
+    return out
+
+
+def random_multicast_sets(
+    routing: RoutingAlgorithm,
+    group_size: int,
+    seed: int,
+    *,
+    mode: str = "symmetric",
+) -> dict[int, frozenset[int]]:
+    """Fig. 6 workload: randomly placed multicast destinations.
+
+    ``mode="symmetric"`` draws one relative pattern (applied at every
+    node, the paper's legend semantics); ``mode="per_node"`` draws an
+    independent destination set for every node.
+    """
+    rng = np.random.default_rng(seed)
+    if mode == "symmetric":
+        positions = _relative_random_positions(routing, group_size, rng)
+        return sets_from_relative_positions(routing, positions)
+    if mode == "per_node":
+        topo = routing.topology
+        n = topo.num_nodes
+        if group_size > n - 1:
+            raise ValueError(f"group_size {group_size} exceeds N-1 = {n - 1}")
+        sets: dict[int, frozenset[int]] = {}
+        for node in topo.nodes():
+            others = [t for t in topo.nodes() if t != node]
+            chosen = rng.choice(len(others), size=group_size, replace=False)
+            sets[node] = frozenset(others[int(i)] for i in chosen)
+        return sets
+    raise ValueError(f"mode must be 'symmetric' or 'per_node', got {mode!r}")
+
+
+def localized_multicast_sets(
+    routing: RoutingAlgorithm,
+    group_size: int,
+    seed: int,
+    *,
+    rim: str | None = None,
+) -> dict[int, frozenset[int]]:
+    """Fig. 7 workload: destinations on a single rim.
+
+    ``rim`` names the injection port/quadrant (Quarc: ``"L"``, ``"R"``,
+    ``"CL"`` or ``"CR"``); None picks it randomly from the seed.
+    """
+    rng = np.random.default_rng(seed)
+    members = quadrant_members_by_distance(routing, 0)
+    if rim is None:
+        rim = sorted(members)[int(rng.integers(0, len(members)))]
+    positions = _relative_random_positions(routing, group_size, rng, ports=[rim])
+    return sets_from_relative_positions(routing, positions)

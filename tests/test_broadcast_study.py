@@ -1,0 +1,68 @@
+"""Tests for the broadcast scaling study."""
+
+import math
+
+import pytest
+
+from repro.experiments.broadcast import (
+    broadcast_scaling_study,
+    broadcast_sets,
+    render_broadcast_study,
+)
+from repro.sim import SimConfig
+
+
+class TestBroadcastSets:
+    def test_complete_sets(self):
+        sets = broadcast_sets(16)
+        assert len(sets) == 16
+        assert sets[3] == frozenset(set(range(16)) - {3})
+
+
+@pytest.fixture(scope="module")
+def study():
+    return broadcast_scaling_study(
+        sizes=(16, 32),
+        message_length=32,
+        load_fraction=0.4,
+        sim_config=SimConfig(
+            seed=5, warmup_cycles=1_500, target_unicast_samples=300,
+            target_multicast_samples=120,
+        ),
+    )
+
+
+class TestStudy:
+    def test_one_point_per_size(self, study):
+        assert [p.num_nodes for p in study] == [16, 32]
+
+    def test_floor_is_quarter_scaling(self, study):
+        assert study[0].zero_load_floor == 32 + 4 + 1
+        assert study[1].zero_load_floor == 32 + 8 + 1
+
+    def test_sim_above_floor(self, study):
+        for p in study:
+            assert p.sim_latency >= p.zero_load_floor - 1e-6
+
+    def test_model_tracks_sim(self, study):
+        for p in study:
+            assert p.model_latency == pytest.approx(p.sim_latency, rel=0.25)
+
+    def test_scaling_is_subliner_in_n(self, study):
+        """Doubling N must not double broadcast latency (the N/4-branch
+        scaling vs the Spidergon's N-1)."""
+        l16, l32 = study[0].sim_latency, study[1].sim_latency
+        assert l32 / l16 < 1.8
+
+    def test_one_port_penalty(self, study):
+        for p in study:
+            assert p.one_port_ratio > 1.5
+
+    def test_render(self, study):
+        text = render_broadcast_study(study)
+        assert "broadcast scaling" in text
+        assert "x" in text  # one-port ratio present
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_scaling_study(sizes=(16,), load_fraction=1.5)

@@ -1,0 +1,74 @@
+"""Zero-load calibration: model and simulator agree on the latency floor.
+
+Both layers must price a worm over D network hops at ``msg + D + 1``
+cycles: D + 2 channel traversals for the header plus msg - 1 trailing
+flits.  These tests pin that convention on every topology so the Eq. 7
+constant can never silently drift between the model and the simulator.
+"""
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.channel_graph import ChannelGraph
+from repro.core.flows import build_flows
+from repro.core.service import solve_service_times
+from repro.core.unicast import path_latency
+from repro.routing import MeshRouting, QuarcRouting, SpidergonRouting, TorusRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.sim.reference import ScriptedWorm
+from repro.sim.scripted import run_scripted
+from repro.topology import MeshTopology, QuarcTopology, SpidergonTopology, TorusTopology
+
+NETWORKS = [
+    (QuarcTopology(16), QuarcRouting),
+    (SpidergonTopology(16), SpidergonRouting),
+    (MeshTopology(4, 4), MeshRouting),
+    (TorusTopology(4, 4), TorusRouting),
+]
+
+
+@pytest.mark.parametrize("topo,routing_cls", NETWORKS, ids=lambda x: getattr(x, "name", ""))
+class TestZeroLoadFloor:
+    def test_model_floor(self, topo, routing_cls):
+        routing = routing_cls(topo)
+        graph = ChannelGraph(topo, routing)
+        flows = build_flows(graph, TrafficSpec(0.0, 0.0, 24))
+        res = solve_service_times(graph, flows, 24)
+        n = topo.num_nodes
+        for s in range(0, n, max(1, n // 5)):
+            for t in range(n):
+                if s == t:
+                    continue
+                route = routing.unicast_route(s, t)
+                seq = graph.route_channels(route)
+                assert path_latency(res, seq) == pytest.approx(24 + route.hops + 1)
+
+    def test_scripted_sim_floor(self, topo, routing_cls):
+        """An isolated worm in the event engine completes in exactly
+        msg + D + 1 cycles after creation."""
+        routing = routing_cls(topo)
+        graph = ChannelGraph(topo, routing)
+        for s, t in [(0, 1), (0, topo.num_nodes - 1), (1, topo.num_nodes // 2)]:
+            if s == t:
+                continue
+            route = routing.unicast_route(s, t)
+            seq = tuple(graph.route_channels(route))
+            res = run_scripted(
+                graph.num_channels, [ScriptedWorm(1, 10, seq, 24)]
+            )
+            assert res[1].completion_time == 10 + 24 + route.hops + 1
+
+
+def test_model_vs_sim_floor_end_to_end():
+    """Full pipeline floor agreement on the Quarc (paper network)."""
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    model = AnalyticalModel(topo, routing, recursion="occupancy")
+    sim = NocSimulator(topo, routing)
+    spec = TrafficSpec(1e-5, 0.0, 16)
+    mres = model.evaluate(spec.with_rate(1e-9))
+    sres = sim.run(
+        spec,
+        SimConfig(seed=1, warmup_cycles=100, target_unicast_samples=300, max_cycles=5e6),
+    )
+    assert sres.unicast.mean == pytest.approx(mres.unicast_latency, abs=0.5)

@@ -1,0 +1,108 @@
+"""Tests for the channel dependency graph."""
+
+import pytest
+
+from repro.core.channel_graph import Channel, ChannelGraph, ChannelKind
+from repro.routing import MeshRouting, QuarcRouting
+from repro.topology import MeshTopology, QuarcTopology
+
+
+@pytest.fixture(scope="module")
+def quarc16():
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    return ChannelGraph(topo, routing)
+
+
+class TestConstruction:
+    def test_channel_count_quarc(self, quarc16):
+        # 4N injection + 4N network + 4N ejection
+        assert quarc16.num_channels == 12 * 16
+
+    def test_one_port_channel_count(self):
+        topo = QuarcTopology(16)
+        graph = ChannelGraph(topo, QuarcRouting(topo), one_port=True)
+        # N injection + 4N network + 4N ejection
+        assert graph.num_channels == 9 * 16
+
+    def test_indices_dense_and_stable(self, quarc16):
+        for idx in range(quarc16.num_channels):
+            ch = quarc16.channel_at(idx)
+            assert quarc16.index_of(ch) == idx
+
+    def test_kind_partition(self, quarc16):
+        inj = quarc16.indices_of_kind(ChannelKind.INJECTION)
+        net = quarc16.indices_of_kind(ChannelKind.NETWORK)
+        ej = quarc16.indices_of_kind(ChannelKind.EJECTION)
+        assert len(inj) == 64 and len(net) == 64 and len(ej) == 64
+        assert set(inj) | set(net) | set(ej) == set(range(quarc16.num_channels))
+
+    def test_unknown_channel_rejected(self, quarc16):
+        with pytest.raises(KeyError):
+            quarc16.index_of(Channel(ChannelKind.INJECTION, (99, "L")))
+
+    def test_mesh_ejection_channels_per_input_tag(self):
+        topo = MeshTopology(3, 3)
+        graph = ChannelGraph(topo, MeshRouting(topo))
+        # corner nodes have 2 arriving directions, edges 3, center 4
+        ej = graph.indices_of_kind(ChannelKind.EJECTION)
+        assert len(ej) == sum(len(topo.input_tags(n)) for n in topo.nodes())
+
+
+class TestRouteTranslation:
+    def test_unicast_sequence_structure(self, quarc16):
+        routing = quarc16.routing
+        route = routing.unicast_route(0, 3)
+        seq = quarc16.route_channels(route)
+        assert len(seq) == 3 + 2  # inj + 3 nets + ej
+        assert quarc16.kind_of(seq[0]) is ChannelKind.INJECTION
+        assert all(quarc16.kind_of(i) is ChannelKind.NETWORK for i in seq[1:-1])
+        assert quarc16.kind_of(seq[-1]) is ChannelKind.EJECTION
+
+    def test_ejection_matches_arrival_tag(self, quarc16):
+        routing = quarc16.routing
+        route = routing.unicast_route(0, 10)  # arrives on a CW link
+        seq = quarc16.route_channels(route)
+        ej = quarc16.channel_at(seq[-1])
+        assert ej.key == (10, "CW")
+
+    def test_injection_matches_port(self, quarc16):
+        routing = quarc16.routing
+        route = routing.unicast_route(0, 14)
+        seq = quarc16.route_channels(route)
+        inj = quarc16.channel_at(seq[0])
+        assert inj.key == (0, "R")
+
+    def test_one_port_remaps_injection(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        graph = ChannelGraph(topo, routing, one_port=True)
+        seqs = {
+            graph.route_channels(routing.unicast_route(0, t))[0] for t in (2, 6, 9, 13)
+        }
+        assert len(seqs) == 1  # all quadrants share one injection channel
+
+    def test_multicast_worm_channels(self, quarc16):
+        routing = quarc16.routing
+        (route,) = routing.multicast_routes(0, [1, 3])
+        seq = quarc16.multicast_worm_channels(route)
+        assert len(seq) == 3 + 2
+        assert quarc16.channel_at(seq[-1]).key == (3, "CW")
+
+    def test_clone_ejections_intermediate_only(self, quarc16):
+        routing = quarc16.routing
+        (route,) = routing.multicast_routes(0, [1, 3])
+        clones = quarc16.multicast_clone_ejections(route)
+        assert len(clones) == 1
+        net_ch, ej_ch = clones[0]
+        assert quarc16.channel_at(ej_ch).key == (1, "CW")
+        assert quarc16.channel_at(net_ch).key == (0, 1, "CW")
+
+    def test_terminal_target_not_cloned(self, quarc16):
+        routing = quarc16.routing
+        (route,) = routing.multicast_routes(0, [4])
+        assert quarc16.multicast_clone_ejections(route) == []
+
+    def test_describe(self, quarc16):
+        text = quarc16.describe(0)
+        assert "inj" in text

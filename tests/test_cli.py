@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate", "--rate", "0.004"])
+        assert args.nodes == 16 and args.msg == 32
+        assert args.recursion == "occupancy"
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "-n", "32", "--dests", "localized", "--rim", "CR", "--no-sim"]
+        )
+        assert args.dests == "localized" and args.rim == "CR" and args.no_sim
+
+    def test_bad_recursion_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--rate", "0.1", "--recursion", "x"])
+
+
+class TestCommands:
+    def test_evaluate_model_only(self, capsys):
+        rc = main(["evaluate", "-n", "16", "--rate", "0.003"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "model unicast" in out and "bottleneck" in out
+
+    def test_evaluate_saturated_exit_code(self, capsys):
+        rc = main(["evaluate", "-n", "16", "--rate", "0.5"])
+        assert rc == 1
+        assert "SATURATED" in capsys.readouterr().out
+
+    def test_hops(self, capsys):
+        rc = main(["hops", "--sizes", "16", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "15" in out and "31" in out
+
+    def test_hops_invalid_size(self, capsys):
+        rc = main(["hops", "--sizes", "13"])
+        assert rc == 2
+
+    def test_saturation_table(self, capsys):
+        rc = main(
+            ["saturation", "--sizes", "16", "--lengths", "16", "32", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M=16" in out and "M=32" in out
+
+    def test_explain(self, capsys):
+        rc = main(["explain", "-n", "16", "--rate", "0.004", "--node", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multicast from node 3" in out
+        assert "port" in out
+
+    def test_explain_saturated_errors(self, capsys):
+        rc = main(["explain", "-n", "16", "--rate", "0.5", "--node", "3"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_model_only(self, capsys):
+        rc = main(
+            ["sweep", "-n", "16", "--points", "3", "--no-sim", "--chart", "--seed", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation rate" in out
+        assert "legend" in out  # chart rendered

@@ -1,0 +1,107 @@
+"""Closed-form Quarc rates vs the exhaustive flow enumerator.
+
+The closed forms of :mod:`repro.core.closedform` must agree *exactly*
+(up to float rounding) with the O(N^2) route enumeration of
+:mod:`repro.core.flows` for every channel class and every network size --
+a strong mutual cross-check of both derivations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel_graph import ChannelGraph
+from repro.core.closedform import quarc_uniform_rates
+from repro.core.flows import TrafficSpec, build_flows
+from repro.routing import QuarcRouting
+from repro.topology import QuarcTopology
+
+SIZES = [8, 12, 16, 24, 32, 64, 128]
+
+
+def enumerated(n: int, lam: float):
+    topo = QuarcTopology(n)
+    routing = QuarcRouting(topo)
+    graph = ChannelGraph(topo, routing)
+    flows = build_flows(graph, TrafficSpec(lam, 0.0, 32))
+    return topo, graph, flows
+
+
+class TestNetworkChannels:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_rim_and_cross_rates(self, n):
+        lam = 0.01
+        topo, graph, flows = enumerated(n, lam)
+        cf = quarc_uniform_rates(topo, lam)
+        by_tag = {"CW": cf.cw_rim, "CCW": cf.ccw_rim,
+                  "XCW": cf.cross_cw, "XCCW": cf.cross_ccw}
+        for link in topo.links():
+            got = flows.arrival_rate[graph.network(link)]
+            assert got == pytest.approx(by_tag[link.tag], rel=1e-12), link
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_injection_rates(self, n):
+        lam = 0.01
+        topo, graph, flows = enumerated(n, lam)
+        cf = quarc_uniform_rates(topo, lam)
+        for port in topo.injection_ports():
+            got = flows.arrival_rate[graph.injection(0, port)]
+            assert got == pytest.approx(cf.injection(port), rel=1e-12), port
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_ejection_rates(self, n):
+        lam = 0.01
+        topo, graph, flows = enumerated(n, lam)
+        cf = quarc_uniform_rates(topo, lam)
+        for tag in topo.input_tags(3):
+            got = flows.arrival_rate[graph.ejection(3, tag)]
+            assert got == pytest.approx(cf.ejection(tag), abs=1e-15), tag
+
+
+class TestConservation:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_ejection_sums_to_offered(self, n):
+        cf = quarc_uniform_rates(QuarcTopology(n), 0.01)
+        total = sum(cf.ejection(t) for t in ("CW", "CCW", "XCW", "XCCW"))
+        assert total == pytest.approx(0.01, rel=1e-12)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_injection_sums_to_offered(self, n):
+        cf = quarc_uniform_rates(QuarcTopology(n), 0.01)
+        total = sum(cf.injection(p) for p in ("L", "R", "CL", "CR"))
+        assert total == pytest.approx(0.01, rel=1e-12)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_mean_hops_matches_routing(self, n):
+        topo = QuarcTopology(n)
+        routing = QuarcRouting(topo)
+        cf = quarc_uniform_rates(topo, 0.01)
+        direct = sum(
+            routing.hop_count(0, t) for t in range(1, n)
+        ) / (n - 1)
+        assert cf.mean_hops() == pytest.approx(direct, rel=1e-12)
+
+    @given(lam=st.floats(min_value=1e-6, max_value=0.1))
+    @settings(max_examples=25, deadline=None)
+    def test_rates_linear_in_lambda(self, lam):
+        cf1 = quarc_uniform_rates(QuarcTopology(16), lam)
+        cf2 = quarc_uniform_rates(QuarcTopology(16), 2 * lam)
+        assert cf2.cw_rim == pytest.approx(2 * cf1.cw_rim)
+
+
+class TestValidation:
+    def test_wrong_topology_rejected(self):
+        from repro.topology import SpidergonTopology
+
+        with pytest.raises(TypeError):
+            quarc_uniform_rates(SpidergonTopology(16), 0.01)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            quarc_uniform_rates(QuarcTopology(16), -0.01)
+
+    def test_unknown_port_rejected(self):
+        cf = quarc_uniform_rates(QuarcTopology(16), 0.01)
+        with pytest.raises(ValueError):
+            cf.injection("Z")
+        with pytest.raises(ValueError):
+            cf.ejection("Z")

@@ -1,0 +1,82 @@
+"""Tests for wait-cycle detection and victim selection."""
+
+import pytest
+
+from repro.sim.deadlock import choose_victim, find_wait_cycle
+from repro.sim.worm import Worm, WormClass
+
+
+def make_worm(uid, t0=0.0):
+    return Worm(uid, WormClass.UNICAST, 0, t0, (uid * 10, uid * 10 + 1), 4)
+
+
+class TestCycleDetection:
+    def _setup(self, n_channels=40):
+        holders = [None] * n_channels
+        return holders
+
+    def test_no_block_no_cycle(self):
+        holders = self._setup()
+        w = make_worm(1)
+        assert find_wait_cycle(w, holders) is None
+
+    def test_chain_without_cycle(self):
+        holders = self._setup()
+        w1, w2 = make_worm(1), make_worm(2)
+        w1.blocked_on = 5
+        holders[5] = w2  # w2 holds 5, is not blocked
+        assert find_wait_cycle(w1, holders) is None
+
+    def test_two_worm_cycle(self):
+        holders = self._setup()
+        w1, w2 = make_worm(1), make_worm(2)
+        w1.blocked_on = 5
+        holders[5] = w2
+        w2.blocked_on = 6
+        holders[6] = w1
+        cycle = find_wait_cycle(w1, holders)
+        assert cycle is not None
+        assert {w.uid for w in cycle} == {1, 2}
+
+    def test_three_worm_cycle(self):
+        holders = self._setup()
+        w1, w2, w3 = make_worm(1), make_worm(2), make_worm(3)
+        w1.blocked_on, holders[5] = 5, w2
+        w2.blocked_on, holders[6] = 6, w3
+        w3.blocked_on, holders[7] = 7, w1
+        cycle = find_wait_cycle(w1, holders)
+        assert {w.uid for w in cycle} == {1, 2, 3}
+
+    def test_tail_into_cycle_returns_loop_only(self):
+        """A worm blocked on a channel held by a member of an existing
+        cycle: the returned cycle excludes the tail."""
+        holders = self._setup()
+        w1, w2, w3 = make_worm(1), make_worm(2), make_worm(3)
+        # w2 <-> w3 cycle; w1 waits on w2
+        w2.blocked_on, holders[6] = 6, w3
+        w3.blocked_on, holders[7] = 7, w2
+        w1.blocked_on, holders[5] = 5, w2
+        cycle = find_wait_cycle(w1, holders)
+        assert {w.uid for w in cycle} == {2, 3}
+
+    def test_chain_ending_free_channel(self):
+        holders = self._setup()
+        w1, w2 = make_worm(1), make_worm(2)
+        w1.blocked_on = 5
+        holders[5] = w2
+        w2.blocked_on = 9  # nobody holds 9
+        assert find_wait_cycle(w1, holders) is None
+
+
+class TestVictimChoice:
+    def test_youngest_chosen(self):
+        worms = [make_worm(1, t0=0.0), make_worm(2, t0=5.0), make_worm(3, t0=2.0)]
+        assert choose_victim(worms).uid == 2
+
+    def test_tie_broken_by_uid(self):
+        worms = [make_worm(1, t0=5.0), make_worm(2, t0=5.0)]
+        assert choose_victim(worms).uid == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose_victim([])

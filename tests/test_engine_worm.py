@@ -1,0 +1,124 @@
+"""Tests for the event queue and worm state (rigid-train clock)."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+from repro.sim.worm import Worm, WormClass
+
+
+class TestEventQueue:
+    def test_fifo_at_same_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(1.0, lambda: fired.append("b"))
+        q.run_until(10.0)
+        assert fired == ["a", "b"]
+
+    def test_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append(2))
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(3.0, lambda: fired.append(3))
+        q.run_until(10.0)
+        assert fired == [1, 2, 3]
+
+    def test_horizon_respected(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(5.0, lambda: fired.append(5))
+        n = q.run_until(2.0)
+        assert n == 1 and fired == [1]
+        assert q.peek_time() == 5.0
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda: None)
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(3.5, lambda: None)
+        q.run_until(10.0)
+        assert q.now == 3.5
+
+    def test_max_events(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i), lambda: None)
+        assert q.run_until(100.0, max_events=4) == 4
+        assert len(q) == 6
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                q.schedule(q.now + 1.0, lambda: chain(n + 1))
+
+        q.schedule(0.0, lambda: chain(0))
+        q.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+
+def make_worm(path=(0, 1, 2, 3), m=4, t0=0.0):
+    return Worm(1, WormClass.UNICAST, 0, t0, path, m)
+
+
+class TestWormClock:
+    def test_path_validation(self):
+        with pytest.raises(ValueError):
+            Worm(1, WormClass.UNICAST, 0, 0.0, (0,), 4)
+
+    def test_hops(self):
+        assert make_worm().hops == 2
+
+    def test_tau_header_phase(self):
+        w = make_worm()
+        w.acq_times = [0.0, 1.0, 2.0, 5.0]  # a stall before the ejection
+        assert w.tau(1) == 0.0
+        assert w.tau(4) == 5.0
+
+    def test_tau_drain_phase(self):
+        w = make_worm()
+        w.acq_times = [0.0, 1.0, 2.0, 5.0]
+        assert w.tau(5) == 6.0
+        assert w.tau(7) == 8.0
+
+    def test_tau_requires_full_routing(self):
+        w = make_worm()
+        w.acq_times = [0.0, 1.0]
+        with pytest.raises(RuntimeError):
+            w.tau(3)
+
+    def test_release_times_unstalled(self):
+        # H=4, M=4, a=(0,1,2,3): release pos p at tau(4+p) = 3 + (4+p-4)
+        w = make_worm()
+        w.acq_times = [0.0, 1.0, 2.0, 3.0]
+        assert [w.release_time(p) for p in (1, 2, 3, 4)] == [4.0, 5.0, 6.0, 7.0]
+
+    def test_final_absorption(self):
+        w = make_worm()
+        w.acq_times = [0.0, 1.0, 2.0, 3.0]
+        assert w.final_absorption_time() == 7.0  # a_H + M
+
+    def test_clone_absorption_after_release(self):
+        w = make_worm(path=(0, 1, 2, 3, 4), m=4)
+        w.acq_times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert w.clone_absorption_time(2) == w.release_time(2) + 1.0
+
+    def test_ideal_remaining(self):
+        w = make_worm()
+        w.ptr = 2
+        assert w.ideal_remaining_time(10.0) == 10.0 + 2 + 4
+
+    def test_held_channels(self):
+        w = make_worm()
+        w.ptr = 2
+        assert w.held_channels() == [(1, 0), (2, 1)]

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end and prints the
+artefacts it promises.  Marked slow (each runs real simulations)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "model :" in out and "sim   :" in out
+        assert "saturation rate" in out
+
+    def test_fig6(self):
+        out = run_example("fig6_random_multicast.py", "16", "16", "5")
+        assert "fig6-N16" in out
+        assert "agreement[occupancy]" in out
+
+    def test_fig7(self):
+        out = run_example("fig7_localized_multicast.py", "16", "L")
+        assert "fig7-N16" in out
+        assert "rim=L" in out
+
+    def test_broadcast_comparison(self):
+        out = run_example("broadcast_comparison.py")
+        assert "Quarc advantage" in out
+        assert "Spidergon" in out
+
+    def test_saturation_analysis(self):
+        out = run_example("saturation_analysis.py")
+        assert "bottleneck" in out
+        assert "multicast fraction" in out
+
+    def test_mesh_extension_small(self):
+        out = run_example("mesh_extension.py", "4", "4")
+        assert "mesh-4x4" in out and "torus-4x4" in out

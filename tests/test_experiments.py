@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (configs, runner, compare, report)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    agreement_metrics,
+    fig6_configs,
+    fig7_configs,
+    paper_grid,
+    render_broadcast_hops_table,
+    render_series,
+    run_experiment,
+)
+from repro.sim import SimConfig
+
+
+class TestConfigGrid:
+    def test_default_panels_cover_all_paper_sizes(self):
+        for configs in (fig6_configs(), fig7_configs()):
+            assert sorted(c.num_nodes for c in configs) == [16, 32, 64, 128]
+
+    def test_full_grid_is_paper_cartesian(self):
+        full = fig6_configs(full_grid=True)
+        assert len(full) == 4 * 4 * 3
+
+    def test_exp_ids_unique(self):
+        ids = [c.exp_id for c in paper_grid(full_grid=True)]
+        assert len(ids) == len(set(ids))
+
+    def test_fig7_is_localized(self):
+        assert all(c.destset_mode == "localized" for c in fig7_configs())
+
+    def test_message_lengths_and_alphas_in_paper_ranges(self):
+        for c in paper_grid(full_grid=True):
+            assert c.message_length in (16, 32, 48, 64)
+            assert c.multicast_fraction in (0.03, 0.05, 0.10)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                exp_id="x",
+                figure="fig6",
+                num_nodes=16,
+                message_length=32,
+                multicast_fraction=0.05,
+                group_size=4,
+                destset_mode="nonsense",
+            )
+
+    def test_build_network_and_sets(self):
+        c = fig6_configs()[0]
+        topo, routing = c.build_network()
+        sets = c.build_multicast_sets(routing)
+        assert topo.num_nodes == c.num_nodes
+        assert all(len(s) == c.group_size for s in sets.values())
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    cfg = ExperimentConfig(
+        exp_id="test-N16",
+        figure="fig6",
+        num_nodes=16,
+        message_length=16,
+        multicast_fraction=0.05,
+        group_size=4,
+        destset_mode="random",
+        load_fractions=(0.2, 0.5),
+    )
+    return run_experiment(
+        cfg,
+        sim_config=SimConfig(
+            seed=5,
+            warmup_cycles=1_000,
+            target_unicast_samples=600,
+            target_multicast_samples=100,
+        ),
+    )
+
+
+class TestRunner:
+    def test_points_match_fractions(self, small_result):
+        assert len(small_result.points) == 2
+        assert small_result.points[0].rate < small_result.points[1].rate
+
+    def test_model_and_sim_populated(self, small_result):
+        for p in small_result.points:
+            assert math.isfinite(p.model_occupancy_multicast)
+            assert p.has_sim
+            assert p.sim_samples_unicast >= 600
+
+    def test_saturation_rate_positive(self, small_result):
+        assert small_result.saturation_rate > 0
+
+    def test_model_only_mode(self):
+        cfg = fig6_configs()[0].scaled(load_fractions=(0.3,))
+        res = run_experiment(cfg, include_sim=False)
+        assert not res.points[0].has_sim
+
+    def test_rates_override(self):
+        cfg = fig6_configs()[0]
+        res = run_experiment(cfg, include_sim=False, rates=[0.001, 0.002])
+        assert [p.rate for p in res.points] == [0.001, 0.002]
+
+
+class TestCompare:
+    def test_agreement_within_reason(self, small_result):
+        m = agreement_metrics(small_result, "occupancy")
+        assert m.points_used == 2
+        assert m.unicast_mape < 10.0
+        assert m.multicast_mape < 25.0
+
+    def test_paper_variant_also_close(self, small_result):
+        m = agreement_metrics(small_result, "paper")
+        assert m.unicast_mape < 25.0
+
+    def test_unknown_variant_rejected(self, small_result):
+        with pytest.raises(ValueError):
+            agreement_metrics(small_result, "bogus")
+
+
+class TestReport:
+    def test_series_rendering(self, small_result):
+        text = render_series(small_result)
+        assert "test-N16" in text
+        assert "agreement[occupancy]" in text
+        assert "saturation rate" in text
+
+    def test_broadcast_hops_table(self):
+        text = render_broadcast_hops_table()
+        assert "16 |" in text and "127" in text
+        # the Section 3 claims: N/4 vs N-1
+        assert " 32 " in text or "32 |" in text

@@ -1,0 +1,112 @@
+"""Tests for experiment result serialization (JSON round-trip, CSV)."""
+
+import csv
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import (
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment_json,
+    save_experiment_json,
+    save_points_csv,
+)
+from repro.experiments.runner import ExperimentResult, SweepPoint
+
+
+@pytest.fixture
+def result():
+    cfg = ExperimentConfig(
+        exp_id="io-test",
+        figure="fig6",
+        num_nodes=16,
+        message_length=32,
+        multicast_fraction=0.05,
+        group_size=4,
+        destset_mode="random",
+        load_fractions=(0.2, 0.6),
+    )
+    points = [
+        SweepPoint(
+            rate=0.001,
+            model_paper_unicast=40.0,
+            model_paper_multicast=50.0,
+            model_occupancy_unicast=39.0,
+            model_occupancy_multicast=48.0,
+            sim_unicast=39.5,
+            sim_unicast_ci95=0.4,
+            sim_multicast=49.0,
+            sim_multicast_ci95=1.2,
+            sim_saturated=False,
+            sim_deadlock_recoveries=0,
+            sim_samples_unicast=1000,
+            sim_samples_multicast=200,
+        ),
+        SweepPoint(
+            rate=0.006,
+            model_paper_unicast=math.inf,
+            model_paper_multicast=math.inf,
+            model_occupancy_unicast=80.0,
+            model_occupancy_multicast=120.0,
+            # no simulation at this point
+        ),
+    ]
+    return ExperimentResult(
+        config=cfg, saturation_rate=0.0071, points=points, wall_seconds=2.5
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip(self, result):
+        data = experiment_to_dict(result)
+        back = experiment_from_dict(data)
+        assert back.config == result.config
+        assert back.saturation_rate == result.saturation_rate
+        assert len(back.points) == 2
+
+    def test_inf_nan_preserved(self, result):
+        back = experiment_from_dict(experiment_to_dict(result))
+        assert math.isinf(back.points[1].model_paper_unicast)
+        assert math.isnan(back.points[1].sim_unicast)
+
+    def test_finite_values_exact(self, result):
+        back = experiment_from_dict(experiment_to_dict(result))
+        assert back.points[0].sim_multicast == 49.0
+        assert back.points[0].sim_samples_unicast == 1000
+        assert back.points[0].sim_saturated is False
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = save_experiment_json(result, tmp_path / "panel.json")
+        back = load_experiment_json(path)
+        assert back.config.exp_id == "io-test"
+        assert back.points[0].rate == 0.001
+
+    def test_version_check(self, result):
+        data = experiment_to_dict(result)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            experiment_from_dict(data)
+
+    def test_render_after_reload(self, result, tmp_path):
+        from repro.experiments.report import render_series
+
+        path = save_experiment_json(result, tmp_path / "p.json")
+        text = render_series(load_experiment_json(path))
+        assert "io-test" in text
+
+
+class TestCsv:
+    def test_csv_rows(self, result, tmp_path):
+        path = save_points_csv(result, tmp_path / "points.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "exp_id"
+        assert len(rows) == 3  # header + 2 points
+        assert rows[1][0] == "io-test"
+
+    def test_csv_contains_rates(self, result, tmp_path):
+        path = save_points_csv(result, tmp_path / "points.csv")
+        content = path.read_text()
+        assert "0.001" in content and "0.006" in content

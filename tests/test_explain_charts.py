@@ -1,0 +1,130 @@
+"""Tests for the latency decomposition API and ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.explain import explain_multicast
+from repro.core.multicast import multicast_latency_at_node
+from repro.experiments.charts import ascii_chart, chart_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.routing import QuarcRouting
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+@pytest.fixture(scope="module")
+def model16():
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    return AnalyticalModel(topo, routing, recursion="occupancy"), routing
+
+
+class TestExplain:
+    def spec(self, routing, rate=0.004):
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        return TrafficSpec(rate, 0.05, 32, sets)
+
+    def test_latency_matches_model(self, model16):
+        """The decomposition recomposes to exactly the model's number."""
+        model, routing = model16
+        spec = self.spec(routing)
+        breakdown = explain_multicast(model, spec, 0)
+        service = model.solve(spec)
+        routes = routing.multicast_routes(0, sorted(spec.multicast_sets[0]))
+        direct = multicast_latency_at_node(model.graph, service, routes)
+        assert breakdown.latency == pytest.approx(direct, rel=1e-12)
+
+    def test_worms_cover_all_targets(self, model16):
+        model, routing = model16
+        spec = self.spec(routing)
+        breakdown = explain_multicast(model, spec, 0)
+        covered = set()
+        for w in breakdown.worms:
+            covered.update(w.targets)
+        assert covered == set(spec.multicast_sets[0])
+
+    def test_rates_are_reciprocal_waitings(self, model16):
+        model, routing = model16
+        breakdown = explain_multicast(model, self.spec(routing), 0)
+        for w in breakdown.worms:
+            if math.isfinite(w.exponential_rate):
+                assert w.exponential_rate == pytest.approx(1.0 / w.total_waiting)
+
+    def test_channel_waitings_sum_to_total(self, model16):
+        model, routing = model16
+        breakdown = explain_multicast(model, self.spec(routing), 0)
+        for w in breakdown.worms:
+            assert sum(c.waiting for c in w.channels) == pytest.approx(
+                w.total_waiting
+            )
+
+    def test_bottleneck_worm(self, model16):
+        model, routing = model16
+        breakdown = explain_multicast(model, self.spec(routing), 0)
+        bw = breakdown.bottleneck_worm()
+        assert bw.total_waiting == max(w.total_waiting for w in breakdown.worms)
+
+    def test_render_mentions_all_ports(self, model16):
+        model, routing = model16
+        breakdown = explain_multicast(model, self.spec(routing), 0)
+        text = breakdown.render()
+        for w in breakdown.worms:
+            assert f"port {w.port}" in text
+
+    def test_no_set_rejected(self, model16):
+        model, routing = model16
+        spec = TrafficSpec(0.004, 0.05, 32, {1: frozenset({2})})
+        with pytest.raises(ValueError):
+            explain_multicast(model, spec, 0)
+
+    def test_saturated_rejected(self, model16):
+        model, routing = model16
+        with pytest.raises(ValueError):
+            explain_multicast(model, self.spec(routing, rate=0.5), 0)
+
+
+class TestAsciiChart:
+    def test_markers_present(self):
+        text = ascii_chart([0, 1, 2], {"model": [1, 2, 3], "sim": [1.1, 2.1, 3.2]})
+        assert "m" in text and "s" in text
+        assert "legend" in text
+
+    def test_skips_nonfinite(self):
+        text = ascii_chart([0, 1, 2], {"a": [1.0, math.inf, 3.0]})
+        assert text.count("a") >= 2  # 2 points + legend
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"a": []})
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0.0], {"a": [math.nan]})
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [1, 2]}, width=4)
+
+    def test_constant_series_ok(self):
+        text = ascii_chart([0, 1], {"a": [5.0, 5.0]})
+        assert "a" in text
+
+    def test_chart_experiment(self):
+        cfg = ExperimentConfig(
+            exp_id="chart-test",
+            figure="fig6",
+            num_nodes=16,
+            message_length=16,
+            multicast_fraction=0.05,
+            group_size=4,
+            destset_mode="random",
+            load_fractions=(0.2, 0.6),
+        )
+        res = run_experiment(cfg, include_sim=False)
+        text = chart_experiment(res)
+        assert "chart-test" in text
+        with pytest.raises(ValueError):
+            chart_experiment(res, quantity="bogus")

@@ -1,0 +1,183 @@
+"""Tests for unicast/multicast latency assembly and the model facade."""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.channel_graph import ChannelGraph
+from repro.core.flows import build_flows
+from repro.core.multicast import (
+    multicast_latency_at_node,
+    multicast_latency_naive,
+    multicast_waiting_rates,
+)
+from repro.core.service import solve_service_times
+from repro.core.unicast import path_latency, path_waiting_time
+from repro.routing import QuarcRouting
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+@pytest.fixture(scope="module")
+def quarc16():
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    return topo, routing
+
+
+def solved(routing, topo, rate, alpha=0.0, sets=None, msg=32, recursion="occupancy"):
+    graph = ChannelGraph(topo, routing)
+    spec = TrafficSpec(rate, alpha, msg, sets or {})
+    flows = build_flows(graph, spec)
+    return graph, solve_service_times(graph, flows, msg, recursion=recursion)
+
+
+class TestPathLatency:
+    def test_zero_load_is_hops_plus_msg_plus_one(self, quarc16):
+        topo, routing = quarc16
+        graph, res = solved(routing, topo, 0.0)
+        for dest, hops in [(3, 3), (8, 1), (10, 3)]:
+            seq = graph.route_channels(routing.unicast_route(0, dest))
+            assert path_latency(res, seq) == pytest.approx(32 + hops + 1)
+
+    def test_waiting_monotone_in_load(self, quarc16):
+        topo, routing = quarc16
+        g1, r1 = solved(routing, topo, 0.002)
+        g2, r2 = solved(routing, topo, 0.005)
+        seq = g1.route_channels(routing.unicast_route(0, 4))
+        assert path_waiting_time(r2, seq) > path_waiting_time(r1, seq)
+
+    def test_short_sequence_rejected(self, quarc16):
+        topo, routing = quarc16
+        _, res = solved(routing, topo, 0.0)
+        with pytest.raises(ValueError):
+            path_waiting_time(res, [0])
+
+
+class TestMulticastLatency:
+    def test_rates_reciprocal_of_waiting(self, quarc16):
+        topo, routing = quarc16
+        sets = {0: frozenset({1, 9})}
+        graph, res = solved(routing, topo, 0.004, alpha=0.1, sets=sets)
+        routes = routing.multicast_routes(0, [1, 9])
+        rates = multicast_waiting_rates(graph, res, routes)
+        for rate, route in zip(rates, routes):
+            seq = graph.multicast_worm_channels(route)
+            w = path_waiting_time(res, seq)
+            assert rate == pytest.approx(1.0 / w)
+
+    def test_zero_load_latency_is_max_hops(self, quarc16):
+        topo, routing = quarc16
+        sets = {0: frozenset({2, 9, 14})}
+        graph, res = solved(routing, topo, 0.0, alpha=0.1, sets=sets)
+        routes = routing.multicast_routes(0, [2, 9, 14])
+        # hops: L->2: 2; CR->9: 2; R->14: 2 => D=2
+        lat = multicast_latency_at_node(graph, res, routes)
+        assert lat == pytest.approx(32 + 2 + 1)
+
+    def test_expmax_at_least_largest_single_wait(self, quarc16):
+        topo, routing = quarc16
+        sets = {0: frozenset({2, 9, 14})}
+        graph, res = solved(routing, topo, 0.005, alpha=0.1, sets=sets)
+        routes = routing.multicast_routes(0, [2, 9, 14])
+        full = multicast_latency_at_node(graph, res, routes)
+        naive = multicast_latency_naive(graph, res, routes)
+        assert full >= naive - 1e-9
+
+    def test_empty_routes_rejected(self, quarc16):
+        topo, routing = quarc16
+        graph, res = solved(routing, topo, 0.001)
+        with pytest.raises(ValueError):
+            multicast_latency_at_node(graph, res, [])
+
+    def test_methods_agree(self, quarc16):
+        topo, routing = quarc16
+        sets = {0: frozenset({1, 6, 9, 13})}
+        graph, res = solved(routing, topo, 0.005, alpha=0.1, sets=sets)
+        routes = routing.multicast_routes(0, [1, 6, 9, 13])
+        a = multicast_latency_at_node(graph, res, routes, method="recursive")
+        b = multicast_latency_at_node(graph, res, routes, method="inclusion-exclusion")
+        assert a == pytest.approx(b)
+
+
+class TestModelFacade:
+    def test_evaluate_finite_below_saturation(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing)
+        res = model.evaluate(TrafficSpec(0.004, 0.05, 32, sets))
+        assert res.finite and not res.saturated
+        assert res.multicast_latency > res.unicast_latency
+
+    def test_evaluate_saturated_is_inf(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing)
+        res = model.evaluate(TrafficSpec(0.5, 0.05, 32, sets))
+        assert res.saturated
+        assert math.isinf(res.multicast_latency)
+
+    def test_no_multicast_gives_nan_multicast(self, quarc16):
+        topo, routing = quarc16
+        model = AnalyticalModel(topo, routing)
+        res = model.evaluate(TrafficSpec(0.004, 0.0, 32))
+        assert math.isnan(res.multicast_latency)
+        assert math.isfinite(res.unicast_latency)
+
+    def test_latency_monotone_in_rate(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        spec = TrafficSpec(0.0, 0.05, 32, sets)
+        sweep = model.sweep(spec, [0.001, 0.003, 0.005])
+        lats = [r.multicast_latency for r in sweep]
+        assert lats == sorted(lats)
+
+    def test_saturation_rate_bisection(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        spec = TrafficSpec(1e-6, 0.05, 32, sets)
+        sat = model.saturation_rate(spec)
+        assert not model.evaluate(spec.with_rate(sat * 0.95)).saturated
+        assert model.evaluate(spec.with_rate(sat * 1.10)).saturated
+
+    def test_longer_messages_saturate_earlier(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat16 = model.saturation_rate(TrafficSpec(1e-6, 0.05, 16, sets))
+        sat64 = model.saturation_rate(TrafficSpec(1e-6, 0.05, 64, sets))
+        assert sat64 < sat16
+
+    def test_one_port_worse_than_all_port(self, quarc16):
+        """The architectural claim: all-port multicast beats one-port."""
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        spec = TrafficSpec(0.004, 0.05, 32, sets)
+        all_port = AnalyticalModel(topo, routing, recursion="occupancy").evaluate(spec)
+        one_port = AnalyticalModel(
+            topo, routing, one_port=True, recursion="occupancy"
+        ).evaluate(spec)
+        assert one_port.multicast_latency > all_port.multicast_latency
+
+    def test_naive_multicast_below_full(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        spec = TrafficSpec(0.005, 0.05, 32, sets)
+        assert model.evaluate_naive_multicast(spec) <= model.evaluate(
+            spec
+        ).multicast_latency
+
+    def test_larger_network_higher_latency(self):
+        """More hops on average -> higher zero-ish-load latency."""
+        lats = []
+        for n in (16, 32, 64):
+            topo = QuarcTopology(n)
+            routing = QuarcRouting(topo)
+            model = AnalyticalModel(topo, routing, recursion="occupancy")
+            res = model.evaluate(TrafficSpec(1e-6, 0.0, 32))
+            lats.append(res.unicast_latency)
+        assert lats == sorted(lats)

@@ -1,0 +1,105 @@
+"""Tests for latency statistics collection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.measurement import LatencyStats
+
+
+class TestBasics:
+    def test_empty(self):
+        s = LatencyStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_single_value(self):
+        s = LatencyStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 5.0
+
+    def test_mean_and_std(self):
+        s = LatencyStats()
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_negative_rejected(self):
+        s = LatencyStats()
+        with pytest.raises(ValueError):
+            s.add(-1.0)
+
+    def test_nonfinite_rejected(self):
+        s = LatencyStats()
+        with pytest.raises(ValueError):
+            s.add(math.inf)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_welford_matches_numpy(self, values):
+        s = LatencyStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-9)
+        assert s.variance == pytest.approx(float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6)
+
+
+class TestIntervals:
+    def test_ci_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        s1, s2 = LatencyStats(), LatencyStats()
+        s1.extend(rng.exponential(10.0, 100))
+        s2.extend(rng.exponential(10.0, 10_000))
+        assert s2.ci95_halfwidth() < s1.ci95_halfwidth()
+
+    def test_ci_covers_true_mean(self):
+        rng = np.random.default_rng(1)
+        s = LatencyStats()
+        s.extend(rng.exponential(10.0, 50_000))
+        assert abs(s.mean - 10.0) < 3 * s.stderr() + 0.2
+
+    def test_batch_means_falls_back_when_few_samples(self):
+        s = LatencyStats()
+        s.extend([1.0, 2.0, 3.0])
+        assert s.batch_means_ci95() == pytest.approx(s.ci95_halfwidth())
+
+    def test_batch_means_on_iid_close_to_normal_ci(self):
+        rng = np.random.default_rng(2)
+        s = LatencyStats()
+        s.extend(rng.exponential(10.0, 20_000))
+        bm = s.batch_means_ci95()
+        ci = s.ci95_halfwidth()
+        assert bm == pytest.approx(ci, rel=0.5)
+
+
+class TestPercentiles:
+    def test_median(self):
+        s = LatencyStats()
+        s.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.percentile(50) == 3.0
+
+    def test_extremes(self):
+        s = LatencyStats()
+        s.extend([1.0, 9.0, 5.0])
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 9.0
+
+    def test_out_of_range_rejected(self):
+        s = LatencyStats()
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_no_samples_rejected(self):
+        s = LatencyStats(keep_samples=False)
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(50)
+
+    def test_summary_keys(self):
+        s = LatencyStats()
+        s.extend([1.0, 2.0])
+        assert set(s.summary()) == {"count", "mean", "std", "min", "max", "ci95"}

@@ -1,0 +1,125 @@
+"""Tests for the M/G/1 waiting-time model (paper Eq. 3-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mg1 import (
+    MG1Channel,
+    mg1_waiting_time,
+    paper_service_variance,
+    utilization,
+)
+
+
+class TestUtilization:
+    def test_zero_rate(self):
+        assert utilization(0.0, 10.0) == 0.0
+
+    def test_basic_product(self):
+        assert utilization(0.02, 25.0) == pytest.approx(0.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(-0.1, 10.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(0.1, -10.0)
+
+
+class TestPaperVariance:
+    def test_deterministic_at_message_length(self):
+        # sigma = x - msg = 0: a channel serving exactly the message length
+        assert paper_service_variance(32.0, 32.0) == 0.0
+
+    def test_excess_becomes_sigma(self):
+        assert paper_service_variance(40.0, 32.0) == pytest.approx(64.0)
+
+    def test_tiny_negative_clamped(self):
+        assert paper_service_variance(32.0 - 1e-12, 32.0) == 0.0
+
+    def test_large_negative_rejected(self):
+        with pytest.raises(ValueError):
+            paper_service_variance(20.0, 32.0)
+
+    def test_nonpositive_message_rejected(self):
+        with pytest.raises(ValueError):
+            paper_service_variance(10.0, 0.0)
+
+
+class TestWaitingTime:
+    def test_zero_load_no_wait(self):
+        assert mg1_waiting_time(0.0, 32.0, 0.0) == 0.0
+
+    def test_md1_known_value(self):
+        # M/D/1: W = rho * x / (2 (1 - rho)); rho = 0.5, x = 10 -> W = 5
+        w = mg1_waiting_time(0.05, 10.0, 0.0)
+        assert w == pytest.approx(5.0)
+
+    def test_mm1_known_value(self):
+        # M/M/1: variance = x^2 -> W = rho x / (1 - rho); rho=0.5, x=10 -> 10
+        w = mg1_waiting_time(0.05, 10.0, 100.0)
+        assert w == pytest.approx(10.0)
+
+    def test_saturation_returns_inf(self):
+        assert math.isinf(mg1_waiting_time(0.1, 10.0, 0.0))
+
+    def test_oversaturation_returns_inf(self):
+        assert math.isinf(mg1_waiting_time(0.2, 10.0, 0.0))
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_waiting_time(0.01, 10.0, -1.0)
+
+    @given(
+        lam=st.floats(min_value=1e-6, max_value=0.009),
+        x=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_monotone_in_rate(self, lam, x):
+        # keep rho < 1 by construction: lam <= 0.009, x <= 100
+        var = (x * 0.1) ** 2
+        w1 = mg1_waiting_time(lam, x, var)
+        w2 = mg1_waiting_time(lam * 1.1, x, var)
+        assert w2 >= w1
+
+    @given(
+        lam=st.floats(min_value=1e-6, max_value=0.009),
+        x=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_monotone_in_variance(self, lam, x):
+        w1 = mg1_waiting_time(lam, x, 0.0)
+        w2 = mg1_waiting_time(lam, x, x * x)
+        assert w2 >= w1
+
+    @given(
+        lam=st.floats(min_value=1e-6, max_value=0.009),
+        x=st.floats(min_value=1.0, max_value=100.0),
+        cv=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_pollaczek_khinchine_identity(self, lam, x, cv):
+        # the paper's form (Eq. 3) equals lambda E[X^2] / (2 (1 - rho))
+        var = (cv * x) ** 2
+        w = mg1_waiting_time(lam, x, var)
+        rho = lam * x
+        expected = lam * (x * x + var) / (2 * (1 - rho))
+        assert w == pytest.approx(expected, rel=1e-12)
+
+
+class TestMG1Channel:
+    def test_rho(self):
+        ch = MG1Channel(arrival_rate=0.01, mean_service=40.0, message_length=32.0)
+        assert ch.rho == pytest.approx(0.4)
+
+    def test_variance_uses_paper_convention(self):
+        ch = MG1Channel(arrival_rate=0.01, mean_service=40.0, message_length=32.0)
+        assert ch.variance == pytest.approx(64.0)
+
+    def test_waiting_time_consistent_with_function(self):
+        ch = MG1Channel(arrival_rate=0.01, mean_service=40.0, message_length=32.0)
+        assert ch.waiting_time == pytest.approx(mg1_waiting_time(0.01, 40.0, 64.0))
+
+    def test_saturated_flag(self):
+        assert MG1Channel(0.05, 32.0, 32.0).is_saturated
+        assert not MG1Channel(0.01, 32.0, 32.0).is_saturated

@@ -1,0 +1,111 @@
+"""Edge-case coverage: CLI serialization flags, scripted-run error paths,
+reference-simulator validation, and a randomized model-vs-sim consistency
+sweep over small configurations."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.sim.reference import FlitLevelSimulator, ScriptedWorm
+from repro.sim.scripted import run_scripted
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+class TestCliSerialization:
+    def test_sweep_json_and_csv(self, tmp_path, capsys):
+        jpath = tmp_path / "panel.json"
+        cpath = tmp_path / "panel.csv"
+        rc = main([
+            "sweep", "-n", "16", "--points", "2", "--no-sim",
+            "--json", str(jpath), "--csv", str(cpath), "--seed", "4",
+        ])
+        assert rc == 0
+        data = json.loads(jpath.read_text())
+        assert data["config"]["num_nodes"] == 16
+        assert len(data["points"]) == 2
+        assert cpath.read_text().count("\n") == 3  # header + 2 rows
+
+    def test_json_reloadable_via_api(self, tmp_path):
+        from repro.experiments.io import load_experiment_json
+
+        jpath = tmp_path / "p.json"
+        main(["sweep", "-n", "16", "--points", "2", "--no-sim",
+              "--json", str(jpath), "--seed", "4"])
+        res = load_experiment_json(jpath)
+        assert res.config.num_nodes == 16
+
+
+class TestScriptedErrorPaths:
+    def test_deadlocked_scenario_raises(self):
+        # two worms each holding the channel the other needs
+        worms = [
+            ScriptedWorm(1, 0, (0, 2, 3, 4), 50),
+            ScriptedWorm(2, 1, (1, 3, 2, 5), 50),
+        ]
+        with pytest.raises(RuntimeError):
+            run_scripted(6, worms)
+
+    def test_reference_rejects_bad_channel(self):
+        with pytest.raises(ValueError):
+            FlitLevelSimulator(3).run([ScriptedWorm(1, 0, (0, 5), 4)])
+
+    def test_reference_rejects_duplicate_uid(self):
+        worms = [ScriptedWorm(1, 0, (0, 1), 4), ScriptedWorm(1, 2, (2, 3), 4)]
+        with pytest.raises(ValueError):
+            FlitLevelSimulator(4).run(worms)
+
+    def test_reference_rejects_revisiting_path(self):
+        with pytest.raises(ValueError):
+            ScriptedWorm(1, 0, (0, 1, 0), 4)
+
+    def test_reference_timeout(self):
+        with pytest.raises(RuntimeError):
+            # simultaneous creations: each grabs its own middle channel,
+            # then waits on the other's -- deadlock, hits max_cycles
+            FlitLevelSimulator(6).run(
+                [
+                    ScriptedWorm(1, 0, (0, 2, 3, 4), 50),
+                    ScriptedWorm(2, 0, (1, 3, 2, 5), 50),
+                ],
+                max_cycles=500,
+            )
+
+    def test_zero_channel_simulator_rejected(self):
+        with pytest.raises(ValueError):
+            FlitLevelSimulator(0)
+
+
+@pytest.mark.slow
+class TestRandomizedConsistency:
+    """Model-vs-sim agreement over random small configurations -- the
+    property-level version of the Figure 6/7 validation."""
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_random_config_agrees(self, trial):
+        rng = np.random.default_rng(1234 + trial)
+        n = int(rng.choice([8, 12, 16, 20]))
+        msg = int(rng.choice([16, 24, 32, 48]))
+        alpha = float(rng.choice([0.03, 0.05, 0.10]))
+        group = int(rng.integers(2, max(3, n // 4) + 1))
+        topo = QuarcTopology(n)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=group, seed=trial)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat = model.saturation_rate(TrafficSpec(1e-6, alpha, msg, sets))
+        spec = TrafficSpec(0.45 * sat, alpha, msg, sets)
+        mres = model.evaluate(spec)
+        sres = NocSimulator(topo, routing).run(
+            spec,
+            SimConfig(seed=trial, warmup_cycles=2_000,
+                      target_unicast_samples=2_500,
+                      target_multicast_samples=300),
+        )
+        assert not sres.saturated
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.10)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.20)

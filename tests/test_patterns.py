@@ -1,0 +1,150 @@
+"""Tests for weighted (hotspot) unicast destination distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.channel_graph import ChannelKind
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import QuarcTopology
+from repro.workloads.patterns import (
+    hotspot_weights,
+    normalized_probabilities,
+    uniform_weights,
+)
+
+
+class TestWeightVectors:
+    def test_uniform(self):
+        assert uniform_weights(4) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_uniform_too_small(self):
+        with pytest.raises(ValueError):
+            uniform_weights(1)
+
+    def test_hotspot_factor(self):
+        w = hotspot_weights(4, [2], 10.0)
+        assert w == (1.0, 1.0, 10.0, 1.0)
+
+    def test_hotspot_multiple(self):
+        w = hotspot_weights(4, [0, 3], 5.0)
+        assert w == (5.0, 1.0, 1.0, 5.0)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            hotspot_weights(4, [0], 0.5)
+
+    def test_out_of_range_hotspot(self):
+        with pytest.raises(ValueError):
+            hotspot_weights(4, [4], 2.0)
+
+    def test_no_hotspots_rejected(self):
+        with pytest.raises(ValueError):
+            hotspot_weights(4, [], 2.0)
+
+
+class TestNormalization:
+    def test_excludes_source(self):
+        p = normalized_probabilities(uniform_weights(4), 1)
+        assert p[1] == 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_hotspot_share(self):
+        # factor 10 hotspot among 15 other nodes: 10 / (14 + 10)
+        p = normalized_probabilities(hotspot_weights(16, [5], 10.0), 0)
+        assert p[5] == pytest.approx(10.0 / 24.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_probabilities([1.0, -1.0], 0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_probabilities([0.0, 0.0], 0)
+
+
+class TestSpecIntegration:
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(0.01, 0.0, 32, unicast_weights=(-1.0, 1.0))
+
+    def test_length_mismatch_rejected(self):
+        spec = TrafficSpec(0.01, 0.0, 32, unicast_weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            spec.destination_probabilities(0, 16)
+
+    def test_with_rate_preserves_weights(self):
+        w = hotspot_weights(16, [3], 4.0)
+        spec = TrafficSpec(0.01, 0.0, 32, unicast_weights=w)
+        assert spec.with_rate(0.02).unicast_weights == w
+
+
+class TestHotspotModel:
+    def test_hotspot_concentrates_ejection_rate(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        w = hotspot_weights(16, [5], 8.0)
+        uniform = model.solve(TrafficSpec(0.004, 0.0, 32))
+        hot = model.solve(TrafficSpec(0.004, 0.0, 32, unicast_weights=w))
+        graph = model.graph
+        ej5 = [
+            graph.ejection(5, tag) for tag in topo.input_tags(5)
+        ]
+        assert hot.flows.arrival_rate[ej5].sum() > 3 * uniform.flows.arrival_rate[ej5].sum()
+
+    def test_total_offered_unchanged(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        model = AnalyticalModel(topo, routing)
+        w = hotspot_weights(16, [5], 8.0)
+        uniform = model.solve(TrafficSpec(0.004, 0.0, 32))
+        hot = model.solve(TrafficSpec(0.004, 0.0, 32, unicast_weights=w))
+        assert hot.flows.total_offered() == pytest.approx(
+            uniform.flows.total_offered()
+        )
+
+    def test_hotspot_saturates_earlier(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        base = TrafficSpec(1e-6, 0.0, 32)
+        hot = TrafficSpec(
+            1e-6, 0.0, 32, unicast_weights=hotspot_weights(16, [5], 10.0)
+        )
+        assert model.saturation_rate(hot) < model.saturation_rate(base)
+
+    @pytest.mark.slow
+    def test_hotspot_model_matches_sim(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        w = hotspot_weights(16, [5], 6.0)
+        spec = TrafficSpec(0.003, 0.0, 32, unicast_weights=w)
+        model = AnalyticalModel(topo, routing, recursion="occupancy").evaluate(spec)
+        sim = NocSimulator(topo, routing).run(
+            spec,
+            SimConfig(seed=3, warmup_cycles=3_000, target_unicast_samples=4_000),
+        )
+        assert model.unicast_latency == pytest.approx(sim.unicast.mean, rel=0.08)
+
+    @pytest.mark.slow
+    def test_simulated_hotspot_destination_frequencies(self):
+        """The simulator's weighted sampler realises the spec's
+        distribution: measured ejection arrivals at the hotspot match."""
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        w = hotspot_weights(16, [5], 8.0)
+        spec = TrafficSpec(0.002, 0.0, 32, unicast_weights=w)
+        sim = NocSimulator(topo, routing)
+        res = sim.run(
+            spec,
+            SimConfig(seed=9, warmup_cycles=1_000, target_unicast_samples=6_000),
+            measure_utilization=True,
+        )
+        ej5 = [sim.graph.ejection(5, tag) for tag in topo.input_tags(5)]
+        measured = res.utilization.arrival_rate(res.sim_time)[ej5].sum()
+        # expected: 16 sources send p = 8/(14+8) of their 0.002 rate,
+        # minus node 5's own generation
+        expected = 15 * 0.002 * 8.0 / 22.0
+        assert measured == pytest.approx(expected, rel=0.1)

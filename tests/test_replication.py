@@ -1,0 +1,145 @@
+"""Tests for replication pooling and MSER warmup detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flows import TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.sim.replication import (
+    ReplicationSummary,
+    mser_truncation,
+    run_replications,
+    t_quantile_975,
+)
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+class TestTQuantile:
+    def test_exact_small_dof(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(4) == pytest.approx(2.776)
+
+    def test_large_dof_normal(self):
+        assert t_quantile_975(100) == 1.96
+
+    def test_floor_lookup(self):
+        # 11 dof -> use the 10-dof (more conservative) value
+        assert t_quantile_975(11) == pytest.approx(2.228)
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValueError):
+            t_quantile_975(0)
+
+
+class TestMser:
+    def test_short_series_returns_zero(self):
+        assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_stationary_series_keeps_everything(self):
+        rng = np.random.default_rng(0)
+        data = list(rng.normal(10.0, 1.0, 400))
+        assert mser_truncation(data) <= 100  # little to gain by cutting
+
+    def test_transient_detected(self):
+        rng = np.random.default_rng(1)
+        # strong initial transient: first 100 samples biased high
+        transient = list(100.0 + rng.normal(0, 1, 100))
+        steady = list(10.0 + rng.normal(0, 1, 400))
+        cut = mser_truncation(transient + steady)
+        assert 80 <= cut <= 150
+
+    def test_multiple_of_batch(self):
+        rng = np.random.default_rng(2)
+        data = list(rng.normal(5.0, 1.0, 203))
+        assert mser_truncation(data, batch=5) % 5 == 0
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            mser_truncation([1.0] * 50, batch=0)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    sim = NocSimulator(topo, routing)
+    sets = random_multicast_sets(routing, group_size=6, seed=3)
+    spec = TrafficSpec(0.004, 0.05, 32, sets)
+    return run_replications(
+        sim,
+        spec,
+        SimConfig(seed=100, warmup_cycles=1_500, target_unicast_samples=800,
+                  target_multicast_samples=120),
+        replications=4,
+    )
+
+
+class TestReplications:
+    def test_count(self, summary):
+        assert len(summary.replications) == 4
+
+    def test_distinct_streams(self, summary):
+        means = [r.unicast.mean for r in summary.replications]
+        assert len(set(means)) == 4
+
+    def test_pooled_mean_finite(self, summary):
+        assert math.isfinite(summary.unicast_mean)
+        assert math.isfinite(summary.multicast_mean)
+
+    def test_ci_positive(self, summary):
+        assert summary.unicast_ci95 > 0.0
+
+    def test_replication_spread_tight(self, summary):
+        """Independent replications of the same spec agree within a few
+        percent -- the simulator has no seed-dependent bias."""
+        assert summary.relative_spread("unicast") < 0.06
+        assert summary.relative_spread("multicast") < 0.25
+
+    def test_pooled_ci_covers_each_replication_roughly(self, summary):
+        lo = summary.unicast_mean - 4 * summary.unicast_ci95
+        hi = summary.unicast_mean + 4 * summary.unicast_ci95
+        for rep in summary.replications:
+            assert lo <= rep.unicast.mean <= hi
+
+    def test_no_saturation(self, summary):
+        assert not summary.any_saturated
+        assert summary.total_deadlock_recoveries == 0
+
+    def test_single_replication_ci_nan(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        spec = TrafficSpec(0.002, 0.0, 32)
+        s = run_replications(
+            sim, spec,
+            SimConfig(seed=1, warmup_cycles=500, target_unicast_samples=200),
+            replications=1,
+        )
+        assert math.isfinite(s.unicast_mean)
+        assert math.isnan(s.unicast_ci95)
+
+    def test_invalid_replications(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        with pytest.raises(ValueError):
+            run_replications(sim, TrafficSpec(0.001, 0.0, 32), replications=0)
+
+    def test_warmup_default_confirmed_by_mser(self):
+        """MSER on a measured latency series (which excludes warmup
+        creations already) should not demand much further truncation --
+        evidence the fixed warmup is adequate."""
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        spec = TrafficSpec(0.004, 0.0, 32)
+        res = sim.run(
+            spec,
+            SimConfig(seed=2, warmup_cycles=2_000, target_unicast_samples=2_000),
+        )
+        cut = mser_truncation(res.unicast._samples)
+        assert cut <= len(res.unicast._samples) * 0.25

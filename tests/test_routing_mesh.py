@@ -1,0 +1,158 @@
+"""Tests for XY routing and column-path multicast on mesh/torus
+(the paper's Section 5 future-work extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import MeshRouting, TorusRouting
+from repro.topology import MeshTopology, TorusTopology
+
+
+@pytest.fixture(scope="module")
+def mesh44() -> MeshRouting:
+    return MeshRouting(MeshTopology(4, 4))
+
+
+@pytest.fixture(scope="module")
+def torus44() -> TorusRouting:
+    return TorusRouting(TorusTopology(4, 4))
+
+
+class TestMeshUnicast:
+    def test_x_before_y(self, mesh44):
+        topo = mesh44.mesh
+        route = mesh44.unicast_route(topo.node_id(0, 0), topo.node_id(2, 2))
+        tags = [l.tag for l in route.links]
+        assert tags == ["E", "E", "N", "N"]
+
+    def test_port_is_first_direction(self, mesh44):
+        topo = mesh44.mesh
+        assert mesh44.port_of(topo.node_id(1, 1), topo.node_id(3, 0)) == "E"
+        assert mesh44.port_of(topo.node_id(1, 1), topo.node_id(0, 3)) == "W"
+        assert mesh44.port_of(topo.node_id(1, 1), topo.node_id(1, 3)) == "N"
+        assert mesh44.port_of(topo.node_id(1, 1), topo.node_id(1, 0)) == "S"
+
+    def test_hops_manhattan(self, mesh44):
+        topo = mesh44.mesh
+        assert mesh44.hop_count(topo.node_id(0, 0), topo.node_id(3, 3)) == 6
+
+    def test_all_pairs_contiguous(self, mesh44):
+        n = mesh44.topology.num_nodes
+        for s in range(n):
+            for t in range(n):
+                if s != t:
+                    route = mesh44.unicast_route(s, t)
+                    assert route.links[-1].dst == t
+                    assert route.hops == mesh44.hop_count(s, t)
+
+    def test_deterministic(self, mesh44):
+        r1 = mesh44.unicast_route(0, 15)
+        r2 = mesh44.unicast_route(0, 15)
+        assert r1.links == r2.links
+
+
+class TestMeshMulticast:
+    def test_same_column_north_south_split(self, mesh44):
+        topo = mesh44.mesh
+        src = topo.node_id(1, 1)
+        north = topo.node_id(1, 3)
+        south = topo.node_id(1, 0)
+        routes = mesh44.multicast_routes(src, [north, south])
+        assert len(routes) == 2
+        assert {r.port for r in routes} == {"N", "S"}
+
+    def test_column_grouping(self, mesh44):
+        topo = mesh44.mesh
+        src = topo.node_id(0, 0)
+        dests = [topo.node_id(2, 1), topo.node_id(2, 3), topo.node_id(3, 0)]
+        routes = mesh44.multicast_routes(src, dests)
+        # column 2 north worm covers both column-2 targets; column 3 row worm
+        assert len(routes) == 2
+        covered = set()
+        for r in routes:
+            covered.update(r.targets)
+        assert covered == set(dests)
+
+    def test_worm_paths_are_xy_conformant(self, mesh44):
+        """BRCP property: every multicast worm path is a legal XY path."""
+        topo = mesh44.mesh
+        src = topo.node_id(1, 2)
+        dests = [topo.node_id(3, 3), topo.node_id(3, 0), topo.node_id(0, 2)]
+        for route in mesh44.multicast_routes(src, dests):
+            expected = mesh44.unicast_route(src, route.last_node)
+            assert route.links == expected.links
+
+    def test_targets_disjoint(self, mesh44):
+        topo = mesh44.mesh
+        src = 0
+        dests = [5, 6, 7, 9, 10, 14]
+        routes = mesh44.multicast_routes(src, dests)
+        seen: set[int] = set()
+        for r in routes:
+            assert seen.isdisjoint(r.targets)
+            seen.update(r.targets)
+        assert seen == set(dests)
+
+    def test_empty_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            mesh44.multicast_routes(0, [])
+
+    @given(seed=st.integers(0, 500), size=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_random_sets_covered(self, seed, size):
+        import numpy as np
+
+        routing = MeshRouting(MeshTopology(4, 4))
+        rng = np.random.default_rng(seed)
+        src = int(rng.integers(0, 16))
+        others = [x for x in range(16) if x != src]
+        dests = [others[int(i)] for i in rng.choice(15, size=size, replace=False)]
+        routes = routing.multicast_routes(src, dests)
+        covered = set()
+        for r in routes:
+            covered.update(r.targets)
+            assert r.last_node in r.targets
+        assert covered == set(dests)
+
+
+class TestTorus:
+    def test_wrap_shorter_direction(self, torus44):
+        topo = torus44.mesh
+        # from (0,0) to (3,0): wrapping west is 1 hop vs 3 east
+        route = torus44.unicast_route(topo.node_id(0, 0), topo.node_id(3, 0))
+        assert route.hops == 1
+        assert route.links[0].tag == "W"
+
+    def test_tie_breaks_positive(self, torus44):
+        topo = torus44.mesh
+        # distance exactly half the ring: deterministic eastward
+        route = torus44.unicast_route(topo.node_id(0, 0), topo.node_id(2, 0))
+        assert [l.tag for l in route.links] == ["E", "E"]
+
+    def test_all_pairs_contiguous(self, torus44):
+        n = torus44.topology.num_nodes
+        for s in range(n):
+            for t in range(n):
+                if s != t:
+                    route = torus44.unicast_route(s, t)
+                    assert route.links[-1].dst == t
+
+    def test_hops_bounded_by_diameter(self, torus44):
+        n = torus44.topology.num_nodes
+        diam = torus44.topology.diameter
+        worst = max(
+            torus44.hop_count(s, t) for s in range(n) for t in range(n) if s != t
+        )
+        assert worst == diam
+
+    def test_multicast_covers(self, torus44):
+        routes = torus44.multicast_routes(0, [3, 7, 12, 10])
+        covered = set()
+        for r in routes:
+            covered.update(r.targets)
+        assert covered == {3, 7, 12, 10}
+
+    def test_multicast_xy_conformant(self, torus44):
+        for route in torus44.multicast_routes(5, [1, 9, 13, 2]):
+            expected = torus44.unicast_route(5, route.last_node)
+            assert route.links == expected.links

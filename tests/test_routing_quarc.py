@@ -1,0 +1,249 @@
+"""Tests for Quarc quadrant routing and BRCP broadcast/multicast
+(paper Sections 3.3.1-3.3.3, Eq. 1-2 and Fig. 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import QuarcRouting
+from repro.routing.bitstring import decode_bitstring, encode_bitstring
+from repro.topology import QuarcTopology
+from repro.topology.ring import clockwise_distance
+
+quarc_sizes = st.sampled_from([8, 16, 32, 64, 128])
+
+
+@pytest.fixture(scope="module")
+def r16() -> QuarcRouting:
+    return QuarcRouting(QuarcTopology(16))
+
+
+class TestQuadrants:
+    def test_paper_fig3_broadcast_last_nodes(self, r16):
+        """The worked example of Section 3.3.2: node 0 of a 16-node Quarc
+        broadcasts with header destination addresses 4, 5, 11 and 12 for
+        the left, cross-left, cross-right and right rims."""
+        last = r16.broadcast_last_nodes(0)
+        assert last == {"L": 4, "CL": 5, "CR": 11, "R": 12}
+
+    def test_port_assignment_n16(self, r16):
+        expected = {
+            1: "L", 2: "L", 3: "L", 4: "L",
+            5: "CL", 6: "CL", 7: "CL",
+            8: "CR", 9: "CR", 10: "CR", 11: "CR",
+            12: "R", 13: "R", 14: "R", 15: "R",
+        }
+        for dest, port in expected.items():
+            assert r16.port_of(0, dest) == port, dest
+
+    def test_subsets_disjoint_and_complete(self, r16):
+        """Eq. 1-2: the S_{j,c} partition all other nodes."""
+        for src in (0, 5, 11):
+            subsets = r16.port_subsets(src)
+            union: set[int] = set()
+            for port, members in subsets.items():
+                assert union.isdisjoint(members), f"overlap at {port}"
+                union.update(members)
+            assert union == set(range(16)) - {src}
+
+    def test_subset_sizes(self, r16):
+        sizes = {p: len(m) for p, m in r16.port_subsets(0).items()}
+        # Q, Q-1, Q, Q with Q = 4
+        assert sizes == {"L": 4, "CL": 3, "CR": 4, "R": 4}
+
+    @given(n=quarc_sizes, src=st.integers(0, 127), dst=st.integers(0, 127))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property(self, n, src, dst):
+        src %= n
+        dst %= n
+        if src == dst:
+            return
+        routing = QuarcRouting(QuarcTopology(n))
+        port = routing.port_of(src, dst)
+        assert dst in routing.port_subsets(src)[port]
+
+    def test_self_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.port_of(3, 3)
+
+    def test_out_of_range_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.port_of(0, 16)
+
+
+class TestUnicastRoutes:
+    def test_route_contiguity_all_pairs(self, r16):
+        for s in range(16):
+            for t in range(16):
+                if s == t:
+                    continue
+                route = r16.unicast_route(s, t)
+                at = s
+                for link in route.links:
+                    assert link.src == at
+                    at = link.dst
+                assert at == t
+
+    def test_hop_count_matches_route(self, r16):
+        for s in (0, 7):
+            for t in range(16):
+                if s == t:
+                    continue
+                assert r16.hop_count(s, t) == r16.unicast_route(s, t).hops
+
+    def test_cw_route_hops(self, r16):
+        assert r16.unicast_route(0, 3).hops == 3
+
+    def test_cross_cw_route(self, r16):
+        route = r16.unicast_route(0, 10)
+        assert route.port == "CR"
+        assert route.hops == 3  # cross + 2 clockwise
+        assert [l.tag for l in route.links] == ["XCW", "CW", "CW"]
+
+    def test_cross_ccw_route(self, r16):
+        route = r16.unicast_route(0, 6)
+        assert route.port == "CL"
+        assert route.hops == 3  # cross + 2 counterclockwise
+        assert [l.tag for l in route.links] == ["XCCW", "CCW", "CCW"]
+
+    def test_opposite_node_single_hop(self, r16):
+        route = r16.unicast_route(0, 8)
+        assert route.hops == 1
+        assert route.port == "CR"
+
+    def test_max_hops_is_quarter(self, r16):
+        worst = max(
+            r16.hop_count(s, t)
+            for s in range(16)
+            for t in range(16)
+            if s != t
+        )
+        assert worst == 4  # N/4
+
+    @given(n=quarc_sizes, src=st.integers(0, 127), dst=st.integers(0, 127))
+    @settings(max_examples=100, deadline=None)
+    def test_routes_are_shortest(self, n, src, dst):
+        src %= n
+        dst %= n
+        if src == dst:
+            return
+        routing = QuarcRouting(QuarcTopology(n))
+        d = clockwise_distance(src, dst, n)
+        shortest = min(d, n - d, 1 + min((d - n // 2) % n, (n // 2 - d) % n))
+        assert routing.hop_count(src, dst) == shortest
+
+    def test_vertex_symmetry(self, r16):
+        """hop counts depend only on the clockwise distance."""
+        for shift in (1, 5, 9):
+            for d in range(1, 16):
+                assert r16.hop_count(0, d) == r16.hop_count(
+                    shift, (shift + d) % 16
+                )
+
+
+class TestMulticastRoutes:
+    def test_one_worm_per_used_port(self, r16):
+        routes = r16.multicast_routes(0, [1, 2, 9, 14])
+        assert {r.port for r in routes} == {"L", "CR", "R"}
+
+    def test_targets_partitioned(self, r16):
+        dests = [1, 5, 6, 8, 9, 13]
+        routes = r16.multicast_routes(0, dests)
+        covered: set[int] = set()
+        for route in routes:
+            assert covered.isdisjoint(route.targets)
+            covered.update(route.targets)
+        assert covered == set(dests)
+
+    def test_worm_stops_at_farthest_target(self, r16):
+        routes = r16.multicast_routes(0, [1, 3])
+        (route,) = routes
+        assert route.last_node == 3
+        assert route.hops == 3
+
+    def test_intermediate_nonmember_not_target(self, r16):
+        (route,) = r16.multicast_routes(0, [1, 3])
+        assert 2 not in route.targets
+        assert 2 in route.visited
+
+    def test_broadcast_covers_everyone(self, r16):
+        routes = r16.broadcast_routes(0)
+        covered = set()
+        for route in routes:
+            covered.update(route.targets)
+        assert covered == set(range(1, 16))
+
+    def test_broadcast_max_hops_quarter(self):
+        for n in (16, 32, 64, 128):
+            routing = QuarcRouting(QuarcTopology(n))
+            assert routing.broadcast_max_hops(0) == n // 4
+
+    def test_empty_set_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.multicast_routes(0, [])
+
+    def test_source_in_set_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.multicast_routes(0, [0, 1])
+
+    def test_worm_path_follows_unicast_route(self, r16):
+        """BRCP: the multicast worm takes exactly the unicast path to its
+        last target (Section 3.3.2)."""
+        routes = r16.multicast_routes(0, [9, 10, 11])
+        (route,) = routes
+        unicast = r16.unicast_route(0, 11)
+        assert route.links == unicast.links
+
+    @given(
+        n=quarc_sizes,
+        seed=st.integers(0, 1000),
+        size=st.integers(1, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multicast_invariants_random_sets(self, n, seed, size):
+        import numpy as np
+
+        routing = QuarcRouting(QuarcTopology(n))
+        rng = np.random.default_rng(seed)
+        src = int(rng.integers(0, n))
+        others = [x for x in range(n) if x != src]
+        dests = [others[int(i)] for i in rng.choice(len(others), size=min(size, len(others)), replace=False)]
+        routes = routing.multicast_routes(src, dests)
+        covered = set()
+        for route in routes:
+            # worm ends at a target, all targets on path
+            assert route.last_node in route.targets
+            assert set(route.targets) <= set(route.visited)
+            covered.update(route.targets)
+        assert covered == set(dests)
+
+
+class TestBitstrings:
+    def test_encode_positions(self, r16):
+        (route,) = r16.multicast_routes(0, [1, 3])
+        assert encode_bitstring(route) == "101"
+
+    def test_encode_cross_route(self, r16):
+        (route,) = r16.multicast_routes(0, [8, 10])
+        # path visits 8 (cross), 9, 10
+        assert encode_bitstring(route) == "101"
+
+    def test_roundtrip(self, r16):
+        for dests in ([1, 2], [5, 7], [8, 9, 11], [12, 15]):
+            for route in r16.multicast_routes(0, dests):
+                bits = encode_bitstring(route)
+                assert decode_bitstring(route, bits) == route.targets
+
+    def test_decode_length_mismatch(self, r16):
+        (route,) = r16.multicast_routes(0, [1, 3])
+        with pytest.raises(ValueError):
+            decode_bitstring(route, "10")
+
+    def test_decode_bad_chars(self, r16):
+        (route,) = r16.multicast_routes(0, [1, 3])
+        with pytest.raises(ValueError):
+            decode_bitstring(route, "1x1")
+
+    def test_decode_must_end_in_one(self, r16):
+        (route,) = r16.multicast_routes(0, [1, 3])
+        with pytest.raises(ValueError):
+            decode_bitstring(route, "110")

@@ -1,0 +1,85 @@
+"""Tests for Spidergon across-first routing and software multicast."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import SpidergonRouting
+from repro.topology import SpidergonTopology
+from repro.topology.ring import clockwise_distance
+
+
+@pytest.fixture(scope="module")
+def r16() -> SpidergonRouting:
+    return SpidergonRouting(SpidergonTopology(16))
+
+
+class TestUnicast:
+    def test_single_port(self, r16):
+        assert r16.port_of(0, 5) == "P0"
+
+    def test_rim_route_short_cw(self, r16):
+        route = r16.unicast_route(0, 3)
+        assert route.hops == 3
+        assert all(l.tag == "CW" for l in route.links)
+
+    def test_rim_route_short_ccw(self, r16):
+        route = r16.unicast_route(0, 14)
+        assert route.hops == 2
+        assert all(l.tag == "CCW" for l in route.links)
+
+    def test_across_first(self, r16):
+        route = r16.unicast_route(0, 7)
+        assert route.links[0].tag == "X"
+        assert route.hops == 2  # cross to 8, one CCW to 7
+
+    def test_cross_exact(self, r16):
+        route = r16.unicast_route(0, 8)
+        assert route.hops == 1
+        assert route.links[0].tag == "X"
+
+    def test_route_contiguous_all_pairs(self, r16):
+        for s in range(16):
+            for t in range(16):
+                if s != t:
+                    route = r16.unicast_route(s, t)
+                    assert route.links[-1].dst == t
+
+    @given(src=st.integers(0, 15), dst=st.integers(0, 15))
+    @settings(max_examples=100, deadline=None)
+    def test_hops_are_shortest(self, src, dst):
+        if src == dst:
+            return
+        routing = SpidergonRouting(SpidergonTopology(16))
+        n = 16
+        d = clockwise_distance(src, dst, n)
+        shortest = min(d, n - d, 1 + min((d - n // 2) % n, (n // 2 - d) % n))
+        assert routing.hop_count(src, dst) == shortest
+
+    def test_hop_count_matches_route(self, r16):
+        for t in range(1, 16):
+            assert r16.hop_count(0, t) == r16.unicast_route(0, t).hops
+
+
+class TestSoftwareMulticast:
+    def test_one_worm_per_destination(self, r16):
+        routes = r16.multicast_routes(0, [3, 7, 12])
+        assert len(routes) == 3
+        assert all(len(r.targets) == 1 for r in routes)
+
+    def test_all_on_single_port(self, r16):
+        routes = r16.multicast_routes(0, [3, 7, 12])
+        assert {r.port for r in routes} == {"P0"}
+
+    def test_broadcast_chain_hops_claim(self):
+        """Section 3.1 prose: Spidergon broadcast needs N-1 hops."""
+        for n in (16, 32, 64, 128):
+            routing = SpidergonRouting(SpidergonTopology(n))
+            assert routing.broadcast_chain_hops(0) == n - 1
+
+    def test_empty_set_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.multicast_routes(0, [])
+
+    def test_source_in_set_rejected(self, r16):
+        with pytest.raises(ValueError):
+            r16.multicast_routes(2, [2, 3])

@@ -1,0 +1,184 @@
+"""Behavioural tests for the Poisson-traffic NoC simulator."""
+
+import math
+
+import pytest
+
+from repro.core.flows import TrafficSpec
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+@pytest.fixture(scope="module")
+def quarc16():
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    return topo, routing
+
+
+@pytest.fixture(scope="module")
+def sim16(quarc16):
+    topo, routing = quarc16
+    return NocSimulator(topo, routing)
+
+
+def cfg(**kw):
+    base = dict(
+        seed=11,
+        warmup_cycles=1_000.0,
+        target_unicast_samples=800,
+        target_multicast_samples=150,
+        max_cycles=500_000.0,
+    )
+    base.update(kw)
+    return SimConfig(**base)
+
+
+class TestZeroLoadBehaviour:
+    def test_latency_floor_at_tiny_load(self, quarc16, sim16):
+        """At vanishing load every unicast takes hops + msg + 1 cycles;
+        the mean equals mean-hops + msg + 1."""
+        topo, routing = quarc16
+        spec = TrafficSpec(1e-5, 0.0, 32)
+        res = sim16.run(spec, cfg(target_unicast_samples=300, max_cycles=5e6))
+        mean_hops = sum(
+            routing.hop_count(s, t) for s in range(16) for t in range(16) if s != t
+        ) / (16 * 15)
+        assert res.unicast.mean == pytest.approx(mean_hops + 33, abs=0.5)
+        assert res.unicast.minimum >= 1 + 33 - 1e-6
+        assert res.unicast.maximum <= 4 + 33 + 1e-6
+
+    def test_multicast_floor(self, quarc16, sim16):
+        topo, routing = quarc16
+        sets = {n: frozenset({(n + 1) % 16, (n + 8) % 16}) for n in range(16)}
+        spec = TrafficSpec(1e-5, 0.5, 32, sets)
+        res = sim16.run(
+            spec, cfg(target_unicast_samples=100, target_multicast_samples=100, max_cycles=5e6)
+        )
+        # both worms travel 1 hop: multicast floor = 1 + 33
+        assert res.multicast.minimum >= 34 - 1e-6
+        assert res.multicast.mean == pytest.approx(34, abs=0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=3)
+        spec = TrafficSpec(0.004, 0.05, 32, sets)
+        a = NocSimulator(topo, routing).run(spec, cfg())
+        b = NocSimulator(topo, routing).run(spec, cfg())
+        assert a.unicast.mean == b.unicast.mean
+        assert a.multicast.mean == b.multicast.mean
+        assert a.events == b.events
+
+    def test_different_seed_different_stream(self, quarc16, sim16):
+        topo, routing = quarc16
+        spec = TrafficSpec(0.004, 0.0, 32)
+        a = sim16.run(spec, cfg(seed=1))
+        b = sim16.run(spec, cfg(seed=2))
+        assert a.unicast.mean != b.unicast.mean
+
+
+class TestStability:
+    def test_below_saturation_stable(self, quarc16, sim16):
+        spec = TrafficSpec(0.004, 0.0, 32)
+        res = sim16.run(spec, cfg())
+        assert not res.saturated
+        assert res.target_met
+        assert res.deadlock_recoveries == 0
+
+    def test_oversaturated_detected(self, quarc16, sim16):
+        spec = TrafficSpec(0.05, 0.0, 32)
+        res = sim16.run(spec, cfg())
+        assert res.saturated
+
+    def test_accepted_rate_tracks_offered_below_saturation(self, quarc16, sim16):
+        spec = TrafficSpec(0.004, 0.0, 32)
+        res = sim16.run(spec, cfg(target_unicast_samples=4000))
+        accepted = res.accepted_rate_per_node(16)
+        assert accepted == pytest.approx(0.004, rel=0.15)
+
+    def test_latency_monotone_in_rate(self, quarc16, sim16):
+        means = []
+        for rate in (0.002, 0.004, 0.006):
+            res = sim16.run(TrafficSpec(rate, 0.0, 32), cfg())
+            means.append(res.unicast.mean)
+        assert means == sorted(means)
+
+
+class TestMulticastSemantics:
+    def test_multicast_slower_than_unicast(self, quarc16, sim16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=3)
+        spec = TrafficSpec(0.004, 0.1, 32, sets)
+        res = sim16.run(spec, cfg())
+        assert res.multicast.mean > res.unicast.mean
+
+    def test_larger_groups_cost_more(self, quarc16, sim16):
+        topo, routing = quarc16
+        lats = []
+        for size in (2, 10):
+            sets = random_multicast_sets(routing, group_size=size, seed=3)
+            res = sim16.run(TrafficSpec(0.003, 0.1, 32, sets), cfg())
+            lats.append(res.multicast.mean)
+        assert lats[0] < lats[1]
+
+    def test_no_multicast_sets_no_multicast_samples(self, quarc16, sim16):
+        spec = TrafficSpec(0.004, 0.1, 32, {})
+        res = sim16.run(spec, cfg())
+        assert res.multicast.count == 0
+        assert res.target_met  # multicast target auto-disabled
+
+    def test_one_port_multicast_slower(self, quarc16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=6, seed=3)
+        spec = TrafficSpec(0.003, 0.1, 32, sets)
+        all_port = NocSimulator(topo, routing).run(spec, cfg())
+        one_port = NocSimulator(topo, routing, one_port=True).run(spec, cfg())
+        assert one_port.multicast.mean > all_port.multicast.mean
+
+
+class TestMessageLengths:
+    @pytest.mark.parametrize("msg", [16, 48, 64])
+    def test_longer_messages_longer_latency(self, quarc16, sim16, msg):
+        res = sim16.run(TrafficSpec(0.001, 0.0, msg), cfg(target_unicast_samples=400))
+        assert res.unicast.mean > msg  # latency dominated by msg length
+        assert res.unicast.minimum >= msg + 2 - 1e-6
+
+    def test_message_shorter_than_diameter_supported(self):
+        """N=128 with M=16 < diameter=32 (the paper's own config)."""
+        topo = QuarcTopology(64)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        res = sim.run(
+            TrafficSpec(0.002, 0.0, 8),
+            cfg(target_unicast_samples=400, warmup_cycles=500),
+        )
+        assert res.target_met
+        assert res.unicast.mean > 8
+
+
+class TestEdgeCases:
+    def test_zero_rate_returns_empty(self, quarc16, sim16):
+        res = sim16.run(TrafficSpec(0.0, 0.0, 32), cfg())
+        assert res.unicast.count == 0
+        assert res.generated_messages == 0
+
+    def test_pure_multicast(self, quarc16, sim16):
+        topo, routing = quarc16
+        sets = random_multicast_sets(routing, group_size=4, seed=9)
+        spec = TrafficSpec(0.002, 1.0, 32, sets)
+        res = sim16.run(
+            spec, cfg(target_unicast_samples=0, target_multicast_samples=200)
+        )
+        assert res.multicast.count >= 200
+        assert res.unicast.count == 0
+
+    def test_result_echoes_config_and_spec(self, quarc16, sim16):
+        spec = TrafficSpec(0.001, 0.0, 32)
+        c = cfg(target_unicast_samples=100)
+        res = sim16.run(spec, c)
+        assert res.spec is spec
+        assert res.config is c

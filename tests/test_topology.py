@@ -1,0 +1,252 @@
+"""Tests for the Spidergon, Quarc, mesh and torus topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    Link,
+    MeshTopology,
+    QuarcTopology,
+    SpidergonTopology,
+    TorusTopology,
+)
+from repro.topology.quarc import PORT_TO_TAG, PORTS, TAG_CONTINUATION
+from repro.topology.ring import (
+    clockwise_distance,
+    clockwise_range,
+    counterclockwise_distance,
+    counterclockwise_range,
+    ring_distance,
+)
+
+quarc_sizes = st.sampled_from([8, 12, 16, 20, 32, 64, 128])
+
+
+class TestRingArithmetic:
+    def test_clockwise_distance(self):
+        assert clockwise_distance(0, 5, 16) == 5
+        assert clockwise_distance(5, 0, 16) == 11
+        assert clockwise_distance(3, 3, 16) == 0
+
+    def test_counterclockwise_distance(self):
+        assert counterclockwise_distance(5, 0, 16) == 5
+        assert counterclockwise_distance(0, 5, 16) == 11
+
+    def test_distances_sum_to_n(self):
+        for a, b in [(0, 5), (3, 14), (7, 8)]:
+            cw = clockwise_distance(a, b, 16)
+            ccw = counterclockwise_distance(a, b, 16)
+            assert cw + ccw == 16
+
+    def test_ring_distance_symmetric(self):
+        assert ring_distance(2, 14, 16) == ring_distance(14, 2, 16) == 4
+
+    def test_clockwise_range(self):
+        assert clockwise_range(14, 4, 16) == [15, 0, 1, 2]
+
+    def test_counterclockwise_range(self):
+        assert counterclockwise_range(1, 3, 16) == [0, 15, 14]
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            clockwise_distance(0, 1, 0)
+
+    def test_negative_hops(self):
+        with pytest.raises(ValueError):
+            clockwise_range(0, -1, 16)
+
+    @given(a=st.integers(0, 127), b=st.integers(0, 127))
+    def test_distance_inverse_property(self, a, b):
+        n = 128
+        d = clockwise_distance(a, b, n)
+        assert (a + d) % n == b
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link(3, 3, "CW")
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Link(-1, 2, "CW")
+
+    def test_ordering_deterministic(self):
+        links = sorted([Link(1, 2, "CW"), Link(0, 1, "CW"), Link(0, 1, "CCW")])
+        assert links[0] == Link(0, 1, "CCW")
+
+
+class TestSpidergon:
+    def test_link_count(self):
+        # CW + CCW + cross: 3N directed links
+        topo = SpidergonTopology(16)
+        assert len(topo.links()) == 48
+
+    def test_one_port(self):
+        assert SpidergonTopology(16).injection_ports() == ["P0"]
+
+    def test_cross_neighbor(self):
+        topo = SpidergonTopology(16)
+        assert topo.cross_neighbor(3) == 11
+        assert topo.cross_neighbor(11) == 3
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpidergonTopology(15)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SpidergonTopology(2)
+
+    def test_out_degree_three(self):
+        topo = SpidergonTopology(12)
+        for node in topo.nodes():
+            assert topo.degree(node) == 3
+
+    def test_in_degree_three(self):
+        topo = SpidergonTopology(12)
+        for node in topo.nodes():
+            assert len(topo.in_links(node)) == 3
+
+    def test_diameter_scales_with_quarter(self):
+        # Spidergon diameter ~ N/4 + 1
+        assert SpidergonTopology(16).diameter <= 5
+        assert SpidergonTopology(32).diameter <= 9
+
+    def test_link_map_unique(self):
+        topo = SpidergonTopology(16)
+        lm = topo.link_map()
+        assert len(lm) == len(topo.links())
+
+
+class TestQuarc:
+    def test_link_count(self):
+        # CW + CCW + two cross links: 4N directed links
+        topo = QuarcTopology(16)
+        assert len(topo.links()) == 64
+
+    def test_all_port_router(self):
+        assert list(QuarcTopology(16).injection_ports()) == list(PORTS)
+
+    def test_four_ejection_classes(self):
+        topo = QuarcTopology(16)
+        for node in topo.nodes():
+            assert len(topo.input_tags(node)) == 4
+
+    def test_quarter(self):
+        assert QuarcTopology(32).quarter == 8
+
+    def test_diameter_is_quarter(self):
+        assert QuarcTopology(64).diameter == 16
+
+    def test_indivisible_by_four_rejected(self):
+        with pytest.raises(ValueError):
+            QuarcTopology(18)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            QuarcTopology(4)
+
+    def test_two_physical_cross_links(self):
+        topo = QuarcTopology(16)
+        cross = [l for l in topo.links() if l.src == 0 and l.dst == 8]
+        assert {l.tag for l in cross} == {"XCW", "XCCW"}
+
+    def test_port_tag_mapping_covers_all_ports(self):
+        assert set(PORT_TO_TAG) == set(PORTS)
+
+    def test_switch_has_no_routing(self):
+        # every input tag has exactly one continuation (Section 3.3.1)
+        assert TAG_CONTINUATION == {
+            "CW": "CW",
+            "CCW": "CCW",
+            "XCW": "CW",
+            "XCCW": "CCW",
+        }
+
+    @given(n=quarc_sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_degree_always_four(self, n):
+        topo = QuarcTopology(n)
+        for node in (0, n // 2, n - 1):
+            assert topo.degree(node) == 4
+            assert len(topo.in_links(node)) == 4
+
+    @given(n=quarc_sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_vertex_symmetry_out_tags(self, n):
+        topo = QuarcTopology(n)
+        tags0 = sorted(l.tag for l in topo.out_links(0))
+        for node in (1, n // 4, n // 2):
+            assert sorted(l.tag for l in topo.out_links(node)) == tags0
+
+
+class TestMesh:
+    def test_node_count(self):
+        assert MeshTopology(3, 5).num_nodes == 15
+
+    def test_coords_roundtrip(self):
+        topo = MeshTopology(4, 4)
+        for node in topo.nodes():
+            x, y = topo.coords(node)
+            assert topo.node_id(x, y) == node
+
+    def test_corner_degree_two(self):
+        topo = MeshTopology(4, 4)
+        assert topo.degree(0) == 2
+
+    def test_center_degree_four(self):
+        topo = MeshTopology(3, 3)
+        assert topo.degree(4) == 4
+
+    def test_edge_degree_three(self):
+        topo = MeshTopology(3, 3)
+        assert topo.degree(1) == 3
+
+    def test_no_wraparound(self):
+        topo = MeshTopology(3, 3)
+        east_from_right_edge = [l for l in topo.links() if l.src == 2 and l.tag == "E"]
+        assert east_from_right_edge == []
+
+    def test_diameter(self):
+        assert MeshTopology(4, 5).diameter == 7
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            MeshTopology(1, 5)
+
+    def test_input_tags_mirror_out_links(self):
+        topo = MeshTopology(3, 3)
+        # corner (0,0) receives E (from west... nothing) -> only E? it has
+        # neighbours at (1,0) and (0,1): arriving tags are W (from east
+        # neighbour going west) and S (from north neighbour going south)
+        tags = set(topo.input_tags(0))
+        arriving = {l.tag for l in topo.in_links(0)}
+        assert tags == arriving
+
+
+class TestTorus:
+    def test_uniform_degree_four(self):
+        topo = TorusTopology(4, 4)
+        for node in topo.nodes():
+            assert topo.degree(node) == 4
+
+    def test_wraparound_links_exist(self):
+        topo = TorusTopology(3, 3)
+        east_from_right_edge = [l for l in topo.links() if l.src == 2 and l.tag == "E"]
+        assert east_from_right_edge[0].dst == 0
+
+    def test_link_count(self):
+        assert len(TorusTopology(4, 4).links()) == 4 * 16
+
+    def test_diameter(self):
+        assert TorusTopology(4, 4).diameter == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TorusTopology(2, 4)
+
+    def test_coords_wrap(self):
+        topo = TorusTopology(3, 3)
+        assert topo.node_id(3, 0) == 0
+        assert topo.node_id(-1, 0) == 2

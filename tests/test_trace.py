@@ -1,0 +1,137 @@
+"""Tests for tracers: composite fan-out and per-channel utilisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.core.channel_graph import ChannelKind
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.sim.reference import ScriptedWorm
+from repro.sim.engine import EventQueue
+from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
+from repro.sim.worm import Worm, WormClass
+from repro.sim.wormengine import WormEngine
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+class _Counter:
+    def __init__(self):
+        self.events = []
+
+    def on_acquire(self, worm, position, t):
+        self.events.append(("acq", worm.uid, position, t))
+
+    def on_release(self, worm, position, t):
+        self.events.append(("rel", worm.uid, position, t))
+
+    def on_clone_absorbed(self, worm, position, t):
+        self.events.append(("clone", worm.uid, position, t))
+
+    def on_complete(self, worm, t_done, recovered):
+        self.events.append(("done", worm.uid, t_done, recovered))
+
+
+class TestCompositeTracer:
+    def test_fans_out_in_order(self):
+        a, b = _Counter(), _Counter()
+        comp = CompositeTracer([a, b])
+        w = Worm(1, WormClass.UNICAST, 0, 0.0, (0, 1), 4)
+        comp.on_acquire(w, 1, 2.0)
+        comp.on_complete(w, 9.0, False)
+        assert a.events == b.events
+        assert len(a.events) == 2
+
+
+class TestUtilizationSingleWorm:
+    def run_single(self, path=(0, 1, 2), m=4, t0=0.0):
+        events = EventQueue()
+        tracer = ChannelUtilizationTracer(8)
+        engine = WormEngine(8, events, tracer)
+        worm = Worm(1, WormClass.UNICAST, 0, t0, path, m)
+        events.schedule(t0, lambda: engine.inject(worm, events.now))
+        events.run_until(1e6)
+        return tracer
+
+    def test_busy_time_equals_occupancy(self):
+        # uncontended worm: every channel busy exactly M cycles
+        tracer = self.run_single(m=4)
+        for ch in (0, 1, 2):
+            assert tracer.busy_time[ch] == pytest.approx(4.0)
+
+    def test_message_counts(self):
+        tracer = self.run_single()
+        assert tracer.message_count[0] == 1
+        assert tracer.message_count[5] == 0
+
+    def test_mean_service_time(self):
+        tracer = self.run_single(m=7)
+        xs = tracer.mean_service_time()
+        assert xs[0] == pytest.approx(7.0)
+        assert np.isnan(xs[5])
+
+    def test_warmup_clipping(self):
+        # start_time after the worm completes: nothing measured
+        events = EventQueue()
+        tracer = ChannelUtilizationTracer(8, start_time=100.0)
+        engine = WormEngine(8, events, tracer)
+        worm = Worm(1, WormClass.UNICAST, 0, 0.0, (0, 1, 2), 4)
+        events.schedule(0.0, lambda: engine.inject(worm, events.now))
+        events.run_until(1e6)
+        assert tracer.busy_time.sum() == 0.0
+
+    def test_utilization_window(self):
+        tracer = self.run_single(m=10)
+        # completion at a_H + M = 2 + 10; ejection released then
+        rho = tracer.utilization(end_time=12.0)
+        assert rho[0] == pytest.approx(10.0 / 12.0)
+
+
+class TestUtilizationVsModel:
+    def test_simulated_rho_matches_model(self):
+        """Per-channel measured utilisation tracks the occupancy model's
+        rho = lambda * x within a small absolute tolerance."""
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        spec = TrafficSpec(0.004, 0.05, 32, sets)
+        sim = NocSimulator(topo, routing)
+        res = sim.run(
+            spec,
+            SimConfig(seed=3, warmup_cycles=3_000, target_unicast_samples=4_000,
+                      target_multicast_samples=500),
+            measure_utilization=True,
+        )
+        service = AnalyticalModel(topo, routing, recursion="occupancy").solve(spec)
+        net = sim.graph.indices_of_kind(ChannelKind.NETWORK)
+        sim_rho = res.utilization.utilization(res.sim_time)[net]
+        model_rho = service.utilization[net]
+        assert np.abs(sim_rho - model_rho).mean() < 0.01
+        assert np.abs(sim_rho - model_rho).max() < 0.05
+
+    def test_measured_arrival_rates_match_flows(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        spec = TrafficSpec(0.004, 0.0, 32)
+        sim = NocSimulator(topo, routing)
+        res = sim.run(
+            spec,
+            SimConfig(seed=5, warmup_cycles=2_000, target_unicast_samples=4_000),
+            measure_utilization=True,
+        )
+        service = AnalyticalModel(topo, routing).solve(spec)
+        net = sim.graph.indices_of_kind(ChannelKind.NETWORK)
+        sim_lam = res.utilization.arrival_rate(res.sim_time)[net]
+        model_lam = service.flows.arrival_rate[net]
+        assert np.abs(sim_lam - model_lam).mean() < 5e-4
+
+    def test_disabled_by_default(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        res = sim.run(
+            TrafficSpec(0.002, 0.0, 32),
+            SimConfig(seed=1, warmup_cycles=500, target_unicast_samples=200),
+        )
+        assert res.utilization is None

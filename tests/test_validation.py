@@ -1,0 +1,157 @@
+"""Model-vs-simulation validation (the paper's Section 4, in test form).
+
+These are the paper's headline claims, asserted as tolerances:
+
+* below saturation the analytical model tracks the simulator across
+  network sizes, message lengths, multicast fractions and destination-set
+  families (Figures 6 and 7),
+* the all-port Quarc beats the one-port baseline on multicast latency,
+* the E[max] composition beats the "largest sub-network" naive estimate.
+
+Marked ``slow``: each case runs a full simulation.  Tolerances are loose
+enough to be seed-robust but tight enough that a broken model (e.g. a
+dropped discount factor or a wrong quadrant) fails clearly.
+"""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel, TrafficSpec
+from repro.routing import MeshRouting, QuarcRouting, TorusRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import MeshTopology, QuarcTopology, TorusTopology
+from repro.workloads import localized_multicast_sets, random_multicast_sets
+
+pytestmark = pytest.mark.slow
+
+
+def sim_cfg(seed=7):
+    return SimConfig(
+        seed=seed,
+        warmup_cycles=3_000,
+        target_unicast_samples=3_000,
+        target_multicast_samples=400,
+        max_cycles=3e6,
+    )
+
+
+def run_pair(topo, routing, spec, recursion="occupancy", seed=7):
+    model = AnalyticalModel(topo, routing, recursion=recursion)
+    sim = NocSimulator(topo, routing)
+    return model.evaluate(spec), sim.run(spec, sim_cfg(seed))
+
+
+class TestQuarcValidation:
+    @pytest.mark.parametrize("n,msg,alpha,group", [
+        (16, 32, 0.05, 6),
+        (16, 64, 0.10, 4),
+        (32, 16, 0.03, 8),
+        (32, 48, 0.05, 6),
+    ])
+    def test_fig6_random_sets_agreement(self, n, msg, alpha, group):
+        topo = QuarcTopology(n)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=group, seed=2009)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat = model.saturation_rate(TrafficSpec(1e-6, alpha, msg, sets))
+        spec = TrafficSpec(0.5 * sat, alpha, msg, sets)
+        mres, sres = run_pair(topo, routing, spec)
+        assert not sres.saturated and sres.deadlock_recoveries == 0
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.08)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.15)
+
+    @pytest.mark.parametrize("rim", ["L", "CR"])
+    def test_fig7_localized_sets_agreement(self, rim):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = localized_multicast_sets(routing, group_size=3, seed=2009, rim=rim)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat = model.saturation_rate(TrafficSpec(1e-6, 0.05, 32, sets))
+        spec = TrafficSpec(0.5 * sat, 0.05, 32, sets)
+        mres, sres = run_pair(topo, routing, spec)
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.08)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.15)
+
+    def test_paper_recursion_close_at_low_load(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        spec = TrafficSpec(0.002, 0.05, 32, sets)
+        mres, sres = run_pair(topo, routing, spec, recursion="paper")
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.10)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.15)
+
+    def test_shape_monotone_and_diverges_at_saturation(self):
+        """The figure shape: model and sim rise together; the model
+        saturates within the load range where the sim becomes unstable."""
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        sat = model.saturation_rate(TrafficSpec(1e-6, 0.05, 32, sets))
+        sim = NocSimulator(topo, routing)
+        sim_means, model_means = [], []
+        for frac in (0.3, 0.6, 0.85):
+            spec = TrafficSpec(frac * sat, 0.05, 32, sets)
+            sim_means.append(sim.run(spec, sim_cfg()).multicast.mean)
+            model_means.append(model.evaluate(spec).multicast_latency)
+        assert sim_means == sorted(sim_means)
+        assert model_means == sorted(model_means)
+        # far past model saturation the sim must also be unstable
+        past = sim.run(TrafficSpec(1.6 * sat, 0.05, 32, sets), sim_cfg())
+        assert past.saturated or past.deadlock_recoveries > 0
+
+
+class TestArchitecturalClaims:
+    def test_all_port_beats_one_port_in_sim_and_model(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=6, seed=7)
+        spec = TrafficSpec(0.003, 0.1, 32, sets)
+        all_sim = NocSimulator(topo, routing).run(spec, sim_cfg())
+        one_sim = NocSimulator(topo, routing, one_port=True).run(spec, sim_cfg())
+        assert one_sim.multicast.mean > all_sim.multicast.mean
+        all_m = AnalyticalModel(topo, routing, recursion="occupancy").evaluate(spec)
+        one_m = AnalyticalModel(
+            topo, routing, one_port=True, recursion="occupancy"
+        ).evaluate(spec)
+        assert one_m.multicast_latency > all_m.multicast_latency
+        # the model reproduces the sim's one-port penalty direction and
+        # rough magnitude
+        sim_ratio = one_sim.multicast.mean / all_sim.multicast.mean
+        model_ratio = one_m.multicast_latency / all_m.multicast_latency
+        assert model_ratio == pytest.approx(sim_ratio, rel=0.35)
+
+    def test_expmax_beats_naive_estimate(self):
+        """The naive largest-subnetwork estimate underpredicts the sim;
+        E[max] is closer (the paper's Section 2 motivation)."""
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, group_size=8, seed=11)
+        spec = TrafficSpec(0.004, 0.1, 32, sets)
+        model = AnalyticalModel(topo, routing, recursion="occupancy")
+        full = model.evaluate(spec).multicast_latency
+        naive = model.evaluate_naive_multicast(spec)
+        sim = NocSimulator(topo, routing).run(spec, sim_cfg()).multicast.mean
+        assert abs(full - sim) < abs(naive - sim)
+
+
+class TestExtensionNetworks:
+    def test_mesh_agreement(self):
+        topo = MeshTopology(4, 4)
+        routing = MeshRouting(topo)
+        sets = random_multicast_sets(routing, group_size=5, seed=9, mode="per_node")
+        spec = TrafficSpec(0.004, 0.05, 32, sets)
+        mres, sres = run_pair(topo, routing, spec)
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.08)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.20)
+
+    def test_torus_agreement(self):
+        topo = TorusTopology(4, 4)
+        routing = TorusRouting(topo)
+        sets = random_multicast_sets(routing, group_size=5, seed=9)
+        spec = TrafficSpec(0.004, 0.05, 32, sets)
+        mres, sres = run_pair(topo, routing, spec)
+        assert mres.unicast_latency == pytest.approx(sres.unicast.mean, rel=0.08)
+        assert mres.multicast_latency == pytest.approx(sres.multicast.mean, rel=0.20)

@@ -1,0 +1,132 @@
+"""Tests for multicast destination-set generators."""
+
+import pytest
+
+from repro.routing import MeshRouting, QuarcRouting
+from repro.topology import MeshTopology, QuarcTopology
+from repro.workloads import (
+    localized_multicast_sets,
+    quadrant_members_by_distance,
+    random_multicast_sets,
+    sets_from_relative_positions,
+)
+
+
+@pytest.fixture(scope="module")
+def r16():
+    return QuarcRouting(QuarcTopology(16))
+
+
+class TestQuadrantMembers:
+    def test_ordered_nearest_first(self, r16):
+        members = quadrant_members_by_distance(r16, 0)
+        assert members["L"] == [1, 2, 3, 4]
+        assert members["R"] == [15, 14, 13, 12]
+
+    def test_cross_quadrants(self, r16):
+        members = quadrant_members_by_distance(r16, 0)
+        assert members["CR"] == [8, 9, 10, 11]
+        assert members["CL"] == [7, 6, 5]
+
+    def test_shift_invariance(self, r16):
+        m0 = quadrant_members_by_distance(r16, 0)
+        m5 = quadrant_members_by_distance(r16, 5)
+        assert [(x - 5) % 16 for x in m5["L"]] == m0["L"]
+
+
+class TestRelativePositions:
+    def test_explicit_positions(self, r16):
+        sets = sets_from_relative_positions(r16, {"L": [1, 3], "CR": [2]})
+        assert sets[0] == frozenset({1, 3, 9})
+        assert sets[5] == frozenset({6, 8, 14})
+
+    def test_every_node_gets_a_set(self, r16):
+        sets = sets_from_relative_positions(r16, {"L": [1]})
+        assert set(sets) == set(range(16))
+
+    def test_rank_out_of_range(self, r16):
+        with pytest.raises(ValueError):
+            sets_from_relative_positions(r16, {"L": [5]})  # Q = 4
+
+    def test_unknown_port(self, r16):
+        with pytest.raises(ValueError):
+            sets_from_relative_positions(r16, {"Z": [1]})
+
+    def test_empty_positions_rejected(self, r16):
+        with pytest.raises(ValueError):
+            sets_from_relative_positions(r16, {})
+
+
+class TestRandomSets:
+    def test_symmetric_same_relative_pattern(self, r16):
+        sets = random_multicast_sets(r16, group_size=5, seed=42)
+        assert all(len(s) == 5 for s in sets.values())
+        # relative pattern identical at every node
+        rel0 = sorted((t - 0) % 16 for t in sets[0])
+        rel7 = sorted((t - 7) % 16 for t in sets[7])
+        assert rel0 == rel7
+
+    def test_deterministic_in_seed(self, r16):
+        a = random_multicast_sets(r16, group_size=5, seed=42)
+        b = random_multicast_sets(r16, group_size=5, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self, r16):
+        a = random_multicast_sets(r16, group_size=5, seed=1)
+        b = random_multicast_sets(r16, group_size=5, seed=2)
+        assert a != b
+
+    def test_source_never_in_own_set(self, r16):
+        sets = random_multicast_sets(r16, group_size=8, seed=7)
+        for node, dests in sets.items():
+            assert node not in dests
+
+    def test_per_node_mode(self, r16):
+        sets = random_multicast_sets(r16, group_size=5, seed=42, mode="per_node")
+        assert all(len(s) == 5 for s in sets.values())
+        # asymmetric with overwhelming probability
+        rels = {
+            tuple(sorted((t - n) % 16 for t in s)) for n, s in sets.items()
+        }
+        assert len(rels) > 1
+
+    def test_per_node_mode_works_on_mesh(self):
+        routing = MeshRouting(MeshTopology(4, 4))
+        sets = random_multicast_sets(routing, group_size=5, seed=1, mode="per_node")
+        assert all(len(s) == 5 for s in sets.values())
+
+    def test_symmetric_mode_mesh_error_is_actionable(self):
+        routing = MeshRouting(MeshTopology(4, 4))
+        with pytest.raises(ValueError, match="per_node"):
+            random_multicast_sets(routing, group_size=9, seed=1)
+
+    def test_group_too_large_rejected(self, r16):
+        with pytest.raises(ValueError):
+            random_multicast_sets(r16, group_size=16, seed=1)
+
+    def test_bad_mode_rejected(self, r16):
+        with pytest.raises(ValueError):
+            random_multicast_sets(r16, group_size=3, seed=1, mode="chaotic")
+
+
+class TestLocalizedSets:
+    def test_all_targets_on_requested_rim(self, r16):
+        sets = localized_multicast_sets(r16, group_size=3, seed=5, rim="L")
+        for node, dests in sets.items():
+            for t in dests:
+                assert r16.port_of(node, t) == "L"
+
+    def test_each_rim_selectable(self, r16):
+        for rim in ("L", "R", "CL", "CR"):
+            sets = localized_multicast_sets(r16, group_size=2, seed=5, rim=rim)
+            for t in sets[0]:
+                assert r16.port_of(0, t) == rim
+
+    def test_random_rim_deterministic(self, r16):
+        a = localized_multicast_sets(r16, group_size=3, seed=5)
+        b = localized_multicast_sets(r16, group_size=3, seed=5)
+        assert a == b
+
+    def test_group_bounded_by_quadrant(self, r16):
+        with pytest.raises(ValueError):
+            localized_multicast_sets(r16, group_size=5, seed=5, rim="L")  # Q=4
