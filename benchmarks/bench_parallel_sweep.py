@@ -1,0 +1,75 @@
+"""Experiment O-perf: serial vs parallel wall-clock of one Figure-6 panel.
+
+Runs the same small fig6 panel (N=16, M=32, alpha=5%, 8 sweep points)
+through the serial executor and through process pools of 2 and 4 workers,
+recording the wall-clock of each so the perf trajectory captures the
+sweep-level speedup.  Correctness is asserted unconditionally -- every
+job count must produce the identical series.  The speedup itself is only
+asserted when the machine actually has >= 2 usable cores; on a 1-core
+container a pool can't beat the serial loop, so there the numbers are
+recorded but not gated.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.orchestration import make_executor
+from repro.sim import SimConfig
+
+PANEL = ExperimentConfig(
+    exp_id="bench-par-N16-M32",
+    figure="fig6",
+    num_nodes=16,
+    message_length=32,
+    multicast_fraction=0.05,
+    group_size=6,
+    destset_mode="random",
+    load_fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+)
+
+SIM = SimConfig(
+    seed=2009,
+    warmup_cycles=1_500.0,
+    target_unicast_samples=800,
+    target_multicast_samples=150,
+)
+
+_USABLE_CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+
+#: the serial series, computed once and compared against every job count
+_reference: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_parallel_sweep_speedup(benchmark, jobs):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(PANEL,),
+        kwargs=dict(sim_config=SIM, executor=make_executor(jobs)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == len(PANEL.load_fractions)
+    assert all(p.has_sim for p in result.points)
+
+    series = [dataclasses.asdict(p) for p in result.points]
+    _reference.setdefault("series", series)
+    assert series == _reference["series"], f"jobs={jobs} changed the sweep series"
+
+    _reference.setdefault("walls", {})[jobs] = result.wall_seconds
+    walls = _reference["walls"]
+    if 1 in walls:
+        print(f"\njobs={jobs}: {result.wall_seconds:.2f}s "
+              f"(speedup vs serial: {walls[1] / result.wall_seconds:.2f}x, "
+              f"usable cores: {_USABLE_CORES})")
+    if jobs == 4 and 1 in walls and _USABLE_CORES >= 4:
+        assert walls[1] / walls[4] >= 1.5, (
+            f"expected >= 1.5x speedup at jobs=4 on {_USABLE_CORES} cores, "
+            f"got {walls[1] / walls[4]:.2f}x"
+        )

@@ -6,31 +6,43 @@ Commands
     One-shot model prediction (optionally validated by simulation).
 ``sweep``
     Regenerate a Figure 6/7 panel (series table + ASCII chart).
+``grid``
+    Run the paper's whole Figure 6/7 grid through one executor.
 ``hops``
     The T-hops broadcast table (Quarc N/4 vs Spidergon N-1).
 ``saturation``
     Model saturation rates over network sizes and message lengths.
 ``explain``
     Per-port decomposition of one node's multicast latency.
+
+``sweep`` and ``grid`` accept ``--jobs N`` to fan simulation points out
+over N worker processes; they and ``evaluate --sim`` cache simulation
+results on disk under ``--cache-dir`` (disable with ``--no-cache``).
+``saturation`` is model-only and takes ``--jobs`` alone.  Results are
+identical for any job count.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core import AnalyticalModel, TrafficSpec
 from repro.core.explain import explain_multicast
 from repro.experiments import render_broadcast_hops_table
 from repro.experiments.charts import chart_experiment
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.compare import render_grid_summary, run_grid
+from repro.experiments.config import ExperimentConfig, paper_grid
+from repro.experiments.io import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.report import render_series
 from repro.experiments.runner import run_experiment
+from repro.orchestration import SimTask, make_executor, run_tasks
 from repro.routing import QuarcRouting
-from repro.sim import NocSimulator, SimConfig
+from repro.sim import SimConfig
 from repro.topology import QuarcTopology
-from repro.workloads import localized_multicast_sets, random_multicast_sets
+from repro.workloads import random_multicast_sets
 
 __all__ = ["main", "build_parser"]
 
@@ -56,14 +68,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="service-time recursion variant",
         )
 
+    def jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes (1 = run in-process)")
+
+    def cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the simulation result cache")
+        p.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                       metavar="DIR", help="result cache location")
+
+    def orchestration(p: argparse.ArgumentParser) -> None:
+        jobs_arg(p)
+        cache_args(p)
+
     p_eval = sub.add_parser("evaluate", help="one-shot model prediction")
     common(p_eval)
+    cache_args(p_eval)  # a single simulation: cacheable, nothing to fan out
     p_eval.add_argument("--rate", type=float, required=True, help="msgs/node/cycle")
     p_eval.add_argument("--sim", action="store_true", help="validate by simulation")
     p_eval.add_argument("--one-port", action="store_true")
 
     p_sweep = sub.add_parser("sweep", help="regenerate a figure panel")
     common(p_sweep)
+    orchestration(p_sweep)
     p_sweep.add_argument(
         "--dests", choices=["random", "localized"], default="random",
         help="fig6 (random) or fig7 (localized) destination sets",
@@ -79,11 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", type=str, default=None, metavar="PATH",
                          help="save the sweep points as CSV")
 
+    p_grid = sub.add_parser(
+        "grid", help="run the paper's Figure 6/7 grid through one executor"
+    )
+    orchestration(p_grid)
+    p_grid.add_argument("--full-grid", action="store_true",
+                        help="full 4x4x3 cartesian product per figure "
+                             "(default: one representative panel per size)")
+    p_grid.add_argument("--limit", type=int, default=None, metavar="K",
+                        help="run only the first K panels")
+    p_grid.add_argument("--points", type=int, default=4,
+                        help="sweep points per panel (spread up to 0.8 load)")
+    p_grid.add_argument("--samples", type=int, default=400,
+                        help="unicast latency samples per point")
+    p_grid.add_argument("--seed", type=int, default=2009)
+    p_grid.add_argument("--no-sim", action="store_true", help="model series only")
+    p_grid.add_argument("--save-dir", type=str, default=None, metavar="DIR",
+                        help="save each panel's series as JSON under DIR")
+
     p_hops = sub.add_parser("hops", help="broadcast hop table (T-hops)")
     p_hops.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
 
     p_sat = sub.add_parser("saturation", help="saturation-rate table")
     common(p_sat)
+    jobs_arg(p_sat)  # model-only: no simulation results to cache
     p_sat.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
     p_sat.add_argument("--lengths", type=int, nargs="+", default=[16, 32, 64])
 
@@ -100,9 +147,21 @@ def _network(args) -> tuple[QuarcTopology, QuarcRouting]:
     return topo, QuarcRouting(topo)
 
 
+def _group(args, nodes: Optional[int] = None) -> int:
+    n = nodes if nodes is not None else args.nodes
+    return args.group if args.group is not None else max(3, n // 8)
+
+
 def _sets(args, routing):
-    group = args.group if args.group is not None else max(3, args.nodes // 8)
-    return random_multicast_sets(routing, group_size=group, seed=args.seed)
+    return random_multicast_sets(routing, group_size=_group(args), seed=args.seed)
+
+
+def _executor(args):
+    return make_executor(args.jobs)
+
+
+def _cache(args) -> Optional[ResultCache]:
+    return None if args.no_cache else ResultCache(args.cache_dir)
 
 
 def cmd_evaluate(args) -> int:
@@ -120,14 +179,25 @@ def cmd_evaluate(args) -> int:
     print(f"model multicast : {res.multicast_latency:9.2f} cycles")
     print(f"bottleneck      : {res.bottleneck_channel} (rho = {res.max_utilization:.3f})")
     if args.sim:
-        sim = NocSimulator(topo, routing, one_port=args.one_port)
-        sres = sim.run(
-            spec,
-            SimConfig(seed=args.seed, warmup_cycles=2_000,
-                      target_unicast_samples=2_000, target_multicast_samples=300),
+        task = SimTask(
+            network="quarc",
+            network_args=(args.nodes,),
+            workload="random",
+            group_size=_group(args),
+            workload_seed=args.seed,
+            message_rate=args.rate,
+            multicast_fraction=args.alpha / 100.0,
+            message_length=args.msg,
+            sim=SimConfig(seed=args.seed, warmup_cycles=2_000,
+                          target_unicast_samples=2_000,
+                          target_multicast_samples=300),
+            one_port=args.one_port,
+            label=f"evaluate-N{args.nodes}",
         )
+        [sres] = run_tasks([task], cache=_cache(args))
+        suffix = "  [cached]" if sres.cached else ""
         print(f"sim unicast     : {sres.unicast.mean:9.2f} "
-              f"(+-{sres.unicast.ci95_halfwidth():.2f})")
+              f"(+-{sres.unicast.ci95_halfwidth():.2f}){suffix}")
         print(f"sim multicast   : {sres.multicast.mean:9.2f} "
               f"(+-{sres.multicast.ci95_halfwidth():.2f})")
         if sres.deadlock_recoveries:
@@ -136,7 +206,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    group = args.group if args.group is not None else max(3, args.nodes // 8)
+    group = _group(args)
     figure = "fig6" if args.dests == "random" else "fig7"
     fractions = tuple(
         (k + 1) * 0.8 / args.points for k in range(args.points)
@@ -153,6 +223,7 @@ def cmd_sweep(args) -> int:
         seed=args.seed,
         load_fractions=fractions,
     )
+    cache = _cache(args)
     result = run_experiment(
         config,
         include_sim=not args.no_sim,
@@ -162,8 +233,12 @@ def cmd_sweep(args) -> int:
             target_unicast_samples=args.samples,
             target_multicast_samples=max(100, args.samples // 6),
         ),
+        executor=_executor(args),
+        cache=cache,
     )
     print(render_series(result))
+    if cache is not None and not args.no_sim:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})")
     if args.chart:
         print()
         print(chart_experiment(result, quantity="multicast"))
@@ -187,22 +262,87 @@ def cmd_hops(args) -> int:
     return 0
 
 
+def _saturation_row(
+    item: tuple[int, tuple[int, ...], float, int, int, str]
+) -> list[float]:
+    """Top-level worker (picklable): one network size, all message
+    lengths -- the network/model/destsets build is shared across the
+    row, and rows are the parallel unit."""
+    n, lengths, alpha_pct, group, seed, recursion = item
+    topo = QuarcTopology(n)
+    routing = QuarcRouting(topo)
+    model = AnalyticalModel(topo, routing, recursion=recursion)
+    sets = random_multicast_sets(routing, group_size=group, seed=seed)
+    return [
+        model.saturation_rate(TrafficSpec(1e-6, alpha_pct / 100.0, m, sets))
+        for m in lengths
+    ]
+
+
 def cmd_saturation(args) -> int:
     print(f"== model saturation rates (msg/node/cycle), recursion={args.recursion}, "
           f"alpha={args.alpha:.0f}% ==")
     header = "    N |" + "".join(f"    M={m:<5d}" for m in args.lengths)
     print(header)
-    for n in args.sizes:
-        topo = QuarcTopology(n)
-        routing = QuarcRouting(topo)
-        model = AnalyticalModel(topo, routing, recursion=args.recursion)
-        group = args.group if args.group is not None else max(3, n // 8)
-        sets = random_multicast_sets(routing, group_size=group, seed=args.seed)
-        cells = []
-        for m in args.lengths:
-            sat = model.saturation_rate(TrafficSpec(1e-6, args.alpha / 100.0, m, sets))
-            cells.append(f" {sat:9.5f}")
-        print(f"{n:5d} |" + "".join(cells))
+    items = [
+        (n, tuple(args.lengths), args.alpha, _group(args, n), args.seed,
+         args.recursion)
+        for n in args.sizes
+    ]
+    rows = _executor(args).map_ordered(_saturation_row, items)
+    for n, row in zip(args.sizes, rows):
+        print(f"{n:5d} |" + "".join(f" {sat:9.5f}" for sat in row))
+    return 0
+
+
+def cmd_grid(args) -> int:
+    configs = list(paper_grid(full_grid=args.full_grid))
+    if args.limit is not None:
+        configs = configs[: args.limit]
+    fractions = tuple((k + 1) * 0.8 / args.points for k in range(args.points))
+    configs = [c.scaled(load_fractions=fractions) for c in configs]
+    sim_config = SimConfig(
+        seed=args.seed,
+        warmup_cycles=2_000,
+        target_unicast_samples=args.samples,
+        target_multicast_samples=max(60, args.samples // 6),
+    )
+    cache = _cache(args)
+    n_tasks = 0 if args.no_sim else len(configs) * args.points
+    print(f"== paper grid: {len(configs)} panels, {n_tasks} simulation tasks, "
+          f"jobs={args.jobs}, cache={'off' if cache is None else args.cache_dir} ==")
+
+    def progress(done: int, total: int, task) -> None:
+        print(f"  [{done:3d}/{total}] {task.label}", flush=True)
+
+    t0 = time.perf_counter()
+    panels = run_grid(
+        configs,
+        include_sim=not args.no_sim,
+        sim_config=sim_config,
+        executor=_executor(args),
+        cache=cache,
+        derive_seeds=True,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - t0
+    print()
+    print(render_grid_summary(panels))
+    print(f"elapsed: {elapsed:.1f}s (jobs={args.jobs})")
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})")
+    if args.save_dir:
+        from pathlib import Path
+
+        from repro.experiments.io import save_experiment_json
+
+        out = Path(args.save_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for panel in panels:
+            save_experiment_json(
+                panel.result, out / f"{panel.config.exp_id}.json"
+            )
+        print(f"saved {len(panels)} panel series under {out}")
     return 0
 
 
@@ -223,6 +363,7 @@ def cmd_explain(args) -> int:
 COMMANDS = {
     "evaluate": cmd_evaluate,
     "sweep": cmd_sweep,
+    "grid": cmd_grid,
     "hops": cmd_hops,
     "saturation": cmd_saturation,
     "explain": cmd_explain,

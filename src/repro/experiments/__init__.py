@@ -15,12 +15,27 @@ from repro.experiments.config import (
     fig7_configs,
     paper_grid,
 )
-from repro.experiments.runner import ExperimentResult, SweepPoint, run_experiment
-from repro.experiments.compare import agreement_metrics
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepPoint,
+    run_experiment,
+    sweep_tasks,
+)
+from repro.experiments.compare import (
+    GridPanel,
+    agreement_metrics,
+    render_grid_summary,
+    run_grid,
+)
 from repro.experiments.report import render_series, render_broadcast_hops_table
 from repro.experiments.broadcast import broadcast_scaling_study, render_broadcast_study
 from repro.experiments.charts import ascii_chart, chart_experiment
-from repro.experiments.io import load_experiment_json, save_experiment_json, save_points_csv
+from repro.experiments.io import (
+    ResultCache,
+    load_experiment_json,
+    save_experiment_json,
+    save_points_csv,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -30,13 +45,18 @@ __all__ = [
     "ExperimentResult",
     "SweepPoint",
     "run_experiment",
+    "sweep_tasks",
     "agreement_metrics",
+    "GridPanel",
+    "run_grid",
+    "render_grid_summary",
     "render_series",
     "render_broadcast_hops_table",
     "broadcast_scaling_study",
     "render_broadcast_study",
     "ascii_chart",
     "chart_experiment",
+    "ResultCache",
     "save_experiment_json",
     "load_experiment_json",
     "save_points_csv",

@@ -1,9 +1,13 @@
-"""Persist and reload experiment results (JSON round-trip, CSV export).
+"""Persist and reload experiment results (JSON round-trip, CSV export)
+and the content-addressed simulation result cache.
 
 Sweeps with simulation are expensive; saving the series lets reports,
 charts and regression comparisons run without re-simulating, and gives
 downstream users a stable interchange format (one JSON object per panel,
-one CSV row per sweep point).
+one CSV row per sweep point).  :class:`ResultCache` works one level
+lower: it stores each :class:`~repro.orchestration.tasks.TaskResult`
+under its task's content hash, so repeated sweeps -- from any command or
+executor -- skip points that have already been simulated.
 """
 
 from __future__ import annotations
@@ -12,10 +16,19 @@ import csv
 import dataclasses
 import json
 import math
+import os
+import warnings
 from pathlib import Path
+from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, SweepPoint
+from repro.orchestration.tasks import (
+    SimTask,
+    TaskResult,
+    task_result_from_dict,
+    task_result_to_dict,
+)
 
 __all__ = [
     "experiment_to_dict",
@@ -23,7 +36,12 @@ __all__ = [
     "save_experiment_json",
     "load_experiment_json",
     "save_points_csv",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
 ]
+
+#: default on-disk location of the simulation result cache
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 _FORMAT_VERSION = 1
 
@@ -96,6 +114,75 @@ def save_experiment_json(result: ExperimentResult, path: str | Path) -> Path:
 
 def load_experiment_json(path: str | Path) -> ExperimentResult:
     return experiment_from_dict(json.loads(Path(path).read_text()))
+
+
+class ResultCache:
+    """Disk-backed task-result cache: ``<root>/<task_key>.json``.
+
+    The key is the task's content hash (:meth:`SimTask.task_key`), which
+    covers network, workload, traffic and run-control fields -- two tasks
+    with the same key are the same computation, so a hit is always safe
+    to reuse.  Corrupt or stale-format entries are treated as misses and
+    overwritten.  ``hits``/``misses`` count lookups for reporting.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._write_failed = False
+
+    def path_for(self, task: SimTask) -> Path:
+        return self.root / f"{task.task_key()}.json"
+
+    def get(self, task: SimTask) -> Optional[TaskResult]:
+        path = self.path_for(task)
+        try:
+            data = json.loads(path.read_text())
+            result = task_result_from_dict(data, cached=True)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # unreadable, corrupt, stale-format or non-object JSON: a miss
+            self.misses += 1
+            return None
+        if result.task_key != task.task_key():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, task: SimTask, result: TaskResult) -> None:
+        """Best-effort write: an unwritable cache (read-only cwd, disk
+        full) must never discard a completed simulation result, so IO
+        failures downgrade to a one-time warning."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(task)
+            # per-process tmp name + atomic rename: concurrent writers of
+            # the same key cannot clobber each other's tmp or publish
+            # half a file
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(task_result_to_dict(result), indent=1))
+            tmp.replace(path)
+        except OSError as exc:
+            if not self._write_failed:
+                self._write_failed = True
+                warnings.warn(
+                    f"result cache at {self.root} is not writable ({exc}); "
+                    "continuing without caching",
+                    stacklevel=2,
+                )
+
+    def clear(self) -> int:
+        """Delete every cached entry (including tmp files orphaned by a
+        crashed writer); returns the number of entries removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink()
+                removed += 1
+            for orphan in self.root.glob("*.tmp"):
+                orphan.unlink()
+        return removed
 
 
 def save_points_csv(result: ExperimentResult, path: str | Path) -> Path:

@@ -1,7 +1,21 @@
-"""Run one experiment config: model (both recursions) + simulator sweep."""
+"""Run one experiment config: model (both recursions) + simulator sweep.
+
+The sweep is expressed as a list of picklable
+:class:`~repro.orchestration.tasks.SimTask` (one per offered-load point,
+:func:`sweep_tasks`) submitted to an
+:class:`~repro.orchestration.executor.Executor`; the model series is
+evaluated in-process (it is orders of magnitude cheaper than a
+simulation).  The default executor is serial and reproduces the
+historical single-loop behaviour bit for bit; a
+:class:`~repro.orchestration.executor.ParallelExecutor` fans the points
+out across worker processes and yields the identical series, because
+every point's outcome depends only on its task content (builders, spec,
+seed), not on scheduling.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
@@ -9,9 +23,19 @@ from typing import Optional
 
 from repro.core.model import AnalyticalModel
 from repro.experiments.config import ExperimentConfig
-from repro.sim.network import NocSimulator, SimConfig
+from repro.orchestration.executor import Executor, ResultStore, run_tasks
+from repro.orchestration.tasks import SimTask, TaskResult, spawn_seeds
+from repro.sim.network import SimConfig
 
-__all__ = ["SweepPoint", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "SweepPoint",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep_tasks",
+    "model_series",
+    "default_sim_config",
+    "apply_task_result",
+]
 
 
 @dataclass
@@ -48,21 +72,22 @@ class ExperimentResult:
         return [p for p in self.points if not p.sim_saturated and p.has_sim]
 
 
-def run_experiment(
-    config: ExperimentConfig,
-    *,
-    include_sim: bool = True,
-    sim_config: Optional[SimConfig] = None,
-    rates: Optional[list[float]] = None,
-) -> ExperimentResult:
-    """Produce the model/sim series of one figure panel.
+def default_sim_config(config: ExperimentConfig) -> SimConfig:
+    """The benchmark-grade run control used when none is supplied --
+    deliberately small samples; validation tests use larger targets."""
+    return SimConfig(
+        seed=config.seed,
+        warmup_cycles=3_000.0,
+        target_unicast_samples=2_000,
+        target_multicast_samples=300,
+    )
 
-    ``rates`` overrides the automatic sweep (fractions of the occupancy
-    model's saturation rate).  ``sim_config`` tunes sample counts -- the
-    benchmark defaults are deliberately small; validation tests use larger
-    targets.
-    """
-    start = time.perf_counter()
+
+def model_series(
+    config: ExperimentConfig, *, rates: Optional[list[float]] = None
+) -> tuple[float, list[float], list[SweepPoint]]:
+    """Evaluate both model recursions over the sweep: returns
+    ``(saturation_rate, rates, points)`` with the sim fields unset."""
     topo, routing = config.build_network()
     model_paper = AnalyticalModel(topo, routing, recursion="paper")
     model_occ = AnalyticalModel(topo, routing, recursion="occupancy")
@@ -71,36 +96,103 @@ def run_experiment(
     sat = model_occ.saturation_rate(spec0.with_rate(1e-6))
     sweep = rates if rates is not None else [f * sat for f in config.load_fractions]
 
-    simulator = NocSimulator(topo, routing) if include_sim else None
-    scfg = sim_config or SimConfig(
-        seed=config.seed,
-        warmup_cycles=3_000.0,
-        target_unicast_samples=2_000,
-        target_multicast_samples=300,
-    )
-
-    result = ExperimentResult(config=config, saturation_rate=sat)
+    points = []
     for rate in sweep:
         spec = spec0.with_rate(rate)
         mp = model_paper.evaluate(spec)
         mo = model_occ.evaluate(spec)
-        point = SweepPoint(
-            rate=rate,
-            model_paper_unicast=mp.unicast_latency,
-            model_paper_multicast=mp.multicast_latency,
-            model_occupancy_unicast=mo.unicast_latency,
-            model_occupancy_multicast=mo.multicast_latency,
+        points.append(
+            SweepPoint(
+                rate=rate,
+                model_paper_unicast=mp.unicast_latency,
+                model_paper_multicast=mp.multicast_latency,
+                model_occupancy_unicast=mo.unicast_latency,
+                model_occupancy_multicast=mo.multicast_latency,
+            )
         )
-        if simulator is not None:
-            sim = simulator.run(spec, scfg)
-            point.sim_unicast = sim.unicast.mean
-            point.sim_unicast_ci95 = sim.unicast.ci95_halfwidth()
-            point.sim_multicast = sim.multicast.mean
-            point.sim_multicast_ci95 = sim.multicast.ci95_halfwidth()
-            point.sim_saturated = sim.saturated
-            point.sim_deadlock_recoveries = sim.deadlock_recoveries
-            point.sim_samples_unicast = sim.unicast.count
-            point.sim_samples_multicast = sim.multicast.count
-        result.points.append(point)
+    return sat, list(sweep), points
+
+
+def sweep_tasks(
+    config: ExperimentConfig,
+    rates: list[float],
+    sim_config: SimConfig,
+    *,
+    derive_seeds: bool = False,
+) -> list[SimTask]:
+    """One :class:`SimTask` per offered-load point.
+
+    ``derive_seeds=False`` (the historical behaviour) reuses
+    ``sim_config.seed`` at every point -- common random numbers across
+    the sweep; ``derive_seeds=True`` spawns an independent
+    ``SeedSequence`` child seed per point.
+    """
+    seeds = (
+        spawn_seeds(sim_config.seed, len(rates))
+        if derive_seeds
+        else [sim_config.seed] * len(rates)
+    )
+    return [
+        SimTask(
+            network="quarc",
+            network_args=(config.num_nodes,),
+            workload=config.destset_mode,
+            group_size=config.group_size,
+            workload_seed=config.seed,
+            rim=config.rim,
+            message_rate=rate,
+            multicast_fraction=config.multicast_fraction,
+            message_length=config.message_length,
+            sim=dataclasses.replace(sim_config, seed=seed),
+            label=f"{config.exp_id}#p{k}",
+        )
+        for k, (rate, seed) in enumerate(zip(rates, seeds))
+    ]
+
+
+def apply_task_result(point: SweepPoint, result: TaskResult) -> SweepPoint:
+    """Fill a sweep point's sim fields from a task result (in place)."""
+    point.sim_unicast = result.unicast.mean
+    point.sim_unicast_ci95 = result.unicast.ci95
+    point.sim_multicast = result.multicast.mean
+    point.sim_multicast_ci95 = result.multicast.ci95
+    point.sim_saturated = result.saturated
+    point.sim_deadlock_recoveries = result.deadlock_recoveries
+    point.sim_samples_unicast = result.unicast.count
+    point.sim_samples_multicast = result.multicast.count
+    return point
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    include_sim: bool = True,
+    sim_config: Optional[SimConfig] = None,
+    rates: Optional[list[float]] = None,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultStore] = None,
+    derive_seeds: bool = False,
+) -> ExperimentResult:
+    """Produce the model/sim series of one figure panel.
+
+    ``rates`` overrides the automatic sweep (fractions of the occupancy
+    model's saturation rate).  ``sim_config`` tunes sample counts -- the
+    benchmark defaults are deliberately small; validation tests use larger
+    targets.  ``executor`` chooses where the simulations run (default:
+    serially, in-process); ``cache`` skips already-computed points.  The
+    resulting series is identical for any executor.
+    """
+    start = time.perf_counter()
+    sat, sweep, points = model_series(config, rates=rates)
+    result = ExperimentResult(config=config, saturation_rate=sat, points=points)
+
+    if include_sim:
+        scfg = sim_config or default_sim_config(config)
+        tasks = sweep_tasks(config, sweep, scfg, derive_seeds=derive_seeds)
+        for point, tres in zip(
+            points, run_tasks(tasks, executor=executor, cache=cache)
+        ):
+            apply_task_result(point, tres)
+
     result.wall_seconds = time.perf_counter() - start
     return result

@@ -1,0 +1,50 @@
+"""Experiment orchestration: picklable sim tasks + serial/parallel executors.
+
+The paper's evaluation is a cartesian grid of independent simulation
+runs; this package separates *describing* a run (:class:`SimTask`, pure
+data) from *executing* it (:class:`SerialExecutor` /
+:class:`ParallelExecutor`), so sweeps, replications and the full paper
+grid fan out across processes -- with a content-addressed disk cache
+(:class:`repro.experiments.io.ResultCache`) skipping already-computed
+points.  Serial and parallel execution of the same tasks produce
+identical series: results carry their submission index and every worker
+rebuilds the network from the same builder keys and seeds.
+"""
+
+from repro.orchestration.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    iter_task_results,
+    make_executor,
+    run_tasks,
+)
+from repro.orchestration.tasks import (
+    NETWORK_BUILDERS,
+    WORKLOAD_BUILDERS,
+    SimTask,
+    StatsSummary,
+    TaskResult,
+    execute_task,
+    spawn_seeds,
+    task_result_from_dict,
+    task_result_to_dict,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "iter_task_results",
+    "run_tasks",
+    "NETWORK_BUILDERS",
+    "WORKLOAD_BUILDERS",
+    "SimTask",
+    "StatsSummary",
+    "TaskResult",
+    "execute_task",
+    "spawn_seeds",
+    "task_result_to_dict",
+    "task_result_from_dict",
+]

@@ -1,0 +1,144 @@
+"""Executors: run picklable work items serially or across processes.
+
+The :class:`Executor` interface is deliberately tiny -- ``imap_unordered``
+maps a top-level function over items and yields ``(index, result)`` pairs
+as they complete -- so call sites reassemble results by index and are
+bitwise-independent of scheduling order.  :class:`SerialExecutor` runs
+in-process (the default everywhere, preserving historical behaviour);
+:class:`ParallelExecutor` fans items out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+:func:`iter_task_results` layers the disk cache on top: cache hits are
+yielded immediately, misses are submitted to the executor and written
+back on completion.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Callable, Iterable, Iterator, Optional, Protocol, Sequence
+
+from repro.orchestration.tasks import SimTask, TaskResult, execute_task
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "ResultStore",
+    "iter_task_results",
+    "run_tasks",
+]
+
+
+class Executor:
+    """Maps a picklable top-level function over items."""
+
+    jobs: int = 1
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, fn(item))`` pairs in completion order."""
+        raise NotImplementedError
+
+    def map_ordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        """All results, in item order."""
+        items = list(items)
+        out: list[Any] = [None] * len(items)
+        for i, result in self.imap_unordered(fn, items):
+            out[i] = result
+        return out
+
+
+class SerialExecutor(Executor):
+    """In-process execution, items in order (the historical code path)."""
+
+    def imap_unordered(self, fn, items):
+        for i, item in enumerate(items):
+            yield i, fn(item)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with ``jobs`` workers.
+
+    Work items and results cross the process boundary by pickling, which
+    is why the task layer is pure data.  With ``jobs=1`` (or a single
+    item) it degrades to in-process execution -- no pool start-up cost.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError(f"jobs must be >= 1, got {resolved}")
+        self.jobs = resolved
+
+    def imap_unordered(self, fn, items):
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            yield from SerialExecutor().imap_unordered(fn, items)
+            return
+        workers = min(self.jobs, len(items))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+
+
+def make_executor(jobs: int) -> Executor:
+    """``jobs <= 1`` -> serial, else a ``jobs``-worker process pool."""
+    return SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs=jobs)
+
+
+class ResultStore(Protocol):
+    """Cache interface (see :class:`repro.experiments.io.ResultCache`)."""
+
+    def get(self, task: SimTask) -> Optional[TaskResult]: ...
+
+    def put(self, task: SimTask, result: TaskResult) -> None: ...
+
+
+def iter_task_results(
+    tasks: Sequence[SimTask],
+    *,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultStore] = None,
+) -> Iterator[tuple[int, TaskResult]]:
+    """Yield ``(index, result)`` for every task as results become
+    available: cache hits first, then executor completions (written back
+    to the cache)."""
+    executor = executor or SerialExecutor()
+    tasks = list(tasks)
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        hit = cache.get(task) if cache is not None else None
+        if hit is not None:
+            yield i, hit
+        else:
+            pending.append(i)
+    if not pending:
+        return
+    for j, result in executor.imap_unordered(
+        execute_task, [tasks[i] for i in pending]
+    ):
+        i = pending[j]
+        if cache is not None:
+            cache.put(tasks[i], result)
+        yield i, result
+
+
+def run_tasks(
+    tasks: Sequence[SimTask],
+    *,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultStore] = None,
+) -> list[TaskResult]:
+    """All task results, in task order."""
+    tasks = list(tasks)
+    out: list[Optional[TaskResult]] = [None] * len(tasks)
+    for i, result in iter_task_results(tasks, executor=executor, cache=cache):
+        out[i] = result
+    return out  # type: ignore[return-value]

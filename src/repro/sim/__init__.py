@@ -19,7 +19,13 @@ from repro.sim.engine import EventQueue
 from repro.sim.worm import Worm, WormClass
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 from repro.sim.measurement import LatencyStats
-from repro.sim.replication import ReplicationSummary, mser_truncation, run_replications
+from repro.sim.replication import (
+    ReplicationSummary,
+    mser_truncation,
+    replication_tasks,
+    run_replications,
+    summarize_task_results,
+)
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.wormengine import WormEngine
 
@@ -33,6 +39,8 @@ __all__ = [
     "LatencyStats",
     "ReplicationSummary",
     "run_replications",
+    "replication_tasks",
+    "summarize_task_results",
     "mser_truncation",
     "ChannelUtilizationTracer",
     "CompositeTracer",

@@ -17,14 +17,26 @@ Used by the validation suite to confirm the default single-run settings
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.flows import TrafficSpec
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 
-__all__ = ["ReplicationSummary", "run_replications", "mser_truncation", "t_quantile_975"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.orchestration.executor import Executor
+    from repro.orchestration.tasks import SimTask
+
+__all__ = [
+    "ReplicationSummary",
+    "run_replications",
+    "replication_tasks",
+    "summarize_task_results",
+    "mser_truncation",
+    "t_quantile_975",
+]
 
 # two-sided 95% Student-t quantiles by degrees of freedom (abridged table;
 # > 30 dof uses the normal 1.96)
@@ -110,6 +122,12 @@ class ReplicationSummary:
         return (max(means) - min(means)) / grand if grand > 0 else math.nan
 
 
+def _run_replication_item(item: tuple[NocSimulator, TrafficSpec, SimConfig]) -> SimResult:
+    """Top-level worker (picklable for process pools): one replication."""
+    simulator, spec, config = item
+    return simulator.run(spec, config)
+
+
 def run_replications(
     simulator: NocSimulator,
     spec: TrafficSpec,
@@ -117,24 +135,79 @@ def run_replications(
     *,
     replications: int = 5,
     seed_stride: int = 1_000,
+    executor: Optional["Executor"] = None,
 ) -> ReplicationSummary:
     """Run ``replications`` independent simulations, seeds
-    ``base.seed + k * seed_stride``."""
+    ``base.seed + k * seed_stride``.
+
+    The default runs in-process; passing a
+    :class:`~repro.orchestration.executor.ParallelExecutor` fans the
+    replications out across worker processes.  Each replication depends
+    only on its own seed, so both paths produce the same summary (the
+    list order follows the seed index, not completion order).
+
+    Note: this legacy-signature path ships the live ``simulator`` to the
+    workers by pickling it per item -- convenient, but heavier than the
+    pure-data route.  New code that wants parallel replications should
+    prefer :func:`replication_tasks` +
+    :func:`repro.orchestration.executor.run_tasks`, which transports
+    builder keys only (and can hit the result cache).
+    """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
     base = base_config or SimConfig()
+    configs = [
+        dataclasses.replace(base, seed=base.seed + k * seed_stride)
+        for k in range(replications)
+    ]
     summary = ReplicationSummary(spec=spec)
-    for k in range(replications):
-        cfg = SimConfig(
-            seed=base.seed + k * seed_stride,
-            warmup_cycles=base.warmup_cycles,
-            target_unicast_samples=base.target_unicast_samples,
-            target_multicast_samples=base.target_multicast_samples,
-            max_cycles=base.max_cycles,
-            max_in_flight=base.max_in_flight,
-            check_interval=base.check_interval,
-        )
-        summary.replications.append(simulator.run(spec, cfg))
+    if executor is None:
+        summary.replications = [simulator.run(spec, cfg) for cfg in configs]
+    else:
+        results: list[Optional[SimResult]] = [None] * len(configs)
+        for k, res in executor.imap_unordered(
+            _run_replication_item, [(simulator, spec, cfg) for cfg in configs]
+        ):
+            results[k] = res
+        summary.replications = results  # type: ignore[assignment]
+    return summary
+
+
+def replication_tasks(
+    base_task: "SimTask",
+    *,
+    replications: int = 5,
+    seed_stride: int = 1_000,
+    spawn: bool = False,
+) -> list["SimTask"]:
+    """Pure-data replication plan: ``replications`` copies of
+    ``base_task`` with independent seeds.
+
+    ``spawn=False`` strides the seed (``base + k * seed_stride``, the
+    historical scheme); ``spawn=True`` derives statistically independent
+    child seeds via ``SeedSequence.spawn``.  The tasks can be submitted
+    to any executor or cache and pooled with
+    :func:`summarize_task_results`.
+    """
+    from repro.orchestration.tasks import spawn_seeds
+
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    base_seed = base_task.sim.seed
+    seeds = (
+        spawn_seeds(base_seed, replications)
+        if spawn
+        else [base_seed + k * seed_stride for k in range(replications)]
+    )
+    return [base_task.with_seed(seed) for seed in seeds]
+
+
+def summarize_task_results(spec: TrafficSpec, results: Sequence) -> ReplicationSummary:
+    """Pool executor-produced task results (or sim results) into a
+    :class:`ReplicationSummary`; entries must expose ``unicast`` /
+    ``multicast`` stats, ``saturated`` and ``deadlock_recoveries``."""
+    summary = ReplicationSummary(spec=spec)
+    summary.replications = list(results)
     return summary
 
 

@@ -11,6 +11,7 @@ brute-force per-flit simulator (:mod:`repro.sim.reference`).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional, Protocol
 
 from repro.sim.deadlock import choose_victim, find_wait_cycle
@@ -65,7 +66,7 @@ class WormEngine:
         self.events = events
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.holders: list[Optional[Worm]] = [None] * num_channels
-        self.fifos: list[list[Worm]] = [[] for _ in range(num_channels)]
+        self.fifos: list[deque[Worm]] = [deque() for _ in range(num_channels)]
         self.deadlock_recoveries = 0
         self.active_worms = 0
 
@@ -115,7 +116,7 @@ class WormEngine:
         self.tracer.on_release(worm, pos, t)
         self.holders[ch] = None
         if self.fifos[ch]:
-            nxt = self.fifos[ch].pop(0)
+            nxt = self.fifos[ch].popleft()
             self._grant(nxt, ch, t)
 
     def _finish_routing(self, worm: Worm, t: float) -> None:
@@ -144,7 +145,7 @@ class WormEngine:
                 self.tracer.on_release(victim, pos, t)
                 self.holders[ch] = None
                 if self.fifos[ch]:
-                    self._grant(self.fifos[ch].pop(0), ch, t)
+                    self._grant(self.fifos[ch].popleft(), ch, t)
         victim.done = True
         self.active_worms -= 1
         self.tracer.on_complete(victim, victim.ideal_remaining_time(t), recovered=True)

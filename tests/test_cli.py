@@ -25,6 +25,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--rate", "0.1", "--recursion", "x"])
 
+    def test_orchestration_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4 and args.no_cache and args.cache_dir == "/tmp/c"
+
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.jobs == 1 and not args.full_grid and args.limit is None
+        args = build_parser().parse_args(["grid", "--jobs", "2", "--limit", "2"])
+        assert args.jobs == 2 and args.limit == 2
+
 
 class TestCommands:
     def test_evaluate_model_only(self, capsys):
@@ -76,3 +88,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "saturation rate" in out
         assert "legend" in out  # chart rendered
+
+    def test_grid_model_only(self, capsys):
+        rc = main(["grid", "--no-sim", "--limit", "2", "--no-cache", "--points", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paper grid: 2 panels" in out
+        assert "fig6-N16-M32-a05" in out
+
+    def test_grid_sim_smoke_with_cache(self, capsys, tmp_path):
+        argv = ["grid", "--limit", "1", "--points", "2", "--samples", "150",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 hits, 2 misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hits, 0 misses" in second
+
+        def series(text):
+            return [l for l in text.splitlines() if l.startswith("fig6-")]
+
+        assert series(first)
+        # agreement columns identical when served from cache
+        assert series(first)[0].split()[:7] == series(second)[0].split()[:7]
+
+    def test_saturation_with_jobs_flag(self, capsys):
+        rc = main(["saturation", "--sizes", "16", "--lengths", "16", "--seed", "1",
+                   "--jobs", "1"])
+        assert rc == 0
+        assert "M=16" in capsys.readouterr().out

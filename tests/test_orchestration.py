@@ -1,0 +1,298 @@
+"""Tests for the orchestration layer: tasks, executors, cache, determinism.
+
+The load-bearing guarantee is that *where* a simulation runs -- serial
+loop, process pool, or disk cache -- never changes *what* it computes:
+serial and parallel sweeps of the same config are bitwise identical, and
+a cache hit reproduces the original result exactly.
+"""
+
+import dataclasses
+import math
+import pickle
+
+import pytest
+
+from repro.core import TrafficSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import ResultCache
+from repro.experiments.runner import run_experiment, sweep_tasks
+from repro.experiments.compare import run_grid
+from repro.orchestration import (
+    ParallelExecutor,
+    SerialExecutor,
+    SimTask,
+    execute_task,
+    make_executor,
+    run_tasks,
+    spawn_seeds,
+)
+from repro.routing import QuarcRouting
+from repro.sim import NocSimulator, SimConfig, replication_tasks, run_replications
+from repro.sim.replication import summarize_task_results
+from repro.topology import QuarcTopology
+from repro.workloads import random_multicast_sets
+
+QUICK_SIM = SimConfig(
+    seed=5, warmup_cycles=800, target_unicast_samples=300, target_multicast_samples=60
+)
+
+SMALL_PANEL = ExperimentConfig(
+    exp_id="orch-N16",
+    figure="fig6",
+    num_nodes=16,
+    message_length=16,
+    multicast_fraction=0.05,
+    group_size=4,
+    destset_mode="random",
+    load_fractions=(0.2, 0.5),
+)
+
+
+def small_task(seed=7, rate=0.004) -> SimTask:
+    return SimTask(
+        network="quarc",
+        network_args=(16,),
+        workload="random",
+        group_size=4,
+        workload_seed=3,
+        message_rate=rate,
+        multicast_fraction=0.05,
+        message_length=16,
+        sim=SimConfig(seed=seed, warmup_cycles=500, target_unicast_samples=150,
+                      target_multicast_samples=30),
+    )
+
+
+class TestSimTask:
+    def test_picklable(self):
+        task = small_task()
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert clone.task_key() == task.task_key()
+
+    def test_execute_matches_direct_simulation(self):
+        task = small_task()
+        tres = execute_task(task)
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sets = random_multicast_sets(routing, 4, 3)
+        sim = NocSimulator(topo, routing)
+        direct = sim.run(TrafficSpec(0.004, 0.05, 16, sets), task.sim)
+        assert tres.unicast.mean == direct.unicast.mean
+        assert tres.multicast.mean == direct.multicast.mean
+        assert tres.unicast.count == direct.unicast.count
+
+    def test_key_ignores_label_but_not_content(self):
+        task = small_task()
+        assert dataclasses.replace(task, label="x").task_key() == task.task_key()
+        assert task.with_seed(task.sim.seed + 1).task_key() != task.task_key()
+        assert dataclasses.replace(task, message_rate=0.005).task_key() != task.task_key()
+
+    def test_unknown_builders_rejected(self):
+        with pytest.raises(ValueError):
+            small_task().__class__(network="nonsense", network_args=(16,))
+        with pytest.raises(ValueError):
+            dataclasses.replace(small_task(), workload="nonsense")
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        a = spawn_seeds(2009, 8)
+        assert a == spawn_seeds(2009, 8)
+        assert len(set(a)) == 8
+        assert a[:4] == spawn_seeds(2009, 4)  # prefix-stable
+
+    def test_different_bases_differ(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        ex = make_executor(3)
+        assert isinstance(ex, ParallelExecutor) and ex.jobs == 3
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_serial_yields_in_order(self):
+        pairs = list(SerialExecutor().imap_unordered(lambda x: x * 2, [3, 1, 2]))
+        assert pairs == [(0, 6), (1, 2), (2, 4)]
+
+    def test_parallel_map_ordered_reassembles(self):
+        tasks = [small_task(seed=s) for s in (1, 2, 3)]
+        serial = run_tasks(tasks, executor=SerialExecutor())
+        parallel = run_tasks(tasks, executor=ParallelExecutor(jobs=2))
+        assert [r.task_key for r in parallel] == [t.task_key() for t in tasks]
+        for a, b in zip(serial, parallel):
+            assert a.payload_equal(b)
+
+
+class TestSweepDeterminism:
+    def test_serial_matches_parallel_bitwise(self):
+        serial = run_experiment(SMALL_PANEL, sim_config=QUICK_SIM)
+        parallel = run_experiment(
+            SMALL_PANEL, sim_config=QUICK_SIM, executor=ParallelExecutor(jobs=2)
+        )
+        assert [dataclasses.asdict(p) for p in serial.points] == [
+            dataclasses.asdict(p) for p in parallel.points
+        ]
+        assert serial.saturation_rate == parallel.saturation_rate
+
+    def test_derived_seeds_deterministic_but_distinct_per_point(self):
+        a = run_experiment(SMALL_PANEL, sim_config=QUICK_SIM, derive_seeds=True)
+        b = run_experiment(
+            SMALL_PANEL, sim_config=QUICK_SIM, derive_seeds=True,
+            executor=ParallelExecutor(jobs=2),
+        )
+        assert [dataclasses.asdict(p) for p in a.points] == [
+            dataclasses.asdict(p) for p in b.points
+        ]
+        tasks = sweep_tasks(SMALL_PANEL, [0.001, 0.002], QUICK_SIM, derive_seeds=True)
+        assert tasks[0].sim.seed != tasks[1].sim.seed
+
+    def test_cache_second_run_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment(SMALL_PANEL, sim_config=QUICK_SIM, cache=cache)
+        assert cache.hits == 0 and cache.misses == len(SMALL_PANEL.load_fractions)
+        second = run_experiment(SMALL_PANEL, sim_config=QUICK_SIM, cache=cache)
+        assert cache.hits == len(SMALL_PANEL.load_fractions)
+        assert [dataclasses.asdict(p) for p in first.points] == [
+            dataclasses.asdict(p) for p in second.points
+        ]
+
+    def test_cache_served_results_flagged(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = small_task()
+        [fresh] = run_tasks([task], cache=cache)
+        [hit] = run_tasks([task], cache=cache)
+        assert not fresh.cached and hit.cached
+        assert fresh.payload_equal(hit)
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = small_task()
+        run_tasks([task], cache=cache)
+        cache.path_for(task).write_text("{not json")
+        [again] = run_tasks([task], cache=cache)
+        assert not again.cached
+        assert math.isfinite(again.unicast.mean)
+
+    def test_unwritable_cache_does_not_lose_results(self, tmp_path):
+        blocker = tmp_path / "cache"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(blocker)  # mkdir() -> FileExistsError (OSError)
+        with pytest.warns(UserWarning, match="not writable"):
+            [res] = run_tasks([small_task()], cache=cache)
+        assert math.isfinite(res.unicast.mean) and not res.cached
+
+    def test_non_object_json_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = small_task()
+        run_tasks([task], cache=cache)
+        cache.path_for(task).write_text("null")  # valid JSON, wrong shape
+        assert cache.get(task) is None
+        [again] = run_tasks([task], cache=cache)
+        assert not again.cached
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        task = small_task()
+        run_tasks([task], cache=cache)
+        entry = json.loads(cache.path_for(task).read_text())
+        entry["format"] = -1  # a simulator-behaviour bump invalidates entries
+        cache.path_for(task).write_text(json.dumps(entry))
+        assert cache.get(task) is None
+
+    def test_clear_removes_entries_and_orphaned_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_tasks([small_task()], cache=cache)
+        (cache.root / "deadbeef.1234.tmp").write_text("half a write")
+        assert cache.clear() == 1
+        assert list(cache.root.iterdir()) == []
+
+    def test_payload_equal_ignores_label_and_wall(self):
+        task = small_task()
+        a = execute_task(task)
+        b = execute_task(dataclasses.replace(task, label="other-label"))
+        assert a.payload_equal(b)
+        assert not a.payload_equal(execute_task(task.with_seed(99)))
+
+
+class TestReplicationOrchestration:
+    def test_replace_preserves_every_config_field(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        base = SimConfig(seed=9, warmup_cycles=300, target_unicast_samples=80,
+                         max_cycles=50_000.0, check_interval=123)
+        summary = run_replications(
+            sim, TrafficSpec(0.002, 0.0, 16), base, replications=2
+        )
+        for k, rep in enumerate(summary.replications):
+            assert rep.config.seed == 9 + k * 1_000
+            assert rep.config.check_interval == 123
+            assert rep.config.max_cycles == 50_000.0
+
+    def test_executor_matches_serial(self):
+        topo = QuarcTopology(16)
+        routing = QuarcRouting(topo)
+        sim = NocSimulator(topo, routing)
+        spec = TrafficSpec(0.003, 0.0, 16)
+        base = SimConfig(seed=11, warmup_cycles=300, target_unicast_samples=150)
+        serial = run_replications(sim, spec, base, replications=3)
+        pooled = run_replications(
+            sim, spec, base, replications=3, executor=ParallelExecutor(jobs=2)
+        )
+        assert [r.unicast.mean for r in serial.replications] == [
+            r.unicast.mean for r in pooled.replications
+        ]
+        assert serial.unicast_ci95 == pooled.unicast_ci95
+
+    def test_task_based_replications(self):
+        tasks = replication_tasks(small_task(seed=20), replications=3)
+        assert [t.sim.seed for t in tasks] == [20, 1020, 2020]
+        results = run_tasks(tasks)
+        spec = TrafficSpec(0.004, 0.05, 16)
+        summary = summarize_task_results(spec, results)
+        assert len(summary.replications) == 3
+        assert math.isfinite(summary.unicast_mean)
+        assert summary.unicast_ci95 > 0.0
+
+    def test_spawned_replication_seeds(self):
+        tasks = replication_tasks(small_task(seed=20), replications=3, spawn=True)
+        seeds = [t.sim.seed for t in tasks]
+        assert len(set(seeds)) == 3
+        assert seeds == [t.sim.seed for t in
+                         replication_tasks(small_task(seed=20), replications=3,
+                                           spawn=True)]
+
+    def test_invalid_replication_count(self):
+        with pytest.raises(ValueError):
+            replication_tasks(small_task(), replications=0)
+
+
+class TestGrid:
+    def test_grid_model_only(self):
+        configs = [SMALL_PANEL, SMALL_PANEL.scaled(exp_id="orch-N16b", seed=77)]
+        panels = run_grid(configs, include_sim=False)
+        assert len(panels) == 2
+        assert all(len(p.result.points) == 2 for p in panels)
+        assert all(not p.result.points[0].has_sim for p in panels)
+        assert all(p.occupancy is None for p in panels)
+
+    def test_grid_matches_per_panel_run_experiment(self):
+        configs = [SMALL_PANEL]
+        panels = run_grid(configs, sim_config=QUICK_SIM)
+        direct = run_experiment(SMALL_PANEL, sim_config=QUICK_SIM)
+        assert [dataclasses.asdict(p) for p in panels[0].result.points] == [
+            dataclasses.asdict(p) for p in direct.points
+        ]
+        assert panels[0].occupancy.points_used >= 1
