@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from perf_record import record_metric
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.orchestration import make_executor
@@ -65,9 +66,20 @@ def test_parallel_sweep_speedup(benchmark, jobs):
     _reference.setdefault("walls", {})[jobs] = result.wall_seconds
     walls = _reference["walls"]
     if 1 in walls:
+        speedup = walls[1] / result.wall_seconds
         print(f"\njobs={jobs}: {result.wall_seconds:.2f}s "
-              f"(speedup vs serial: {walls[1] / result.wall_seconds:.2f}x, "
+              f"(speedup vs serial: {speedup:.2f}x, "
               f"usable cores: {_USABLE_CORES})")
+        if jobs > 1:
+            record_metric(
+                f"parallel_sweep_speedup[jobs={jobs}]",
+                {
+                    "serial_seconds": walls[1],
+                    "parallel_seconds": result.wall_seconds,
+                    "speedup": round(speedup, 3),
+                    "usable_cores": _USABLE_CORES,
+                },
+            )
     if jobs == 4 and 1 in walls and _USABLE_CORES >= 4:
         assert walls[1] / walls[4] >= 1.5, (
             f"expected >= 1.5x speedup at jobs=4 on {_USABLE_CORES} cores, "

@@ -1,0 +1,55 @@
+"""Persist benchmark headline metrics to ``BENCH_perf_sim.json``.
+
+Every run of the perf benchmarks appends its headline numbers (simulator
+events/sec, parallel-sweep speedup) to a JSON file at the repository
+root, so the perf trajectory across PRs lives in version control and CI
+can upload it as an artifact.  ``latest`` holds the most recent entry per
+metric for quick comparison; ``history`` keeps the append-only record
+(capped, oldest dropped first).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["BENCH_FILE", "record_metric"]
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf_sim.json"
+
+#: history entries kept per file (append-only, oldest dropped first)
+HISTORY_LIMIT = 500
+
+
+def record_metric(name: str, metrics: dict, path: Path | None = None) -> dict:
+    """Merge one metric entry into the benchmark trajectory file.
+
+    ``metrics`` must be JSON-serialisable scalars.  Returns the entry
+    written.  A corrupt or missing file is recreated, never fatal -- a
+    benchmark run must not fail because of bookkeeping.
+    """
+    path = BENCH_FILE if path is None else path
+    data: dict = {}
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    entry = {
+        "metric": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **metrics,
+    }
+    data.setdefault("latest", {})[name] = entry
+    history = data.setdefault("history", [])
+    history.append(entry)
+    del history[:-HISTORY_LIMIT]
+    # per-process tmp + atomic rename: a crash or concurrent bench run
+    # must not truncate the trajectory this file exists to keep
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(data, indent=1) + "\n")
+    tmp.replace(path)
+    return entry

@@ -14,12 +14,17 @@ Commands
     Model saturation rates over network sizes and message lengths.
 ``explain``
     Per-port decomposition of one node's multicast latency.
+``cache``
+    Inspect (``cache info``) or empty (``cache clear``) the simulation
+    result cache, including entries stranded by an older engine version.
 
 ``sweep`` and ``grid`` accept ``--jobs N`` to fan simulation points out
 over N worker processes; they and ``evaluate --sim`` cache simulation
 results on disk under ``--cache-dir`` (disable with ``--no-cache``).
 ``saturation`` is model-only and takes ``--jobs`` alone.  Results are
-identical for any job count.
+identical for any job count, and cached results are stamped with the
+kernel's engine version -- a result simulated by an older kernel is
+reported and re-simulated, never served silently.
 """
 
 from __future__ import annotations
@@ -139,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--rate", type=float, required=True)
     p_explain.add_argument("--node", type=int, default=0)
 
+    p_cache = sub.add_parser("cache", help="inspect or empty the result cache")
+    p_cache.add_argument("verb", choices=["info", "clear"],
+                         help="info: entry/size/engine-version report; "
+                              "clear: delete every entry")
+    p_cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                         metavar="DIR", help="result cache location")
+
     return parser
 
 
@@ -238,7 +250,7 @@ def cmd_sweep(args) -> int:
     )
     print(render_series(result))
     if cache is not None and not args.no_sim:
-        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})")
+        print(_render_cache_line(cache))
     if args.chart:
         print()
         print(chart_experiment(result, quantity="multicast"))
@@ -330,7 +342,7 @@ def cmd_grid(args) -> int:
     print(render_grid_summary(panels))
     print(f"elapsed: {elapsed:.1f}s (jobs={args.jobs})")
     if cache is not None:
-        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})")
+        print(_render_cache_line(cache))
     if args.save_dir:
         from pathlib import Path
 
@@ -343,6 +355,47 @@ def cmd_grid(args) -> int:
                 panel.result, out / f"{panel.config.exp_id}.json"
             )
         print(f"saved {len(panels)} panel series under {out}")
+    return 0
+
+
+def _render_cache_line(cache: ResultCache) -> str:
+    """The per-command cache summary line (hits/misses/stale)."""
+    line = f"cache: {cache.hits} hits, {cache.misses} misses"
+    if cache.stale_engine:
+        line += f" ({cache.stale_engine} from an older engine, re-simulated)"
+    return line + f" ({cache.root})"
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.verb == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results under {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"== result cache at {info['root']} ==")
+    print(f"entries        : {info['entries']}")
+    print(f"size           : {info['total_bytes'] / 1024:.1f} KiB")
+    print(f"current engine : v{info['current_engine']}")
+    # engine stamps are ints for our entries, but foreign/hand-edited
+    # files can carry anything JSON allows -- sort ints first, then the
+    # rest by repr, never comparing across types
+    for engine, count in sorted(
+        info["by_engine"].items(),
+        key=lambda kv: (
+            kv[0] is None,
+            not isinstance(kv[0], int),
+            kv[0] if isinstance(kv[0], int) else str(kv[0]),
+        ),
+    ):
+        label = f"v{engine}" if engine is not None else "unstamped/corrupt"
+        marker = "" if engine == info["current_engine"] else "  [stale: never served]"
+        print(f"  engine {label:18s}: {count} entries{marker}")
+    if info["orphaned_tmp"]:
+        print(f"orphaned tmp   : {info['orphaned_tmp']} (removed by 'cache clear')")
+    if info["stale_entries"]:
+        print(f"{info['stale_entries']} stale entries will be re-simulated on use; "
+              "'cache clear' reclaims the space")
     return 0
 
 
@@ -367,6 +420,7 @@ COMMANDS = {
     "hops": cmd_hops,
     "saturation": cmd_saturation,
     "explain": cmd_explain,
+    "cache": cmd_cache,
 }
 
 

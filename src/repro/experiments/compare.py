@@ -119,12 +119,14 @@ def run_grid(
 ) -> list[GridPanel]:
     """Run many panels against one executor and score each.
 
-    Tasks from all panels are flattened into a single submission so the
-    executor's workers never idle between panels (the model series are
-    still evaluated serially up front -- overlapping them with the
-    simulations is an open item).  ``sim_config`` applies to every panel
-    (``None``: each panel's default run control); ``progress`` is an
-    optional callback ``(done, total, task)`` invoked as results arrive.
+    Panels stream through one submission: each panel's simulation tasks
+    are handed to the executor the moment its model series (and therefore
+    its sweep rates) is known, so pool workers crunch the first panel's
+    points while the driver is still evaluating later panels' models --
+    no idle model phase in front of the sweep.  ``sim_config`` applies to
+    every panel (``None``: each panel's default run control);
+    ``progress`` is an optional callback ``(done, total, task)`` invoked
+    as results arrive.
 
     Each panel's ``result.wall_seconds`` is the *compute time attributed
     to that panel* -- model evaluation plus the summed duration of its
@@ -135,23 +137,41 @@ def run_grid(
     """
     configs = list(configs)
     panels: list[GridPanel] = []
-    all_tasks: list[SimTask] = []
-    owners: list[tuple[int, int]] = []  #: flattened index -> (panel, point)
 
-    for c_idx, config in enumerate(configs):
+    def build_panel(config: ExperimentConfig) -> tuple[GridPanel, list[float]]:
         start = time.perf_counter()
         sat, sweep, points = model_series(config)
         result = ExperimentResult(config=config, saturation_rate=sat, points=points)
         result.wall_seconds = time.perf_counter() - start
-        panels.append(GridPanel(result=result))
-        if include_sim:
+        panel = GridPanel(result=result)
+        panels.append(panel)
+        return panel, sweep
+
+    if not include_sim:
+        for config in configs:
+            build_panel(config)
+        return panels
+
+    # every panel contributes one task per load fraction, so the total is
+    # known before any model series is evaluated (for progress reporting)
+    total = sum(len(c.load_fractions) for c in configs)
+    all_tasks: list[SimTask] = []
+    owners: list[tuple[int, int]] = []  #: flattened index -> (panel, point)
+
+    def task_stream():
+        for c_idx, config in enumerate(configs):
+            _panel, sweep = build_panel(config)
             scfg = sim_config or default_sim_config(config)
             tasks = sweep_tasks(config, sweep, scfg, derive_seeds=derive_seeds)
-            all_tasks.extend(tasks)
-            owners.extend((c_idx, p_idx) for p_idx in range(len(tasks)))
+            for p_idx, task in enumerate(tasks):
+                all_tasks.append(task)
+                owners.append((c_idx, p_idx))
+                yield task
 
     done = 0
-    for flat_idx, tres in iter_task_results(all_tasks, executor=executor, cache=cache):
+    for flat_idx, tres in iter_task_results(
+        task_stream(), executor=executor, cache=cache
+    ):
         c_idx, p_idx = owners[flat_idx]
         panel = panels[c_idx]
         apply_task_result(panel.result.points[p_idx], tres)
@@ -159,12 +179,11 @@ def run_grid(
             panel.result.wall_seconds += tres.wall_seconds
         done += 1
         if progress is not None:
-            progress(done, len(all_tasks), all_tasks[flat_idx])
+            progress(done, total, all_tasks[flat_idx])
 
-    if include_sim:
-        for panel in panels:
-            panel.occupancy = agreement_metrics(panel.result, "occupancy")
-            panel.paper = agreement_metrics(panel.result, "paper")
+    for panel in panels:
+        panel.occupancy = agreement_metrics(panel.result, "occupancy")
+        panel.paper = agreement_metrics(panel.result, "paper")
     return panels
 
 

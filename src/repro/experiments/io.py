@@ -29,6 +29,7 @@ from repro.orchestration.tasks import (
     task_result_from_dict,
     task_result_to_dict,
 )
+from repro.sim.engine import ENGINE_VERSION
 
 __all__ = [
     "experiment_to_dict",
@@ -123,13 +124,19 @@ class ResultCache:
     covers network, workload, traffic and run-control fields -- two tasks
     with the same key are the same computation, so a hit is always safe
     to reuse.  Corrupt or stale-format entries are treated as misses and
-    overwritten.  ``hits``/``misses`` count lookups for reporting.
+    overwritten.  Every entry is stamped with the simulation kernel's
+    :data:`~repro.sim.engine.ENGINE_VERSION`; an entry written by a
+    different kernel is *never* served -- it is counted in
+    ``stale_engine`` (and re-simulated) so cross-engine reuse is both
+    impossible and visible.  ``hits``/``misses`` count lookups for
+    reporting.
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.stale_engine = 0
         self._write_failed = False
 
     def path_for(self, task: SimTask) -> Path:
@@ -139,6 +146,11 @@ class ResultCache:
         path = self.path_for(task)
         try:
             data = json.loads(path.read_text())
+            if isinstance(data, dict) and data.get("engine") != ENGINE_VERSION:
+                # simulated by another kernel: report, then recompute
+                self.stale_engine += 1
+                self.misses += 1
+                return None
             result = task_result_from_dict(data, cached=True)
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             # unreadable, corrupt, stale-format or non-object JSON: a miss
@@ -183,6 +195,43 @@ class ResultCache:
             for orphan in self.root.glob("*.tmp"):
                 orphan.unlink()
         return removed
+
+    def info(self) -> dict:
+        """Scan the cache directory: entry/byte totals, a per-engine-
+        version entry count (``None`` keys: unreadable entries), and the
+        number of orphaned tmp files."""
+        entries = 0
+        total_bytes = 0
+        by_engine: dict[Optional[int], int] = {}
+        orphaned_tmp = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entries += 1
+                try:
+                    total_bytes += entry.stat().st_size
+                    data = json.loads(entry.read_text())
+                    engine = data.get("engine") if isinstance(data, dict) else None
+                except (OSError, ValueError):
+                    engine = None
+                if isinstance(engine, (list, dict)):
+                    # foreign/hand-edited stamps can be any JSON value;
+                    # bucket unhashable ones by their repr
+                    engine = repr(engine)
+                by_engine[engine] = by_engine.get(engine, 0) + 1
+            orphaned_tmp = sum(1 for _ in self.root.glob("*.tmp"))
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "by_engine": by_engine,
+            "current_engine": ENGINE_VERSION,
+            "stale_entries": sum(
+                count
+                for engine, count in by_engine.items()
+                if engine != ENGINE_VERSION
+            ),
+            "orphaned_tmp": orphaned_tmp,
+        }
 
 
 def save_points_csv(result: ExperimentResult, path: str | Path) -> Path:

@@ -8,16 +8,24 @@ in-process (the default everywhere, preserving historical behaviour);
 :class:`ParallelExecutor` fans items out over a
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
-:func:`iter_task_results` layers the disk cache on top: cache hits are
-yielded immediately, misses are submitted to the executor and written
-back on completion.
+``imap_unordered`` accepts a *lazy* iterable: the parallel executor
+submits each item to the pool as the iterator produces it, so a producer
+that interleaves expensive preparation (e.g. a grid run evaluating each
+panel's model series) keeps the workers busy from the first item instead
+of making them idle until the whole work list exists.
+
+:func:`iter_task_results` layers the disk cache on top: cache misses are
+submitted to the executor and written back on completion; hits ride
+along, yielded at the next completion (or at the end) -- the price of
+streaming a lazy producer through one thread.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Any, Callable, Iterable, Iterator, Optional, Protocol, Sequence
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator, Optional, Protocol
 
 from repro.orchestration.tasks import SimTask, TaskResult, execute_task
 
@@ -77,15 +85,36 @@ class ParallelExecutor(Executor):
         self.jobs = resolved
 
     def imap_unordered(self, fn, items):
-        items = list(items)
-        if self.jobs == 1 or len(items) <= 1:
-            yield from SerialExecutor().imap_unordered(fn, items)
+        it = iter(items)
+        if self.jobs == 1:
+            yield from SerialExecutor().imap_unordered(fn, it)
             return
-        workers = min(self.jobs, len(items))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        first = next(it, _EXHAUSTED)
+        if first is _EXHAUSTED:
+            return
+        second = next(it, _EXHAUSTED)
+        if second is _EXHAUSTED:
+            yield 0, fn(first)  # a single item: no pool start-up cost
+            return
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            # eager submission while draining the (possibly lazy) iterator:
+            # workers start on early items while later ones are produced,
+            # and results finished so far are yielded between submissions
+            # so completed work reaches downstream (progress callbacks,
+            # cache write-backs) without waiting for the whole producer --
+            # though never *during* a producer step, since the producer
+            # and this loop share one thread
+            futures = {pool.submit(fn, first): 0, pool.submit(fn, second): 1}
+            for i, item in enumerate(it, start=2):
+                futures[pool.submit(fn, item)] = i
+                done, _pending = concurrent.futures.wait(futures, timeout=0)
+                for future in done:
+                    yield futures.pop(future), future.result()
             for future in concurrent.futures.as_completed(futures):
                 yield futures[future], future.result()
+
+
+_EXHAUSTED = object()
 
 
 def make_executor(jobs: int) -> Executor:
@@ -102,32 +131,48 @@ class ResultStore(Protocol):
 
 
 def iter_task_results(
-    tasks: Sequence[SimTask],
+    tasks: Iterable[SimTask],
     *,
     executor: Optional[Executor] = None,
     cache: Optional[ResultStore] = None,
 ) -> Iterator[tuple[int, TaskResult]]:
     """Yield ``(index, result)`` for every task as results become
-    available: cache hits first, then executor completions (written back
-    to the cache)."""
+    available: executor completions (written back to the cache) as they
+    finish, with discovered cache hits flushed at each completion and at
+    the end.
+
+    ``tasks`` may be a lazy iterable; it is consumed exactly once, with
+    cache lookups interleaved, and misses are submitted to the executor
+    as they stream past -- so an expensive producer overlaps with the
+    workers instead of serialising in front of them.  The trade-off of
+    that streaming (everything shares one thread) is that a cache hit
+    cannot be yielded while the executor is between completions, so hits
+    are buffered briefly rather than emitted the instant the lookup
+    succeeds.
+    """
     executor = executor or SerialExecutor()
-    tasks = list(tasks)
-    pending: list[int] = []
-    for i, task in enumerate(tasks):
-        hit = cache.get(task) if cache is not None else None
-        if hit is not None:
-            yield i, hit
-        else:
-            pending.append(i)
-    if not pending:
-        return
-    for j, result in executor.imap_unordered(
-        execute_task, [tasks[i] for i in pending]
-    ):
-        i = pending[j]
+    hits: deque[tuple[int, TaskResult]] = deque()
+    pending_idx: list[int] = []
+    pending_tasks: list[SimTask] = []
+
+    def misses() -> Iterator[SimTask]:
+        for i, task in enumerate(tasks):
+            hit = cache.get(task) if cache is not None else None
+            if hit is not None:
+                hits.append((i, hit))
+            else:
+                pending_idx.append(i)
+                pending_tasks.append(task)
+                yield task
+
+    for j, result in executor.imap_unordered(execute_task, misses()):
+        while hits:
+            yield hits.popleft()
         if cache is not None:
-            cache.put(tasks[i], result)
-        yield i, result
+            cache.put(pending_tasks[j], result)
+        yield pending_idx[j], result
+    while hits:
+        yield hits.popleft()
 
 
 def run_tasks(

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.flows import TrafficSpec
 from repro.routing import MeshRouting, QuarcRouting, SpidergonRouting, TorusRouting
 from repro.routing.base import RoutingAlgorithm
+from repro.sim.engine import ENGINE_VERSION
 from repro.sim.measurement import LatencyStats
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 from repro.topology import MeshTopology, QuarcTopology, SpidergonTopology, TorusTopology
@@ -315,9 +316,12 @@ def execute_task(task: SimTask) -> TaskResult:
 # ---------------------------------------------------------------------- #
 # JSON round-trip (the disk cache's on-disk format)
 
-#: bump whenever the simulator's observable behaviour or this payload
-#: layout changes -- entries with another version are treated as cache
-#: misses and recomputed, so stale results are never served silently
+#: bump whenever this payload *layout* changes -- entries with another
+#: version are unreadable and treated as cache misses.  Kernel behaviour
+#: is tracked separately by the ``engine`` stamp
+#: (:data:`repro.sim.engine.ENGINE_VERSION`): an entry simulated by a
+#: different kernel is reported as stale and recomputed, never served
+#: silently, even when the layout still parses.
 CACHE_FORMAT_VERSION = 1
 
 
@@ -343,6 +347,7 @@ def _stats_from_dict(d: dict) -> StatsSummary:
 def task_result_to_dict(result: TaskResult) -> dict:
     return {
         "format": CACHE_FORMAT_VERSION,
+        "engine": ENGINE_VERSION,
         "task_key": result.task_key,
         "label": result.label,
         "unicast": _stats_to_dict(result.unicast),
@@ -363,6 +368,12 @@ def task_result_from_dict(data: dict, *, cached: bool = False) -> TaskResult:
     version = data.get("format")
     if version != CACHE_FORMAT_VERSION:
         raise ValueError(f"unsupported task-result format {version!r}")
+    engine = data.get("engine")
+    if engine != ENGINE_VERSION:
+        raise ValueError(
+            f"result simulated by engine version {engine!r}, current is "
+            f"{ENGINE_VERSION}"
+        )
     return TaskResult(
         task_key=data["task_key"],
         label=data.get("label", ""),

@@ -15,7 +15,8 @@ See ``DESIGN.md`` ("Substitutions") and :mod:`repro.sim.worm` for the
 derivation and :mod:`repro.sim.network` for the simulator facade.
 """
 
-from repro.sim.engine import EventQueue
+from repro.sim.arrivals import PoissonArrivalStream
+from repro.sim.engine import ENGINE_VERSION, EventQueue
 from repro.sim.worm import Worm, WormClass
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 from repro.sim.measurement import LatencyStats
@@ -30,7 +31,9 @@ from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.wormengine import WormEngine
 
 __all__ = [
+    "ENGINE_VERSION",
     "EventQueue",
+    "PoissonArrivalStream",
     "Worm",
     "WormClass",
     "NocSimulator",

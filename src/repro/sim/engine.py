@@ -1,27 +1,70 @@
-"""Discrete-event kernel: a deterministic time-ordered event queue.
+"""Discrete-event kernel: a deterministic time-ordered typed event queue.
 
 A thin, fast wrapper over :mod:`heapq` with a monotonically increasing
 sequence number as tie-breaker, so simultaneous events fire in insertion
 order and runs are exactly reproducible for a fixed seed.
+
+Events are *typed records* ``(time, seq, code, payload, pos)`` rather than
+closures: the engine's hot loop dispatches on the integer ``code`` without
+allocating a lambda (plus its cell objects) per event, which is where the
+pre-typed kernel spent a large share of its time.  The codes:
+
+``EV_REQUEST``
+    A worm's header requests its next channel (payload: the worm).
+``EV_RELEASE``
+    A rigid-train drain release of one held position (payload: worm,
+    ``pos`` the 1-based position).
+``EV_INJECT``
+    Offer a newly created worm to its injection channel (payload: worm).
+``EV_CALL``
+    A generic callable, fired with no arguments -- the compatibility path
+    used by tests and ad-hoc scenarios (payload: the callable).
+
+A queue *bound* to a :class:`~repro.sim.wormengine.WormEngine` delegates
+:meth:`run_until` to the engine's fused dispatch loop (which also merges
+externally generated arrivals and performs free-path fast-forwarding); an
+unbound queue can only fire ``EV_CALL`` events.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
-__all__ = ["EventQueue"]
+__all__ = [
+    "ENGINE_VERSION",
+    "EV_REQUEST",
+    "EV_RELEASE",
+    "EV_INJECT",
+    "EV_CALL",
+    "EventQueue",
+]
+
+#: behavioural version of the simulation kernel, stamped into cached
+#: simulation results so nothing simulated by a different kernel is ever
+#: served silently.  Bump on *any* kernel change, even result-preserving
+#: ones -- provenance is the point.  History: 1 = closure-scheduling
+#: kernel (PR 1); 2 = typed-event kernel with batched Poisson arrivals
+#: and free-path fast-forwarding (bit-identical results to 1, proven by
+#: the golden-seed suite).
+ENGINE_VERSION = 2
+
+EV_REQUEST = 0
+EV_RELEASE = 1
+EV_INJECT = 2
+EV_CALL = 3
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic tie-breaking."""
+    """Time-ordered typed event queue with deterministic tie-breaking."""
 
-    __slots__ = ("_heap", "_seq", "_now")
+    __slots__ = ("_heap", "_seq", "_now", "_engine")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, int, Any, int]] = []
         self._seq = 0
         self._now = 0.0
+        self._engine = None
 
     @property
     def now(self) -> float:
@@ -31,31 +74,52 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def schedule(self, time: float, action: Callable[[], None]) -> None:
-        """Schedule ``action`` to fire at ``time``.
+    def bind_engine(self, engine) -> None:
+        """Attach the :class:`WormEngine` that dispatches typed events;
+        :meth:`run_until` then runs the engine's fused loop."""
+        self._engine = engine
+
+    def push(self, time: float, code: int, payload: Any, pos: int = 0) -> None:
+        """Schedule a typed event record at ``time``.
 
         Scheduling in the past is a programming error and raises.
         """
         if time < self._now - 1e-9:
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
-        heapq.heappush(self._heap, (time, self._seq, action))
+        heapq.heappush(self._heap, (time, self._seq, code, payload, pos))
         self._seq += 1
 
-    def pop(self) -> tuple[float, Callable[[], None]]:
-        """Remove and return the next ``(time, action)`` pair."""
-        time, _seq, action = heapq.heappop(self._heap)
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a plain callable to fire at ``time`` (``EV_CALL``)."""
+        self.push(time, EV_CALL, action)
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the next ``(time, payload)`` pair."""
+        time, _seq, _code, payload, _pos = heapq.heappop(self._heap)
         self._now = time
-        return time, action
+        return time, payload
 
     def run_until(self, horizon: float, *, max_events: int | None = None) -> int:
         """Fire events until the queue is empty or the next event would be
-        after ``horizon``.  Returns the number of events fired."""
+        after ``horizon``.  Returns the number of events fired.
+
+        Bound queues delegate to the engine's dispatch loop; unbound
+        queues fire ``EV_CALL`` events only.
+        """
+        if self._engine is not None:
+            return self._engine.run_events(horizon, max_events=max_events)
         fired = 0
-        while self._heap and self._heap[0][0] <= horizon:
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
             if max_events is not None and fired >= max_events:
                 break
-            _t, action = self.pop()
-            action()
+            time, _seq, code, payload, _pos = heapq.heappop(heap)
+            self._now = time
+            if code != EV_CALL:
+                raise RuntimeError(
+                    f"typed event (code {code}) on a queue with no bound engine"
+                )
+            payload()
             fired += 1
         return fired
 

@@ -25,6 +25,7 @@ cross-checked cycle-exactly against a brute-force per-flit simulator
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Mapping, Optional
@@ -34,6 +35,7 @@ import numpy as np
 from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import TrafficSpec
 from repro.routing.base import RoutingAlgorithm
+from repro.sim.arrivals import MULTICAST, PoissonArrivalStream
 from repro.sim.engine import EventQueue
 from repro.sim.measurement import LatencyStats
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
@@ -136,16 +138,14 @@ class MulticastTransaction:
 
 
 class _StatsTracer:
-    """Feeds engine completions into the latency statistics."""
+    """Feeds engine completions into the latency statistics.
+
+    Defines only the hooks it needs: the engine skips undeclared hooks
+    entirely, so per-hop acquisitions and releases cost nothing here.
+    """
 
     def __init__(self, sim: "_RunState"):
         self.sim = sim
-
-    def on_acquire(self, worm: Worm, position: int, t: float) -> None:
-        pass
-
-    def on_release(self, worm: Worm, position: int, t: float) -> None:
-        pass
 
     def on_clone_absorbed(self, worm: Worm, position: int, t: float) -> None:
         txn = worm.transaction
@@ -238,6 +238,10 @@ class NocSimulator:
         self.dateline_tags = dateline_tags
         self.graph = ChannelGraph(topology, routing, one_port=one_port)
         self._unicast_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        # multicast worm templates keyed by the destination-set content: a
+        # sweep (or replication batch) re-runs the same sets at many rates
+        # and must not pay the routing walk per run
+        self._mtemplate_cache: dict[tuple, Mapping] = {}
         # lane expansion: (base channel, lane>0) -> extra engine channel
         self._lane_index: dict[tuple[int, int], int] = {}
         self._num_engine_channels = self.graph.num_channels
@@ -297,6 +301,13 @@ class NocSimulator:
         self, spec: TrafficSpec
     ) -> Mapping[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]:
         """Per node: list of (worm channel sequence, clone positions)."""
+        key = tuple(
+            (node, tuple(sorted(dests)))
+            for node, dests in sorted(spec.multicast_sets.items())
+        )
+        cached = self._mtemplate_cache.get(key)
+        if cached is not None:
+            return cached
         templates: dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
         for node, dests in sorted(spec.multicast_sets.items()):
             if not dests:
@@ -313,6 +324,9 @@ class NocSimulator:
                 )
                 worms.append((seq, clone_pos))
             templates[node] = worms
+        if len(self._mtemplate_cache) >= 8:
+            self._mtemplate_cache.clear()
+        self._mtemplate_cache[key] = templates
         return templates
 
     # ------------------------------------------------------------------ #
@@ -341,14 +355,9 @@ class NocSimulator:
         msg_len = spec.message_length
         lam_u = spec.unicast_rate
         lam_m = spec.multicast_rate
+        warmup = config.warmup_cycles
         mtemplates = self._multicast_templates(spec) if lam_m > 0.0 else {}
-        uid_counter = [0]
-        stop_generation = [False]
-        saturated = [False]
-
-        def new_uid() -> int:
-            uid_counter[0] += 1
-            return uid_counter[0]
+        next_uid = itertools.count(1).__next__
 
         # per-source destination CDFs (weighted patterns only; the uniform
         # default keeps the cheap integer-draw fast path)
@@ -358,36 +367,28 @@ class NocSimulator:
                 np.cumsum(spec.destination_probabilities(s, n)) for s in range(n)
             ]
 
-        def spawn_unicast(node: int, t: float) -> None:
-            if dest_cdfs is None:
-                dest = int(rng.integers(0, n - 1))
-                if dest >= node:
-                    dest += 1
-            else:
-                dest = int(np.searchsorted(dest_cdfs[node], rng.random(), side="right"))
-                dest = min(dest, n - 1)
-            worm = Worm(
-                new_uid(),
-                WormClass.UNICAST,
-                node,
-                t,
-                self._unicast_channels(node, dest),
-                msg_len,
-            )
-            state.generated += 1
-            engine.inject(worm, t)
-
-        def spawn_multicast(node: int, t: float) -> None:
-            worms = mtemplates.get(node)
+        def spawn(t: float, node: int, dest: int) -> None:
+            """Materialise one pre-generated arrival (dest < 0: multicast)."""
+            if dest != MULTICAST:
+                state.generated += 1
+                worm = Worm(
+                    next_uid(),
+                    WormClass.UNICAST,
+                    node,
+                    t,
+                    self._unicast_channels(node, dest),
+                    msg_len,
+                )
+                engine.inject(worm, t)
+                return
+            worms = mtemplates[node]
             if not worms:
                 return
-            txn = MulticastTransaction(
-                t, pending=len(worms), measured=t >= config.warmup_cycles
-            )
             state.generated += 1
+            txn = MulticastTransaction(t, pending=len(worms), measured=t >= warmup)
             created = [
                 Worm(
-                    new_uid(),
+                    next_uid(),
                     WormClass.MULTICAST,
                     node,
                     t,
@@ -398,48 +399,34 @@ class NocSimulator:
                 )
                 for seq, clone_pos in worms
             ]
-            # inject after creating all, preserving FIFO order on shared ports
-            for worm in created:
-                engine.inject(worm, t)
+            # inject after creating all, preserving FIFO order on shared
+            # ports; only the last sibling may fast-forward (the earlier
+            # ones must leave their t+1 requests in the heap so the whole
+            # group interleaves in injection order, as the legacy kernel did)
+            last = len(created) - 1
+            for i, worm in enumerate(created):
+                engine.inject(worm, t, fast=i == last)
 
-        def gen_event(node: int, klass: WormClass, rate: float) -> None:
-            if stop_generation[0]:
-                return
-            t = events.now
-            if klass is WormClass.UNICAST:
-                spawn_unicast(node, t)
-            else:
-                spawn_multicast(node, t)
-            events.schedule(
-                t + rng.exponential(1.0 / rate), lambda: gen_event(node, klass, rate)
-            )
-
-        if lam_u > 0.0:
-            for node in range(n):
-                events.schedule(
-                    rng.exponential(1.0 / lam_u),
-                    lambda nd=node: gen_event(nd, WormClass.UNICAST, lam_u),
-                )
-        if lam_m > 0.0:
-            for node in sorted(mtemplates):
-                events.schedule(
-                    rng.exponential(1.0 / lam_m),
-                    lambda nd=node: gen_event(nd, WormClass.MULTICAST, lam_m),
-                )
+        arrivals = PoissonArrivalStream(
+            rng, n, lam_u, lam_m, sorted(mtemplates), dest_cdfs, spawn
+        )
 
         want_unicast = config.target_unicast_samples if lam_u > 0.0 else 0
         want_multicast = (
             config.target_multicast_samples if (lam_m > 0.0 and mtemplates) else 0
         )
         target_met = want_unicast == 0 and want_multicast == 0
+        saturated = False
         fired_total = 0
-        while len(events) > 0 and events.now <= config.max_cycles:
-            fired = events.run_until(config.max_cycles, max_events=config.check_interval)
+        while (len(events) > 0 or arrivals.pending) and events.now <= config.max_cycles:
+            fired = engine.run_events(
+                config.max_cycles, config.check_interval, arrivals
+            )
             fired_total += fired
             if fired == 0:
                 break
             if engine.active_worms > max_in_flight:
-                saturated[0] = True
+                saturated = True
                 break
             if (want_unicast or want_multicast) and (
                 state.unicast.count >= want_unicast
@@ -447,7 +434,6 @@ class NocSimulator:
             ):
                 target_met = True
                 break
-        stop_generation[0] = True
 
         return SimResult(
             spec=spec,
@@ -460,7 +446,7 @@ class NocSimulator:
             completed_messages=state.completed,
             deadlock_recoveries=engine.deadlock_recoveries,
             recovered_samples=state.recovered_samples,
-            saturated=saturated[0],
+            saturated=saturated,
             target_met=target_met,
             utilization=util_tracer,
         )

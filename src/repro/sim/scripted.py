@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.sim.engine import EventQueue
+from repro.sim.engine import EV_INJECT, EventQueue
 from repro.sim.reference import FlitLevelResult, ScriptedWorm
 from repro.sim.worm import Worm, WormClass
 from repro.sim.wormengine import WormEngine
@@ -60,9 +60,7 @@ def run_scripted(
             message_length=sw.message_length,
             clone_positions=sw.clone_positions,
         )
-        events.schedule(
-            float(sw.creation_time), lambda w=worm: engine.inject(w, events.now)
-        )
+        events.push(float(sw.creation_time), EV_INJECT, worm)
     events.run_until(max_cycles)
     if engine.active_worms != 0:
         raise RuntimeError("scripted scenario did not complete (deadlock?)")

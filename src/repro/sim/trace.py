@@ -21,26 +21,38 @@ __all__ = ["CompositeTracer", "ChannelUtilizationTracer"]
 
 
 class CompositeTracer:
-    """Forward every engine event to each of several tracers, in order."""
+    """Forward every engine event to each of several tracers, in order.
+
+    Tracer hooks are optional (see :class:`repro.sim.wormengine.Tracer`);
+    the fan-out lists are resolved once so a member that does not observe
+    an event type costs nothing per event.
+    """
 
     def __init__(self, tracers):
         self.tracers = list(tracers)
+        self._acquire = self._hooks("on_acquire")
+        self._release = self._hooks("on_release")
+        self._clone = self._hooks("on_clone_absorbed")
+        self._complete = self._hooks("on_complete")
+
+    def _hooks(self, name):
+        return [getattr(tr, name) for tr in self.tracers if hasattr(tr, name)]
 
     def on_acquire(self, worm: Worm, position: int, t: float) -> None:
-        for tr in self.tracers:
-            tr.on_acquire(worm, position, t)
+        for hook in self._acquire:
+            hook(worm, position, t)
 
     def on_release(self, worm: Worm, position: int, t: float) -> None:
-        for tr in self.tracers:
-            tr.on_release(worm, position, t)
+        for hook in self._release:
+            hook(worm, position, t)
 
     def on_clone_absorbed(self, worm: Worm, position: int, t: float) -> None:
-        for tr in self.tracers:
-            tr.on_clone_absorbed(worm, position, t)
+        for hook in self._clone:
+            hook(worm, position, t)
 
     def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None:
-        for tr in self.tracers:
-            tr.on_complete(worm, t_done, recovered)
+        for hook in self._complete:
+            hook(worm, t_done, recovered)
 
 
 class ChannelUtilizationTracer:

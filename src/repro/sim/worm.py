@@ -51,6 +51,7 @@ class Worm:
         "source",
         "creation_time",
         "path",
+        "H",
         "acq_times",
         "ptr",
         "message_length",
@@ -77,8 +78,11 @@ class Worm:
         self.klass = klass
         self.source = source
         self.creation_time = creation_time
-        #: channel indices c_1..c_H (0-based list, 1-based in the math)
-        self.path = list(path)
+        #: channel indices c_1..c_H (0-based tuple, 1-based in the math)
+        self.path = tuple(path)
+        #: total channels on the path (inj + networks + ejection); stored,
+        #: not derived -- the hot loop reads it per hop
+        self.H = len(self.path)
         self.acq_times: list[float] = []
         self.ptr = 0  # index of the next channel to acquire
         self.message_length = message_length
@@ -89,11 +93,6 @@ class Worm:
         self.done = False
 
     # ------------------------------------------------------------------ #
-    @property
-    def H(self) -> int:
-        """Total channels on the path (inj + networks + ejection)."""
-        return len(self.path)
-
     @property
     def hops(self) -> int:
         """Network hops D (path minus injection and ejection)."""

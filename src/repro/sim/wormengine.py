@@ -7,22 +7,53 @@ same engine code runs under Poisson traffic (:class:`repro.sim.network.
 NocSimulator`) and under scripted scenarios (:func:`repro.sim.scripted.
 run_scripted`), which the test suite cross-checks cycle-exactly against the
 brute-force per-flit simulator (:mod:`repro.sim.reference`).
+
+The engine owns the simulator's hot loop, :meth:`WormEngine.run_events`:
+a single dispatch over typed event records (:mod:`repro.sim.engine`)
+merged with an optional externally generated arrival stream.  Two
+properties make it fast without changing a single timestamp:
+
+* **No per-event closures.**  Header hops and drain releases are integer-
+  coded heap records dispatched inline, not scheduled lambdas.
+
+* **Free-path fast-forwarding.**  When a header acquires position ``k``
+  at time ``t`` and nothing in the system can interfere before ``t + 1``
+  -- the next heap event and the next arrival are both later, and channel
+  ``c_{k+1}`` is idle (an idle channel always has an empty FIFO) -- the
+  header's ``t + 1`` hop is executed immediately instead of round-tripping
+  through the heap, and the check repeats hop by hop.  Every fast hop
+  still counts as one fired event and advances the clock, so event counts,
+  bookkeeping boundaries and all resulting statistics are bit-identical
+  to the one-event-per-hop kernel; any possible interference (a pending
+  event or arrival at or before the hop time, a busy channel, the horizon
+  or the event budget) falls back to an ordinary scheduled request, whose
+  sequence number ordering reproduces the legacy tie-breaking exactly.
 """
 
 from __future__ import annotations
 
+import math
+import sys
 from collections import deque
+from heapq import heappop, heappush
 from typing import Callable, Optional, Protocol
 
 from repro.sim.deadlock import choose_victim, find_wait_cycle
-from repro.sim.engine import EventQueue
+from repro.sim.engine import EV_CALL, EV_INJECT, EV_RELEASE, EV_REQUEST, EventQueue
 from repro.sim.worm import Worm
 
-__all__ = ["Tracer", "NullTracer", "WormEngine"]
+__all__ = ["Tracer", "NullTracer", "ArrivalSource", "WormEngine"]
+
+_NO_LIMIT = sys.maxsize
 
 
 class Tracer(Protocol):
-    """Observation hooks; all times are simulation timestamps."""
+    """Observation hooks; all times are simulation timestamps.
+
+    Hooks are *optional*: a tracer that does not define a method is never
+    called for that event, which keeps no-op observation free in the hot
+    loop (the engine resolves the hooks once, at construction).
+    """
 
     def on_acquire(self, worm: Worm, position: int, t: float) -> None: ...
 
@@ -34,7 +65,7 @@ class Tracer(Protocol):
 
 
 class NullTracer:
-    """No-op tracer."""
+    """No-op tracer (equivalent to passing ``tracer=None``)."""
 
     def on_acquire(self, worm: Worm, position: int, t: float) -> None:
         pass
@@ -47,6 +78,19 @@ class NullTracer:
 
     def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None:
         pass
+
+
+class ArrivalSource(Protocol):
+    """Externally generated arrivals merged into the event loop.
+
+    ``next_time`` is the timestamp of the next arrival (``math.inf`` when
+    exhausted); ``fire(t)`` consumes it -- updating ``next_time`` *before*
+    performing any injection -- and returns the new ``next_time``.
+    """
+
+    next_time: float
+
+    def fire(self, t: float) -> float: ...
 
 
 class WormEngine:
@@ -69,67 +113,225 @@ class WormEngine:
         self.fifos: list[deque[Worm]] = [deque() for _ in range(num_channels)]
         self.deadlock_recoveries = 0
         self.active_worms = 0
+        # resolve tracer hooks once; None means "never call" (hot path)
+        hooked = None if isinstance(self.tracer, NullTracer) else self.tracer
+        self._on_acquire = getattr(hooked, "on_acquire", None)
+        self._on_release = getattr(hooked, "on_release", None)
+        self._on_clone = getattr(hooked, "on_clone_absorbed", None)
+        self._on_complete = getattr(hooked, "on_complete", None)
+        # fast-forward window state, valid only inside run_events
+        self._heap = events._heap
+        self._arrivals: Optional[ArrivalSource] = None
+        self._horizon = -math.inf
+        self._remaining = 0
+        events.bind_engine(self)
 
     # ------------------------------------------------------------------ #
-    def inject(self, worm: Worm, t: float) -> None:
-        """Offer a newly created worm to its injection channel at ``t``."""
+    def run_events(
+        self,
+        horizon: float,
+        max_events: int | None = None,
+        arrivals: Optional[ArrivalSource] = None,
+    ) -> int:
+        """Fire heap events and arrivals in timestamp order (heap first on
+        exact ties) until both are past ``horizon`` or ``max_events`` have
+        fired.  Returns the number of events fired; free-path fast hops,
+        fast-chained drain releases and consumed arrivals each count as
+        one event."""
+        events = self.events
+        heap = self._heap
+        holders = self.holders
+        limit = _NO_LIMIT if max_events is None else max_events
+        # save the window state so neither a nested call (an EV_CALL
+        # callback re-entering run_until) nor an exception escaping a
+        # hook can leave a stale window armed for later top-level calls
+        prev_remaining = self._remaining
+        prev_horizon = self._horizon
+        prev_arrivals = self._arrivals
+        self._remaining = limit
+        self._horizon = horizon
+        self._arrivals = arrivals
+        arr_t = arrivals.next_time if arrivals is not None else math.inf
+        try:
+            while self._remaining > 0:
+                if heap and heap[0][0] <= arr_t:
+                    rec = heap[0]
+                    time = rec[0]
+                    if time > horizon:
+                        break
+                    heappop(heap)
+                    events._now = time
+                    self._remaining -= 1
+                    code = rec[2]
+                    if code == EV_REQUEST:
+                        worm = rec[3]
+                        if not worm.done:
+                            ch = worm.path[worm.ptr]
+                            if holders[ch] is None:
+                                self._grant(worm, ch, time, fast=True)
+                            else:
+                                self._block(worm, ch, time)
+                    elif code == EV_RELEASE:
+                        self._drain(rec[3], rec[4], time, rec[1])
+                    elif code == EV_INJECT:
+                        self.inject(rec[3], time)
+                    else:  # EV_CALL
+                        rec[3]()
+                elif arr_t <= horizon:
+                    events._now = arr_t
+                    self._remaining -= 1
+                    arr_t = arrivals.fire(arr_t)
+                else:
+                    break
+            fired = limit - self._remaining
+        finally:
+            self._arrivals = prev_arrivals
+            self._horizon = prev_horizon
+            self._remaining = prev_remaining
+        return fired
+
+    # ------------------------------------------------------------------ #
+    def inject(self, worm: Worm, t: float, fast: bool = True) -> None:
+        """Offer a newly created worm to its injection channel at ``t``.
+
+        ``fast=False`` disables free-path fast-forwarding for this
+        injection; callers injecting *several* worms at the same timestamp
+        (multicast port worms) must disable it for all but the last, so an
+        early sibling cannot run ahead of a later one that has not been
+        offered its injection channel yet."""
         self.active_worms += 1
-        self._request(worm, t)
+        self._request(worm, t, fast=fast)
 
     # ------------------------------------------------------------------ #
-    def _request(self, worm: Worm, t: float) -> None:
+    def _request(self, worm: Worm, t: float, fast: bool = False) -> None:
         if worm.done:
             return
-        ch = worm.next_channel()
+        ch = worm.path[worm.ptr]
         if self.holders[ch] is None:
-            self._grant(worm, ch, t)
+            self._grant(worm, ch, t, fast)
         else:
-            self.fifos[ch].append(worm)
-            worm.blocked_on = ch
-            cycle = find_wait_cycle(worm, self.holders)
-            if cycle:
-                self._recover(cycle, t)
+            self._block(worm, ch, t)
 
-    def _grant(self, worm: Worm, ch: int, t: float) -> None:
-        self.holders[ch] = worm
-        worm.blocked_on = None
-        worm.acq_times.append(t)
-        worm.ptr += 1
-        k = worm.ptr
-        self.tracer.on_acquire(worm, k, t)
-        # early tail release: for messages shorter than the path, the tail
-        # leaves position k - M exactly when the header acquires position k
-        pos = k - worm.message_length
-        if pos >= 1:
-            self._release_position(worm, pos, t)
-        if k < worm.H:
-            self.events.schedule(t + 1.0, lambda w=worm: self._request(w, self.events.now))
-        else:
-            self._finish_routing(worm, t)
+    def _block(self, worm: Worm, ch: int, t: float) -> None:
+        """Queue ``worm`` on busy channel ``ch``; detect/recover deadlock."""
+        self.fifos[ch].append(worm)
+        worm.blocked_on = ch
+        cycle = find_wait_cycle(worm, self.holders)
+        if cycle:
+            self._recover(cycle, t)
+
+    def _grant(self, worm: Worm, ch: int, t: float, fast: bool = False) -> None:
+        holders = self.holders
+        path = worm.path
+        acq = worm.acq_times
+        h = worm.H
+        m = worm.message_length
+        events = self.events
+        heap = self._heap
+        on_acquire = self._on_acquire
+        while True:
+            holders[ch] = worm
+            worm.blocked_on = None
+            acq.append(t)
+            worm.ptr += 1
+            k = worm.ptr
+            if on_acquire is not None:
+                on_acquire(worm, k, t)
+            # early tail release: for messages shorter than the path, the
+            # tail leaves position k - M exactly when the header acquires
+            # position k
+            pos = k - m
+            if pos >= 1:
+                self._release_position(worm, pos, t)
+            if k >= h:
+                self._finish_routing(worm, t)
+                return
+            u = t + 1.0
+            if fast and self._remaining > 0 and u <= self._horizon:
+                # free-path fast-forwarding: execute the t+1 hop now iff
+                # nothing can interfere before it fires -- no heap event
+                # and no arrival at or before u (events at exactly u were
+                # scheduled earlier and must keep their priority), and the
+                # next channel idle.  The release above may have woken a
+                # waiter whose follow-up request lands at u; the heap
+                # check sees it and falls back, preserving FIFO order.
+                arrivals = self._arrivals
+                if (
+                    (not heap or heap[0][0] > u)
+                    and (arrivals is None or arrivals.next_time > u)
+                ):
+                    ch = path[k]
+                    if holders[ch] is None:
+                        self._remaining -= 1
+                        events._now = u
+                        t = u
+                        continue
+            # fall back to an ordinary scheduled request: this push happens
+            # at the same point of the event chronology as the legacy
+            # kernel's, so its sequence number ordering is identical
+            heappush(heap, (u, events._seq, EV_REQUEST, worm, 0))
+            events._seq += 1
+            return
 
     def _release_position(self, worm: Worm, pos: int, t: float) -> None:
-        if pos in worm.clone_positions:
-            self.tracer.on_clone_absorbed(worm, pos, t + 1.0)
+        if pos in worm.clone_positions and self._on_clone is not None:
+            self._on_clone(worm, pos, t + 1.0)
         ch = worm.path[pos - 1]
         if self.holders[ch] is not worm:
             return  # already released (teleported by deadlock recovery)
-        self.tracer.on_release(worm, pos, t)
+        if self._on_release is not None:
+            self._on_release(worm, pos, t)
         self.holders[ch] = None
-        if self.fifos[ch]:
-            nxt = self.fifos[ch].popleft()
-            self._grant(nxt, ch, t)
+        fifo = self.fifos[ch]
+        if fifo:
+            self._grant(fifo.popleft(), ch, t)
 
     def _finish_routing(self, worm: Worm, t: float) -> None:
-        # t == a_H: the header just acquired the ejection channel
+        # t == a_H: the header just acquired the ejection channel.  The
+        # rigid-train drain releases positions first..H one cycle apart;
+        # only the first release enters the heap.  The rest are either
+        # fast-chained by _drain or pushed later *with sequence numbers
+        # reserved here* -- the legacy kernel pushed the whole batch at
+        # this moment with consecutive seqs, and reserving the same block
+        # keeps every tie against other events breaking exactly as before.
         worm.done = True
+        events = self.events
         h, m = worm.H, worm.message_length
-        for pos in range(max(0, h - m) + 1, h + 1):
-            rel_t = t + (m + pos - h)
-            self.events.schedule(
-                rel_t, lambda w=worm, p=pos: self._release_position(w, p, self.events.now)
-            )
+        first = max(0, h - m) + 1
+        seq = events._seq
+        events._seq = seq + (h - first + 1)
+        heappush(self._heap, (t + (m + first - h), seq, EV_RELEASE, worm, first))
         self.active_worms -= 1
-        self.tracer.on_complete(worm, t + m, recovered=False)
+        if self._on_complete is not None:
+            self._on_complete(worm, t + m, False)
+
+    def _drain(self, worm: Worm, pos: int, t: float, seq: int) -> None:
+        """Fire the drain release of ``pos`` at ``t`` and fast-chain the
+        remaining releases while nothing can interfere between steps; on
+        any possible interference, re-enter the heap with the next
+        reserved sequence number."""
+        events = self.events
+        heap = self._heap
+        h = worm.H
+        while True:
+            self._release_position(worm, pos, t)
+            if pos >= h:
+                return
+            pos += 1
+            seq += 1
+            u = t + 1.0
+            if self._remaining > 0 and u <= self._horizon:
+                arrivals = self._arrivals
+                if (
+                    (not heap or heap[0][0] > u)
+                    and (arrivals is None or arrivals.next_time > u)
+                ):
+                    self._remaining -= 1
+                    events._now = u
+                    t = u
+                    continue
+            heappush(heap, (u, seq, EV_RELEASE, worm, pos))
+            return
 
     # ------------------------------------------------------------------ #
     def _recover(self, cycle: list[Worm], t: float) -> None:
@@ -142,10 +344,12 @@ class WormEngine:
             victim.blocked_on = None
         for pos, ch in victim.held_channels():
             if self.holders[ch] is victim:
-                self.tracer.on_release(victim, pos, t)
+                if self._on_release is not None:
+                    self._on_release(victim, pos, t)
                 self.holders[ch] = None
                 if self.fifos[ch]:
                     self._grant(self.fifos[ch].popleft(), ch, t)
         victim.done = True
         self.active_worms -= 1
-        self.tracer.on_complete(victim, victim.ideal_remaining_time(t), recovered=True)
+        if self._on_complete is not None:
+            self._on_complete(victim, victim.ideal_remaining_time(t), True)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.engine import EventQueue
 from repro.sim.worm import Worm, WormClass
+from repro.sim.wormengine import WormEngine
 
 
 class TestEventQueue:
@@ -65,6 +66,21 @@ class TestEventQueue:
         q.schedule(0.0, lambda: chain(0))
         q.run_until(10.0)
         assert fired == [0, 1, 2, 3]
+
+    def test_nested_run_until_on_bound_queue(self):
+        """A callback may re-enter run_until without clobbering the outer
+        loop's budget or leaving later events unfired."""
+        q = EventQueue()
+        WormEngine(1, q)  # binds the engine dispatch loop
+        inner = []
+        q.schedule(5.0, lambda: inner.append(q.run_until(10.0)))
+        q.schedule(8.0, lambda: None)  # consumed by the nested call
+        q.schedule(15.0, lambda: None)  # must still fire in the outer call
+        outer = q.run_until(20.0)
+        assert inner == [1]
+        assert outer == 2  # t=5 callback + t=15; nested events not re-counted
+        assert q.now == 15.0
+        assert len(q) == 0
 
 
 def make_worm(path=(0, 1, 2, 3), m=4, t0=0.0):

@@ -1,0 +1,191 @@
+"""Golden-seed regression tests: the simulator's exact output is frozen.
+
+Every value below was captured by running the simulator *before* the
+typed-event kernel swap (PR 2) and is asserted bit-for-bit: means,
+variances, extrema, sample counts, event counts and simulation end times.
+A kernel optimisation that changes any of these numbers is not an
+optimisation of this simulator -- it is a different simulator.
+
+The scenarios cover Quarc and mesh networks, unicast-only and multicast
+traffic, and one point past saturation (where deadlock recovery and the
+in-flight cutoff are exercised).  Floats are compared with ``==``: the
+rigid-train arithmetic and the RNG consumption order are both part of the
+contract.
+"""
+
+import math
+
+import pytest
+
+from repro.core.flows import TrafficSpec
+from repro.routing import MeshRouting, QuarcRouting
+from repro.sim import NocSimulator, SimConfig
+from repro.topology import MeshTopology, QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+def cfg(**kw):
+    base = dict(seed=11, warmup_cycles=1_000.0, target_unicast_samples=600,
+                target_multicast_samples=120, max_cycles=500_000.0)
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def quarc16():
+    topo = QuarcTopology(16)
+    return topo, QuarcRouting(topo)
+
+
+def mesh16():
+    topo = MeshTopology(4, 4)
+    return topo, MeshRouting(topo)
+
+
+#: name -> (simulator factory, spec factory, config, frozen fingerprint)
+#: fingerprint layout: unicast/multicast are
+#: (mean, variance, min, max, count); nan marks empty statistics.
+GOLDEN = {
+    "quarc16-unicast": (
+        quarc16,
+        lambda routing: TrafficSpec(0.004, 0.0, 32),
+        cfg(),
+        {
+            "unicast": (39.62012395043488, 103.61803851934891,
+                        33.999999999999886, 117.57065931780107, 821),
+            "multicast": (math.nan, 0.0, math.nan, math.nan, 0),
+            "sim_time": 13415.041671135265,
+            "events": 8192,
+            "generated": 887,
+            "completed": 887,
+            "recoveries": 0,
+            "recovered_samples": 0,
+            "saturated": False,
+            "target_met": True,
+        },
+    ),
+    "quarc16-multicast": (
+        quarc16,
+        lambda routing: TrafficSpec(
+            0.004, 0.1, 32, random_multicast_sets(routing, group_size=4, seed=3)
+        ),
+        cfg(seed=7),
+        {
+            "unicast": (41.21051311681263, 174.33648211353534,
+                        34.0, 129.36418800440515, 1292),
+            "multicast": (47.4975581211152, 287.3250079486022,
+                          36.99999999999909, 133.0899677886282, 144),
+            "sim_time": 23019.21384009579,
+            "events": 16384,
+            "generated": 1500,
+            "completed": 1500,
+            "recoveries": 0,
+            "recovered_samples": 0,
+            "saturated": False,
+            "target_met": True,
+        },
+    ),
+    "quarc16-saturated": (
+        quarc16,
+        lambda routing: TrafficSpec(0.05, 0.0, 32),
+        cfg(seed=5),
+        {
+            "unicast": (492.86563286483215, 145320.43538410394,
+                        34.0, 1470.0847804126067, 70),
+            "multicast": (math.nan, 0.0, math.nan, math.nan, 0),
+            "sim_time": 2505.3044047100448,
+            "events": 4096,
+            "generated": 2028,
+            "completed": 340,
+            "recoveries": 120,
+            "recovered_samples": 43,
+            "saturated": True,
+            "target_met": False,
+        },
+    ),
+    "mesh16-unicast": (
+        mesh16,
+        lambda routing: TrafficSpec(0.004, 0.0, 32),
+        cfg(seed=19),
+        {
+            "unicast": (39.53727191532652, 115.5711606562158,
+                        34.0, 126.71102784027062, 823),
+            "multicast": (math.nan, 0.0, math.nan, math.nan, 0),
+            "sim_time": 13845.191923660052,
+            "events": 8192,
+            "generated": 884,
+            "completed": 883,
+            "recoveries": 0,
+            "recovered_samples": 0,
+            "saturated": False,
+            "target_met": True,
+        },
+    ),
+    "mesh16-multicast": (
+        mesh16,
+        lambda routing: TrafficSpec(
+            0.003, 0.1, 32,
+            random_multicast_sets(routing, group_size=4, seed=3, mode="per_node"),
+        ),
+        cfg(seed=23),
+        {
+            "unicast": (40.26720211880735, 179.78811301169688,
+                        34.0, 186.94554229034838, 1269),
+            "multicast": (88.91662540728109, 981.8967019061414,
+                          36.0, 239.2694290287509, 136),
+            "sim_time": 31164.40347538218,
+            "events": 16384,
+            "generated": 1457,
+            "completed": 1456,
+            "recoveries": 0,
+            "recovered_samples": 0,
+            "saturated": False,
+            "target_met": True,
+        },
+    ),
+    "mesh16-saturated": (
+        mesh16,
+        lambda routing: TrafficSpec(0.08, 0.0, 32),
+        cfg(seed=29),
+        {
+            "unicast": (34.000000000000036, 4.2409162264681595e-27,
+                        34.0, 34.000000000000114, 3),
+            "multicast": (math.nan, 0.0, math.nan, math.nan, 0),
+            "sim_time": 1028.5984868800797,
+            "events": 4096,
+            "generated": 1383,
+            "completed": 382,
+            "recoveries": 0,
+            "recovered_samples": 0,
+            "saturated": True,
+            "target_met": False,
+        },
+    ),
+}
+
+
+def eq(a: float, b: float) -> bool:
+    """Bitwise float equality with nan == nan."""
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_fingerprint(name):
+    build, make_spec, config, want = GOLDEN[name]
+    topo, routing = build()
+    spec = make_spec(routing)
+    result = NocSimulator(topo, routing).run(spec, config)
+    for klass, stats in (("unicast", result.unicast), ("multicast", result.multicast)):
+        mean, var, lo, hi, count = want[klass]
+        assert eq(stats.mean, mean), f"{name} {klass} mean {stats.mean!r}"
+        assert eq(stats.variance, var), f"{name} {klass} variance {stats.variance!r}"
+        assert eq(stats.minimum, lo), f"{name} {klass} min {stats.minimum!r}"
+        assert eq(stats.maximum, hi), f"{name} {klass} max {stats.maximum!r}"
+        assert stats.count == count, f"{name} {klass} count {stats.count}"
+    assert result.sim_time == want["sim_time"], f"{name} sim_time {result.sim_time!r}"
+    assert result.events == want["events"], f"{name} events {result.events}"
+    assert result.generated_messages == want["generated"]
+    assert result.completed_messages == want["completed"]
+    assert result.deadlock_recoveries == want["recoveries"]
+    assert result.recovered_samples == want["recovered_samples"]
+    assert result.saturated is want["saturated"]
+    assert result.target_met is want["target_met"]
