@@ -4,10 +4,11 @@ Runs the same small fig6 panel (N=16, M=32, alpha=5%, 8 sweep points)
 through the serial executor and through process pools of 2 and 4 workers,
 recording the wall-clock of each so the perf trajectory captures the
 sweep-level speedup.  Correctness is asserted unconditionally -- every
-job count must produce the identical series.  The speedup itself is only
-asserted when the machine actually has >= 2 usable cores; on a 1-core
-container a pool can't beat the serial loop, so there the numbers are
-recorded but not gated.
+job count must produce the identical series.  The >= 1.5x speedup gate
+itself needs >= 4 usable cores to be meaningful; on a smaller machine
+the jobs=4 case *skips with a visible reason* (after recording the
+wall-clocks) rather than silently passing, so a CI run always shows
+whether the gate executed.
 """
 
 import dataclasses
@@ -80,7 +81,15 @@ def test_parallel_sweep_speedup(benchmark, jobs):
                     "usable_cores": _USABLE_CORES,
                 },
             )
-    if jobs == 4 and 1 in walls and _USABLE_CORES >= 4:
+    if jobs == 4 and 1 in walls:
+        if _USABLE_CORES < 4:
+            # a skip, not a silent pass: the runner must show that the
+            # >=1.5x gate did not actually execute on this machine
+            pytest.skip(
+                f"speedup gate needs >= 4 usable cores, this runner has "
+                f"{_USABLE_CORES} (series equality was still asserted; "
+                f"wall-clocks recorded to BENCH_perf_sim.json)"
+            )
         assert walls[1] / walls[4] >= 1.5, (
             f"expected >= 1.5x speedup at jobs=4 on {_USABLE_CORES} cores, "
             f"got {walls[1] / walls[4]:.2f}x"

@@ -11,7 +11,10 @@ Public API overview
   point, Eq. 7 unicast latency and the Eq. 12-16 multicast latency,
 * :mod:`repro.sim` -- the flit-exact wormhole validation simulator,
 * :mod:`repro.workloads` -- destination-set and traffic generators,
-* :mod:`repro.experiments` -- the Figure 6/7 reproduction harness.
+* :mod:`repro.experiments` -- the Figure 6/7 reproduction harness,
+* :mod:`repro.orchestration` -- picklable sim tasks + executors,
+* :mod:`repro.distributed` -- TCP coordinator/worker execution across
+  hosts (``python -m repro worker``, ``--workers tcp://...``).
 
 Quickstart::
 

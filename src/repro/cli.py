@@ -15,16 +15,23 @@ Commands
 ``explain``
     Per-port decomposition of one node's multicast latency.
 ``cache``
-    Inspect (``cache info``) or empty (``cache clear``) the simulation
-    result cache, including entries stranded by an older engine version.
+    Inspect (``cache info``), selectively evict (``cache prune``) or
+    empty (``cache clear``) the simulation result cache, including
+    entries stranded by an older engine version.
+``worker``
+    Run a task-execution daemon that serves a remote coordinator
+    (``repro worker tcp://host:port``).
 
 ``sweep`` and ``grid`` accept ``--jobs N`` to fan simulation points out
-over N worker processes; they and ``evaluate --sim`` cache simulation
-results on disk under ``--cache-dir`` (disable with ``--no-cache``).
-``saturation`` is model-only and takes ``--jobs`` alone.  Results are
-identical for any job count, and cached results are stamped with the
-kernel's engine version -- a result simulated by an older kernel is
-reported and re-simulated, never served silently.
+over N worker processes, or ``--workers tcp://HOST:PORT`` to bind a
+coordinator there and farm the points out to ``repro worker`` daemons on
+any machine that can reach it; they and ``evaluate --sim`` cache
+simulation results on disk under ``--cache-dir`` (disable with
+``--no-cache``).  ``saturation`` is model-only and takes ``--jobs``
+alone.  Results are identical for any job count or cluster width, and
+cached results are stamped with the kernel's engine version -- a result
+simulated by an older kernel is reported and re-simulated, never served
+silently.
 """
 
 from __future__ import annotations
@@ -86,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     def orchestration(p: argparse.ArgumentParser) -> None:
         jobs_arg(p)
         cache_args(p)
+        p.add_argument(
+            "--workers", type=str, default=None, metavar="tcp://HOST:PORT",
+            help="bind a coordinator at this endpoint and run the simulation "
+                 "tasks on 'repro worker' daemons that connect to it "
+                 "(overrides --jobs; results are identical either way)",
+        )
 
     p_eval = sub.add_parser("evaluate", help="one-shot model prediction")
     common(p_eval)
@@ -144,12 +157,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--rate", type=float, required=True)
     p_explain.add_argument("--node", type=int, default=0)
 
-    p_cache = sub.add_parser("cache", help="inspect or empty the result cache")
-    p_cache.add_argument("verb", choices=["info", "clear"],
+    p_cache = sub.add_parser("cache", help="inspect, prune or empty the result cache")
+    p_cache.add_argument("verb", choices=["info", "prune", "clear"],
                          help="info: entry/size/engine-version report; "
+                              "prune: evict stale-engine/old/corrupt entries; "
                               "clear: delete every entry")
     p_cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                          metavar="DIR", help="result cache location")
+    p_cache.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                         help="prune: also evict entries older than D days "
+                              "(default: no age limit)")
+    p_cache.add_argument("--keep-stale-engines", action="store_true",
+                         help="prune: keep entries from other engine versions "
+                              "(evict by age only)")
+
+    p_worker = sub.add_parser(
+        "worker", help="run a task-execution daemon for a remote coordinator"
+    )
+    p_worker.add_argument("address", metavar="tcp://HOST:PORT",
+                          help="coordinator endpoint to serve, e.g. the "
+                               "address printed by 'grid --workers'")
+    p_worker.add_argument("--tag", type=str, default=None,
+                          help="free-form label shown in coordinator logs")
+    p_worker.add_argument("--heartbeat", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="liveness beat interval while executing a task")
+    p_worker.add_argument("--connect-timeout", type=float, default=60.0,
+                          metavar="SECONDS",
+                          help="keep retrying the connect this long (the "
+                               "daemon may be started before the run that "
+                               "feeds it)")
 
     return parser
 
@@ -169,7 +206,13 @@ def _sets(args, routing):
 
 
 def _executor(args):
-    return make_executor(args.jobs)
+    workers = getattr(args, "workers", None)
+    executor = make_executor(args.jobs, workers=workers)
+    if workers:  # distributed: announce where daemons should dial in
+        bound = executor.start()
+        print(f"coordinator listening at {bound} -- feed it with: "
+              f"python -m repro worker {executor.dial_address}", flush=True)
+    return executor
 
 
 def _cache(args) -> Optional[ResultCache]:
@@ -236,18 +279,22 @@ def cmd_sweep(args) -> int:
         load_fractions=fractions,
     )
     cache = _cache(args)
-    result = run_experiment(
-        config,
-        include_sim=not args.no_sim,
-        sim_config=SimConfig(
-            seed=args.seed,
-            warmup_cycles=2_000,
-            target_unicast_samples=args.samples,
-            target_multicast_samples=max(100, args.samples // 6),
-        ),
-        executor=_executor(args),
-        cache=cache,
-    )
+    executor = _executor(args)
+    try:
+        result = run_experiment(
+            config,
+            include_sim=not args.no_sim,
+            sim_config=SimConfig(
+                seed=args.seed,
+                warmup_cycles=2_000,
+                target_unicast_samples=args.samples,
+                target_multicast_samples=max(100, args.samples // 6),
+            ),
+            executor=executor,
+            cache=cache,
+        )
+    finally:
+        executor.close()  # dismisses remote workers; no-op in-process
     print(render_series(result))
     if cache is not None and not args.no_sim:
         print(_render_cache_line(cache))
@@ -321,26 +368,31 @@ def cmd_grid(args) -> int:
     )
     cache = _cache(args)
     n_tasks = 0 if args.no_sim else len(configs) * args.points
+    lanes = f"workers={args.workers}" if args.workers else f"jobs={args.jobs}"
     print(f"== paper grid: {len(configs)} panels, {n_tasks} simulation tasks, "
-          f"jobs={args.jobs}, cache={'off' if cache is None else args.cache_dir} ==")
+          f"{lanes}, cache={'off' if cache is None else args.cache_dir} ==")
 
     def progress(done: int, total: int, task) -> None:
         print(f"  [{done:3d}/{total}] {task.label}", flush=True)
 
     t0 = time.perf_counter()
-    panels = run_grid(
-        configs,
-        include_sim=not args.no_sim,
-        sim_config=sim_config,
-        executor=_executor(args),
-        cache=cache,
-        derive_seeds=True,
-        progress=progress,
-    )
+    executor = _executor(args)
+    try:
+        panels = run_grid(
+            configs,
+            include_sim=not args.no_sim,
+            sim_config=sim_config,
+            executor=executor,
+            cache=cache,
+            derive_seeds=True,
+            progress=progress,
+        )
+    finally:
+        executor.close()  # dismisses remote workers; no-op in-process
     elapsed = time.perf_counter() - t0
     print()
     print(render_grid_summary(panels))
-    print(f"elapsed: {elapsed:.1f}s (jobs={args.jobs})")
+    print(f"elapsed: {elapsed:.1f}s ({lanes})")
     if cache is not None:
         print(_render_cache_line(cache))
     if args.save_dir:
@@ -366,11 +418,40 @@ def _render_cache_line(cache: ResultCache) -> str:
     return line + f" ({cache.root})"
 
 
+def cmd_worker(args) -> int:
+    from repro.distributed import run_worker
+
+    return run_worker(
+        args.address,
+        tag=args.tag,
+        heartbeat_interval=args.heartbeat,
+        connect_timeout=args.connect_timeout,
+    )
+
+
 def cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.verb == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results under {cache.root}")
+        return 0
+    if args.verb == "prune":
+        max_age = (
+            args.max_age_days * 86_400.0 if args.max_age_days is not None else None
+        )
+        counts = cache.prune(
+            max_age=max_age, keep_engine=not args.keep_stale_engines
+        )
+        print(f"pruned {counts['removed']} entries under {cache.root} "
+              f"({counts['kept']} kept)")
+        for key, label in [
+            ("removed_stale_engine", "stale engine version"),
+            ("removed_old", f"older than {args.max_age_days} days"),
+            ("removed_corrupt", "corrupt/unreadable"),
+            ("removed_tmp", "orphaned tmp files"),
+        ]:
+            if counts[key]:
+                print(f"  {counts[key]:5d} {label}")
         return 0
     info = cache.info()
     print(f"== result cache at {info['root']} ==")
@@ -421,6 +502,7 @@ COMMANDS = {
     "saturation": cmd_saturation,
     "explain": cmd_explain,
     "cache": cmd_cache,
+    "worker": cmd_worker,
 }
 
 

@@ -1,0 +1,42 @@
+"""Socket-backed multi-host execution of simulation tasks.
+
+The orchestration layer made every simulation run pure, picklable data
+(:class:`~repro.orchestration.tasks.SimTask`); this package supplies the
+transport that was the missing piece: a TCP :class:`~repro.distributed.
+coordinator.Coordinator` that owns the task queue, the ``python -m repro
+worker tcp://host:port`` daemon (:func:`~repro.distributed.worker.
+run_worker`) that pulls tasks and streams results back over a
+length-prefixed pickle protocol (:mod:`~repro.distributed.protocol`),
+and :class:`~repro.distributed.executor.DistributedExecutor`, which
+wraps the pair in the existing ``Executor`` interface so ``sweep``,
+``grid`` and replication runs span hosts with ``--workers tcp://...`` --
+bitwise-identical to serial execution, re-queueing the in-flight tasks
+of any worker that crashes or goes silent.
+"""
+
+from repro.distributed.coordinator import Coordinator, WorkerInfo
+from repro.distributed.executor import (
+    AllWorkersLostError,
+    DistributedExecutor,
+    RemoteTaskError,
+)
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    parse_address,
+)
+from repro.distributed.worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "WorkerInfo",
+    "DistributedExecutor",
+    "RemoteTaskError",
+    "AllWorkersLostError",
+    "ProtocolError",
+    "ConnectionClosed",
+    "PROTOCOL_VERSION",
+    "parse_address",
+    "run_worker",
+]

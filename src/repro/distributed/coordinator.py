@@ -1,0 +1,288 @@
+"""The coordinator: a threaded TCP server that owns the task queue.
+
+One :class:`Coordinator` binds a ``tcp://host:port`` endpoint and
+accepts any number of worker daemons (``python -m repro worker``).  Each
+accepted connection gets a dedicated thread that performs the handshake
+(protocol *and* simulation-kernel engine version must match -- a worker
+running a different kernel would compute different numbers, so it is
+refused up front), registers the worker, and then loops: pop one
+assignment from the shared queue, ship it as a :class:`~repro.distributed.
+protocol.TaskMessage`, and wait for the matching :class:`~repro.
+distributed.protocol.ResultMessage` -- heartbeats in between reset the
+liveness clock.
+
+Fault model: a worker that disconnects, errors, or goes silent for
+longer than ``heartbeat_timeout`` while holding an assignment is
+deregistered, its socket is closed (so a late result from a frozen
+worker has nowhere to land), and the assignment is pushed back on the
+*front* of the queue for the next idle worker.  Task outcomes therefore
+depend only on task content, never on which worker ran them or how many
+times dispatch was attempted -- the property the bitwise-equality
+guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    Heartbeat,
+    Hello,
+    ProtocolError,
+    ResultMessage,
+    Shutdown,
+    TaskMessage,
+    Welcome,
+    format_address,
+    parse_address,
+    recv_msg,
+    send_msg,
+)
+from repro.sim.engine import ENGINE_VERSION
+
+__all__ = ["Coordinator", "WorkerInfo"]
+
+
+@dataclass(frozen=True)
+class _Assignment:
+    seq: int
+    fn: Callable[[Any], Any]
+    item: Any
+
+
+@dataclass
+class WorkerInfo:
+    """Registry entry for one connected worker (introspection/logging)."""
+
+    worker_id: str
+    host: str
+    pid: int
+    tag: Optional[str]
+    tasks_done: int = 0
+
+
+class Coordinator:
+    """Task-queue server for :class:`~repro.distributed.executor.
+    DistributedExecutor` (see the module docstring for the fault model).
+
+    ``bind`` may use port 0 to pick an ephemeral port; the resolved
+    endpoint is :attr:`address`.  All public methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        bind: str = "tcp://127.0.0.1:0",
+        *,
+        heartbeat_timeout: float = 15.0,
+    ):
+        host, port = parse_address(bind)
+        self.heartbeat_timeout = heartbeat_timeout
+        self._listener = socket.create_server((host, port))
+        self._host = host
+        self._port = self._listener.getsockname()[1]
+        self._lock = threading.RLock()
+        self._work_cv = threading.Condition(self._lock)  #: pending/_closed
+        self._worker_cv = threading.Condition(self._lock)  #: registry size
+        self._pending: deque[_Assignment] = deque()
+        self._results: "queue.Queue[ResultMessage]" = queue.Queue()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._serve_threads: list[threading.Thread] = []
+        self._next_worker = 0
+        self._closed = False
+        self.workers_lost = 0
+        self.tasks_requeued = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # public surface
+
+    @property
+    def address(self) -> str:
+        """The bound endpoint, with the real port even when bound to 0."""
+        return format_address(self._host, self._port)
+
+    def submit(self, seq: int, fn: Callable[[Any], Any], item: Any) -> None:
+        """Queue one assignment; any idle worker may pick it up."""
+        with self._work_cv:
+            if self._closed:
+                raise RuntimeError("coordinator is closed")
+            self._pending.append(_Assignment(seq, fn, item))
+            self._work_cv.notify()
+
+    def get_result(self, timeout: Optional[float] = None) -> ResultMessage:
+        """Next completed result (any order); raises ``queue.Empty`` on
+        timeout."""
+        return self._results.get(timeout=timeout)
+
+    def workers_alive(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def worker_snapshot(self) -> list[WorkerInfo]:
+        with self._lock:
+            return [
+                WorkerInfo(w.worker_id, w.host, w.pid, w.tag, w.tasks_done)
+                for w in self._workers.values()
+            ]
+
+    def wait_for_workers(self, count: int, timeout: float) -> bool:
+        """Block until ``count`` workers are registered (True) or the
+        timeout elapses (False)."""
+        with self._worker_cv:
+            return self._worker_cv.wait_for(
+                lambda: len(self._workers) >= count, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Stop accepting, tell every connected worker to shut down, and
+        release the port.  Idempotent."""
+        with self._work_cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_cv.notify_all()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # give idle serve threads a moment to deliver the Shutdown frame,
+        # so daemons log a clean dismissal instead of seeing bare EOF
+        for thread in self._serve_threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # server internals
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:  # listener closed by close()
+                return
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn,), daemon=True
+            )
+            self._serve_threads.append(thread)
+            thread.start()
+
+    def _register(self, hello: Hello) -> str:
+        with self._worker_cv:
+            worker_id = f"w{self._next_worker}"
+            self._next_worker += 1
+            self._workers[worker_id] = WorkerInfo(
+                worker_id=worker_id, host=hello.host, pid=hello.pid, tag=hello.tag
+            )
+            self._worker_cv.notify_all()
+        return worker_id
+
+    def _deregister(self, worker_id: str, current: Optional[_Assignment]) -> None:
+        with self._work_cv:
+            self._workers.pop(worker_id, None)
+            if current is not None:
+                # front of the queue: a lost worker's task runs next, so
+                # a crash never starves one index behind fresh work
+                self._pending.appendleft(current)
+                self.tasks_requeued += 1
+                self._work_cv.notify()
+
+    def _next_assignment(self) -> Optional[_Assignment]:
+        """Pop the next assignment, or ``None`` once closed."""
+        with self._work_cv:
+            while not self._pending and not self._closed:
+                self._work_cv.wait()
+            if self._pending:
+                return self._pending.popleft()
+            return None  # closed and drained
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        conn.settimeout(self.heartbeat_timeout)
+        worker_id: Optional[str] = None
+        current: Optional[_Assignment] = None
+        graceful = False
+        try:
+            hello = recv_msg(conn)
+            refusal = self._vet(hello)
+            if refusal is not None:
+                send_msg(conn, Shutdown(reason=refusal))
+                return
+            worker_id = self._register(hello)
+            send_msg(
+                conn,
+                Welcome(
+                    worker_id=worker_id,
+                    protocol=PROTOCOL_VERSION,
+                    heartbeat_timeout=self.heartbeat_timeout,
+                ),
+            )
+            while True:
+                current = self._next_assignment()
+                if current is None:  # coordinator closed: dismiss politely
+                    graceful = True
+                    send_msg(conn, Shutdown(reason="coordinator closing"))
+                    return
+                send_msg(conn, TaskMessage(current.seq, current.fn, current.item))
+                while True:
+                    msg = recv_msg(conn)  # socket timeout = heartbeat_timeout
+                    if isinstance(msg, Heartbeat):
+                        continue
+                    if isinstance(msg, ResultMessage) and msg.seq == current.seq:
+                        current = None
+                        with self._lock:
+                            info = self._workers.get(worker_id)
+                            if info is not None:
+                                info.tasks_done += 1
+                        self._results.put(msg)
+                        break
+                    if isinstance(msg, Shutdown):  # worker bowing out
+                        graceful = current is None
+                        return
+                    raise ProtocolError(
+                        f"unexpected message {type(msg).__name__} while awaiting "
+                        f"result of task {current.seq}"
+                    )
+        except (ConnectionClosed, ProtocolError, OSError):
+            pass  # lost worker: the finally block requeues + deregisters
+        finally:
+            if worker_id is not None:
+                if not graceful:
+                    with self._lock:
+                        self.workers_lost += 1
+                self._deregister(worker_id, current)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _vet(hello: Any) -> Optional[str]:
+        """Refusal reason for a bad handshake, or ``None`` to accept."""
+        if not isinstance(hello, Hello):
+            return f"expected Hello, got {type(hello).__name__}"
+        if hello.protocol != PROTOCOL_VERSION:
+            return (
+                f"protocol version mismatch: coordinator speaks "
+                f"{PROTOCOL_VERSION}, worker {hello.protocol}"
+            )
+        if hello.engine != ENGINE_VERSION:
+            return (
+                f"engine version mismatch: coordinator kernel is "
+                f"v{ENGINE_VERSION}, worker runs v{hello.engine} -- results "
+                "would not be comparable"
+            )
+        return None

@@ -1,0 +1,204 @@
+"""`DistributedExecutor`: the `Executor` contract over TCP workers.
+
+It honours exactly the interface call sites already depend on --
+``imap_unordered(fn, items)`` yielding ``(index, result)`` pairs in
+completion order, with the item iterable consumed *lazily* -- so
+``run_experiment``, ``run_grid``, ``run_replications`` and
+``iter_task_results`` (disk-cache composition included) work unchanged:
+where a process pool forks workers, this executor feeds daemons that
+connected over ``tcp://``.
+
+Laziness is bounded: at most ``~2 x alive workers`` items are drawn from
+the producer ahead of completions, so a grid whose panels stream their
+tasks still overlaps model evaluation with remote simulation without
+materialising the whole work list.  Determinism is inherited from the
+task layer -- results are paired with their submission index and every
+worker rebuilds from the same pure-data task, so a distributed run is
+bitwise-identical to a serial one no matter how tasks interleave or how
+often a crashed worker forces a re-queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import time
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.protocol import format_address, parse_address
+from repro.orchestration.executor import Executor
+
+__all__ = ["DistributedExecutor", "RemoteTaskError", "AllWorkersLostError"]
+
+
+class RemoteTaskError(RuntimeError):
+    """A task function raised on a worker; carries the remote traceback."""
+
+    def __init__(self, worker_id: str, remote_traceback: str):
+        super().__init__(
+            f"task failed on worker {worker_id or '<unknown>'}:\n{remote_traceback}"
+        )
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+
+
+class AllWorkersLostError(RuntimeError):
+    """Work remains but every worker is gone and none returned in time."""
+
+
+class DistributedExecutor(Executor):
+    """Run work items on ``repro worker`` daemons over TCP.
+
+    The executor *is* the coordinator side: creating it is cheap, the
+    listening socket is bound by :meth:`start` (implicitly on first use),
+    and :meth:`close` dismisses the connected workers.  ``min_workers``
+    are awaited (up to ``start_timeout`` seconds) before the first item
+    is dispatched; if every worker is later lost, pending work waits
+    ``worker_grace`` seconds for a replacement to register before
+    :class:`AllWorkersLostError` is raised -- a worker daemon crash is
+    otherwise invisible to the caller, because its in-flight task is
+    re-queued for the survivors.
+    """
+
+    def __init__(
+        self,
+        bind: str = "tcp://127.0.0.1:0",
+        *,
+        min_workers: int = 1,
+        start_timeout: float = 60.0,
+        heartbeat_timeout: float = 15.0,
+        worker_grace: float = 30.0,
+    ):
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        self.bind = bind
+        self.min_workers = min_workers
+        self.start_timeout = start_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.worker_grace = worker_grace
+        self._coordinator: Optional[Coordinator] = None
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> str:
+        """Bind the coordinator endpoint (idempotent); returns the
+        resolved ``tcp://host:port`` address workers should dial."""
+        if self._coordinator is None:
+            self._coordinator = Coordinator(
+                self.bind, heartbeat_timeout=self.heartbeat_timeout
+            )
+        return self._coordinator.address
+
+    @property
+    def address(self) -> Optional[str]:
+        """The bound endpoint, or ``None`` before :meth:`start`."""
+        return self._coordinator.address if self._coordinator else None
+
+    @property
+    def dial_address(self) -> Optional[str]:
+        """The endpoint remote workers should dial: :attr:`address` with
+        a wildcard bind host (``0.0.0.0``/``::``) replaced by this
+        machine's hostname -- a worker dialling ``0.0.0.0`` would only
+        ever reach its own loopback."""
+        if self._coordinator is None:
+            return None
+        host, port = parse_address(self._coordinator.address)
+        if host in ("0.0.0.0", "::", ""):
+            host = socket.gethostname()
+        return format_address(host, port)
+
+    def workers_alive(self) -> int:
+        return self._coordinator.workers_alive() if self._coordinator else 0
+
+    def close(self) -> None:
+        """Dismiss every connected worker and release the port."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+
+    def __enter__(self) -> "DistributedExecutor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        it = iter(items)
+        # draw the first item before demanding workers: an all-cache-hit
+        # run must complete on a machine with no daemons at all
+        first = next(it, _EXHAUSTED)
+        if first is _EXHAUSTED:
+            return
+        self.start()
+        coord = self._coordinator
+        assert coord is not None
+        if not coord.wait_for_workers(self.min_workers, self.start_timeout):
+            raise AllWorkersLostError(
+                f"no {self.min_workers} worker(s) registered with "
+                f"{coord.address} within {self.start_timeout:.0f}s -- start "
+                f"daemons with: python -m repro worker {coord.address}"
+            )
+
+        seq_to_index: dict[int, int] = {}
+        exhausted = False
+        index = 0
+        starved_since: Optional[float] = None
+
+        def dispatch(item: Any) -> None:
+            nonlocal index
+            coord.submit(self._next_seq, fn, item)
+            seq_to_index[self._next_seq] = index
+            self._next_seq += 1
+            index += 1
+
+        dispatch(first)
+        while seq_to_index or not exhausted:
+            # keep roughly two assignments per live worker in flight:
+            # enough that nobody idles between results, few enough that a
+            # lazy producer is not drained up front
+            budget = max(2, 2 * coord.workers_alive())
+            while not exhausted and len(seq_to_index) < budget:
+                nxt = next(it, _EXHAUSTED)
+                if nxt is _EXHAUSTED:
+                    exhausted = True
+                    break
+                dispatch(nxt)
+            if not seq_to_index:
+                continue
+            try:
+                msg = coord.get_result(timeout=0.25)
+            except queue.Empty:
+                if coord.workers_alive() > 0:
+                    starved_since = None
+                    continue
+                now = time.monotonic()
+                if starved_since is None:
+                    starved_since = now
+                if now - starved_since > self.worker_grace:
+                    raise AllWorkersLostError(
+                        f"{len(seq_to_index)} task(s) outstanding but every "
+                        f"worker disconnected and none returned within "
+                        f"{self.worker_grace:.0f}s"
+                    ) from None
+                continue
+            starved_since = None
+            if msg.seq not in seq_to_index:
+                # leftover from an earlier imap call on this executor that
+                # was abandoned mid-run (consumer stopped, or a task error
+                # aborted it): workers finished the stragglers anyway, and
+                # their results -- successes and failures alike -- belong
+                # to nobody now
+                continue
+            if not msg.ok:
+                raise RemoteTaskError(msg.worker_id, msg.error or "")
+            yield seq_to_index.pop(msg.seq), msg.value
+
+
+_EXHAUSTED = object()

@@ -1,0 +1,198 @@
+"""Wire protocol of the distributed executor: length-prefixed pickles.
+
+Every message is one *frame*: an 8-byte header -- the 4-byte magic
+``b"rpd1"`` followed by the payload length as a big-endian ``u32`` --
+then the pickled message object.  Framing is the only thing this module
+knows about sockets; the message *types* are small frozen dataclasses
+(:class:`Hello` .. :class:`Shutdown`) so the coordinator and worker can
+dispatch on ``isinstance`` and a captured frame is self-describing.
+
+The magic makes a stray connection (port scanner, wrong service) fail
+loudly as :class:`ProtocolError` instead of unpickling garbage, and the
+:data:`MAX_FRAME` cap bounds what a corrupt length field can make us
+allocate.  A cleanly closed peer surfaces as :class:`ConnectionClosed`.
+
+Pickle over TCP means a worker will execute what the coordinator sends
+(and vice versa): run the pair only across machines you trust -- the
+same boundary as ``multiprocessing``'s own socket transports.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "MAX_FRAME",
+    "ProtocolError",
+    "ConnectionClosed",
+    "send_msg",
+    "recv_msg",
+    "parse_address",
+    "format_address",
+    "Hello",
+    "Welcome",
+    "TaskMessage",
+    "ResultMessage",
+    "Heartbeat",
+    "Shutdown",
+]
+
+#: bump on any incompatible change to framing or message layout; the
+#: handshake rejects a peer speaking another version before any task
+#: or result crosses the wire.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"rpd1"
+_HEADER = struct.Struct("!4sI")
+
+#: largest payload a peer may announce (64 MiB); a real frame is a few
+#: KiB, so anything near this is corruption or a hostile length field.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+# ---------------------------------------------------------------------- #
+# framing
+
+
+def send_msg(sock: socket.socket, obj: Any) -> None:
+    """Pickle ``obj`` and write it as one frame (header + payload)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    sock.sendall(_HEADER.pack(MAGIC, len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Any:
+    """Read one frame and unpickle its payload.
+
+    Raises :class:`ConnectionClosed` on EOF, :class:`ProtocolError` on a
+    bad magic, an oversized length field, or an unpicklable payload.
+    """
+    magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# addresses
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"tcp://host:port"`` (or bare ``"host:port"``) -> ``(host, port)``."""
+    spec = address
+    if "://" in spec:
+        scheme, _, spec = spec.partition("://")
+        if scheme != "tcp":
+            raise ValueError(
+                f"unsupported scheme {scheme!r} in {address!r}; only tcp:// is spoken"
+            )
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {address!r} must look like tcp://host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port {port_text!r} in {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in {address!r}")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    return f"tcp://{host}:{port}"
+
+
+# ---------------------------------------------------------------------- #
+# messages
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker -> coordinator, first frame after connecting."""
+
+    protocol: int
+    engine: int  #: the worker's kernel ENGINE_VERSION (must match)
+    pid: int
+    host: str
+    tag: Optional[str] = None  #: free-form operator label, logging only
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Coordinator -> worker, accepting the registration."""
+
+    worker_id: str
+    protocol: int
+    heartbeat_timeout: float  #: worker must beat well inside this
+
+
+@dataclass(frozen=True)
+class TaskMessage:
+    """Coordinator -> worker: execute ``fn(item)`` for sequence ``seq``."""
+
+    seq: int
+    fn: Callable[[Any], Any]  #: top-level function, pickled by reference
+    item: Any
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """Worker -> coordinator: the outcome of one :class:`TaskMessage`."""
+
+    seq: int
+    ok: bool
+    value: Any = None  #: ``fn(item)`` when ok
+    error: Optional[str] = None  #: remote traceback text when not ok
+    worker_id: str = ""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker -> coordinator while executing, proving liveness."""
+
+    worker_id: str = ""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Either direction: close the session (with a human-readable reason)."""
+
+    reason: str = ""

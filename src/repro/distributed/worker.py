@@ -1,0 +1,197 @@
+"""The worker daemon behind ``python -m repro worker tcp://host:port``.
+
+A worker is the thinnest possible wrapper around the existing execution
+path: it connects to a coordinator, proves it speaks the same protocol
+*and* simulation-kernel engine version, then loops -- receive a
+:class:`~repro.distributed.protocol.TaskMessage`, run ``fn(item)`` (for
+simulation work ``fn`` is :func:`repro.orchestration.tasks.execute_task`,
+so the per-process network/simulator memos warm up exactly as they do in
+a process pool), and stream the :class:`~repro.distributed.protocol.
+ResultMessage` back.  While a task is executing, a background thread
+sends heartbeats so the coordinator can tell *slow* from *dead*; a task
+that raises is reported with its traceback instead of killing the
+daemon.
+
+Start-up races are absorbed on this side: the worker retries the TCP
+connect until ``connect_timeout`` elapses, so daemons can be launched
+before the run that will feed them (the shape the CI smoke job uses).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Callable, Optional
+
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    Heartbeat,
+    Hello,
+    ProtocolError,
+    ResultMessage,
+    Shutdown,
+    TaskMessage,
+    parse_address,
+    send_msg,
+    recv_msg,
+)
+from repro.sim.engine import ENGINE_VERSION
+
+__all__ = ["run_worker"]
+
+
+def _connect(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial until the coordinator answers or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    delay = 0.1
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+class _HeartbeatPump(threading.Thread):
+    """Sends a heartbeat every ``interval`` seconds while ``busy`` is set.
+
+    Sharing the socket with the main thread is safe because every send
+    goes through ``send_lock`` -- frames never interleave."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        send_lock: threading.Lock,
+        worker_id: str,
+        interval: float,
+    ):
+        super().__init__(name="repro-worker-heartbeat", daemon=True)
+        self._sock = sock
+        self._send_lock = send_lock
+        self._worker_id = worker_id
+        self._interval = interval
+        self.busy = threading.Event()
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.is_set():
+            if not self.busy.wait(timeout=0.5):
+                continue
+            while self.busy.is_set() and not self._stop.is_set():
+                try:
+                    with self._send_lock:
+                        send_msg(self._sock, Heartbeat(worker_id=self._worker_id))
+                except OSError:
+                    return  # main loop will observe the dead socket
+                self._stop.wait(self._interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.busy.set()  # unblock the outer wait
+
+
+def run_worker(
+    address: str,
+    *,
+    tag: Optional[str] = None,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+    log: Callable[[str], None] = lambda line: print(line, flush=True),
+) -> int:
+    """Serve one coordinator session; returns a process exit code.
+
+    ``0``: dismissed cleanly (coordinator sent Shutdown or closed after a
+    completed session).  ``1``: could not connect, was refused at the
+    handshake, or the connection broke mid-task.
+    """
+    host, port = parse_address(address)
+    try:
+        sock = _connect(host, port, connect_timeout)
+    except OSError as exc:
+        log(f"worker: cannot reach coordinator at {address}: {exc}")
+        return 1
+    # the connect timeout must not linger: an idle worker blocks in recv
+    # indefinitely until the coordinator has work or dismisses it
+    sock.settimeout(None)
+
+    send_lock = threading.Lock()
+    pump: Optional[_HeartbeatPump] = None
+    mid_task = False
+    try:
+        send_msg(
+            sock,
+            Hello(
+                protocol=PROTOCOL_VERSION,
+                engine=ENGINE_VERSION,
+                pid=os.getpid(),
+                host=socket.gethostname(),
+                tag=tag,
+            ),
+        )
+        welcome = recv_msg(sock)
+        if isinstance(welcome, Shutdown):
+            log(f"worker: refused by coordinator: {welcome.reason}")
+            return 1
+        worker_id = welcome.worker_id
+        # beat several times inside the coordinator's patience window
+        interval = min(heartbeat_interval, welcome.heartbeat_timeout / 3.0)
+        log(
+            f"worker {worker_id}: registered with {address} "
+            f"(engine v{ENGINE_VERSION}, heartbeat {interval:.1f}s)"
+        )
+        pump = _HeartbeatPump(sock, send_lock, worker_id, interval)
+        pump.start()
+
+        tasks_done = 0
+        while True:
+            msg = recv_msg(sock)
+            if isinstance(msg, Shutdown):
+                log(
+                    f"worker {worker_id}: dismissed after {tasks_done} task(s)"
+                    + (f" ({msg.reason})" if msg.reason else "")
+                )
+                return 0
+            if not isinstance(msg, TaskMessage):
+                raise ProtocolError(f"unexpected message {type(msg).__name__}")
+            mid_task = True
+            pump.busy.set()
+            try:
+                value = msg.fn(msg.item)
+                result = ResultMessage(
+                    seq=msg.seq, ok=True, value=value, worker_id=worker_id
+                )
+            except Exception:
+                result = ResultMessage(
+                    seq=msg.seq,
+                    ok=False,
+                    error=traceback.format_exc(),
+                    worker_id=worker_id,
+                )
+            finally:
+                pump.busy.clear()
+            with send_lock:
+                send_msg(sock, result)
+            mid_task = False
+            tasks_done += 1
+    except (ConnectionClosed, OSError) as exc:
+        if mid_task:
+            log(f"worker: connection lost mid-task: {exc}")
+            return 1
+        log("worker: coordinator went away; exiting")
+        return 0
+    except ProtocolError as exc:
+        log(f"worker: protocol error: {exc}")
+        return 1
+    finally:
+        if pump is not None:
+            pump.stop()
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -17,6 +17,8 @@ import dataclasses
 import json
 import math
 import os
+import time
+import uuid
 import warnings
 from pathlib import Path
 from typing import Optional
@@ -166,16 +168,25 @@ class ResultCache:
         """Best-effort write: an unwritable cache (read-only cwd, disk
         full) must never discard a completed simulation result, so IO
         failures downgrade to a one-time warning."""
+        tmp: Optional[Path] = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self.path_for(task)
-            # per-process tmp name + atomic rename: concurrent writers of
-            # the same key cannot clobber each other's tmp or publish
-            # half a file
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            # unique tmp name + atomic os.replace: concurrent writers of
+            # the same key -- even same-pid processes on different hosts
+            # sharing the directory over NFS -- cannot clobber each
+            # other's tmp or publish half a file, so a reader only ever
+            # sees a complete entry
+            tmp = path.with_suffix(f".{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
             tmp.write_text(json.dumps(task_result_to_dict(result), indent=1))
             tmp.replace(path)
+            tmp = None
         except OSError as exc:
+            if tmp is not None:  # do not strand a half-written tmp
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
             if not self._write_failed:
                 self._write_failed = True
                 warnings.warn(
@@ -195,6 +206,80 @@ class ResultCache:
             for orphan in self.root.glob("*.tmp"):
                 orphan.unlink()
         return removed
+
+    #: a tmp file this old is certainly a crashed writer's, not a live one
+    TMP_GRACE_SECONDS = 3_600.0
+
+    def prune(
+        self,
+        *,
+        max_age: Optional[float] = None,
+        keep_engine: bool = True,
+        tmp_grace: float = TMP_GRACE_SECONDS,
+    ) -> dict:
+        """Selective eviction, so the cache stops growing without bound.
+
+        Removes: entries stamped by a non-current engine version (they
+        are never served anyway; skipped with ``keep_engine=False``),
+        unreadable/corrupt entries, entries whose file is older than
+        ``max_age`` seconds (by mtime; ``None``: no age limit), and
+        orphaned ``*.tmp`` files from crashed writers -- but only tmp
+        files older than ``tmp_grace`` seconds, so pruning a cache that
+        concurrent workers are writing to right now cannot unlink a
+        live writer's tmp between its write and its atomic rename.
+        Current-engine entries younger than ``max_age`` always survive.
+
+        Returns a breakdown: ``removed`` (total) plus
+        ``removed_stale_engine`` / ``removed_old`` / ``removed_corrupt``
+        / ``removed_tmp`` and ``kept``.
+        """
+        counts = {
+            "removed_stale_engine": 0,
+            "removed_old": 0,
+            "removed_corrupt": 0,
+            "removed_tmp": 0,
+            "kept": 0,
+        }
+        now = time.time()
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                verdict = None
+                try:
+                    age = now - entry.stat().st_mtime
+                    data = json.loads(entry.read_text())
+                    engine = data.get("engine") if isinstance(data, dict) else None
+                except OSError:
+                    continue  # vanished or unreadable in place: leave it
+                except ValueError:
+                    verdict = "removed_corrupt"
+                if verdict is None:
+                    if keep_engine and engine != ENGINE_VERSION:
+                        verdict = "removed_stale_engine"
+                    elif max_age is not None and age > max_age:
+                        verdict = "removed_old"
+                if verdict is None:
+                    counts["kept"] += 1
+                    continue
+                try:
+                    entry.unlink()
+                    counts[verdict] += 1
+                except OSError:
+                    counts["kept"] += 1
+            for orphan in self.root.glob("*.tmp"):
+                try:
+                    if now - orphan.stat().st_mtime <= tmp_grace:
+                        continue  # possibly a live writer mid-put
+                    orphan.unlink()
+                    counts["removed_tmp"] += 1
+                except OSError:
+                    pass
+        counts["removed"] = (
+            counts["removed_stale_engine"]
+            + counts["removed_old"]
+            + counts["removed_corrupt"]
+            + counts["removed_tmp"]
+        )
+        return counts
 
     def info(self) -> dict:
         """Scan the cache directory: entry/byte totals, a per-engine-

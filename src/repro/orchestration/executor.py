@@ -61,6 +61,10 @@ class Executor:
             out[i] = result
         return out
 
+    def close(self) -> None:
+        """Release any long-lived resources (sockets, daemons).  The
+        in-process executors hold none, so this is a no-op for them."""
+
 
 class SerialExecutor(Executor):
     """In-process execution, items in order (the historical code path)."""
@@ -117,8 +121,21 @@ class ParallelExecutor(Executor):
 _EXHAUSTED = object()
 
 
-def make_executor(jobs: int) -> Executor:
-    """``jobs <= 1`` -> serial, else a ``jobs``-worker process pool."""
+def make_executor(jobs: int, *, workers: Optional[str] = None) -> Executor:
+    """``jobs <= 1`` -> serial, else a ``jobs``-worker process pool.
+
+    ``workers="tcp://host:port"`` selects the distributed executor
+    instead: the returned executor binds that endpoint as the
+    coordinator and farms items out to ``python -m repro worker``
+    daemons that dial in (``jobs`` is ignored -- cluster width is
+    however many daemons register).  Call ``close()`` on the returned
+    executor when done; for the in-process executors it is a no-op.
+    """
+    if workers:
+        # local import: repro.distributed depends on this module
+        from repro.distributed.executor import DistributedExecutor
+
+        return DistributedExecutor(bind=workers)
     return SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs=jobs)
 
 

@@ -34,8 +34,35 @@ class TestParser:
     def test_grid_defaults(self):
         args = build_parser().parse_args(["grid"])
         assert args.jobs == 1 and not args.full_grid and args.limit is None
+        assert args.workers is None
         args = build_parser().parse_args(["grid", "--jobs", "2", "--limit", "2"])
         assert args.jobs == 2 and args.limit == 2
+
+    def test_workers_flag(self):
+        args = build_parser().parse_args(
+            ["grid", "--workers", "tcp://0.0.0.0:7209"]
+        )
+        assert args.workers == "tcp://0.0.0.0:7209"
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "tcp://127.0.0.1:0"]
+        )
+        assert args.workers == "tcp://127.0.0.1:0"
+
+    def test_worker_subcommand(self):
+        args = build_parser().parse_args(["worker", "tcp://head:7209"])
+        assert args.address == "tcp://head:7209"
+        assert args.heartbeat == 2.0 and args.connect_timeout == 60.0
+        args = build_parser().parse_args(
+            ["worker", "tcp://head:7209", "--tag", "rack-3", "--heartbeat", "0.5"]
+        )
+        assert args.tag == "rack-3" and args.heartbeat == 0.5
+
+    def test_cache_prune_flags(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--max-age-days", "7", "--cache-dir", "/tmp/c"]
+        )
+        assert args.verb == "prune" and args.max_age_days == 7.0
+        assert not args.keep_stale_engines
 
 
 class TestCommands:
@@ -112,6 +139,41 @@ class TestCommands:
         assert series(first)
         # agreement columns identical when served from cache
         assert series(first)[0].split()[:7] == series(second)[0].split()[:7]
+
+    def test_cache_prune_reports_evictions(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.io import ResultCache
+
+        argv = ["grid", "--limit", "1", "--points", "2", "--samples", "150",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        cache = ResultCache(tmp_path)
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == 2
+        stale = json.loads(entries[0].read_text())
+        stale["engine"] = -1
+        entries[0].write_text(json.dumps(stale))
+        orphan = tmp_path / "orphan.99-aa.tmp"
+        orphan.write_text("half")
+        import os
+        import time
+
+        ancient = time.time() - 2 * 3_600
+        os.utime(orphan, (ancient, ancient))  # crashed writer, not a live one
+
+        rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out and "(1 kept)" in out
+        assert "stale engine version" in out and "orphaned tmp" in out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_cache_prune_empty_dir(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
 
     def test_saturation_with_jobs_flag(self, capsys):
         rc = main(["saturation", "--sizes", "16", "--lengths", "16", "--seed", "1",

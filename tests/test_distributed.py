@@ -1,0 +1,375 @@
+"""End-to-end tests of the distributed execution subsystem.
+
+Workers are real ``python -m repro worker`` subprocesses talking to an
+in-test :class:`~repro.distributed.executor.DistributedExecutor` over
+localhost sockets -- the exact deployment shape, scaled down.  The
+load-bearing assertions mirror the subsystem's contract:
+
+* a grid/sweep through the distributed executor is **bitwise identical**
+  to the serial run;
+* killing a worker mid-run re-queues its in-flight task and the run
+  still completes with the identical result set;
+* the handshake refuses peers with a mismatched protocol or simulation
+  kernel; remote task exceptions propagate with their traceback;
+* the disk cache composes across executors (distributed misses are
+  written back, later serial runs are pure hits).
+"""
+
+import dataclasses
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.distributed import (
+    AllWorkersLostError,
+    DistributedExecutor,
+    RemoteTaskError,
+)
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    Hello,
+    Shutdown,
+    recv_msg,
+    send_msg,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import ResultCache
+from repro.experiments.compare import run_grid
+from repro.orchestration import SimTask, run_tasks
+from repro.sim import SimConfig
+
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+TESTS_DIR = Path(__file__).resolve().parent
+
+QUICK_SIM = SimConfig(
+    seed=5, warmup_cycles=800, target_unicast_samples=300, target_multicast_samples=60
+)
+
+SMALL_PANEL = ExperimentConfig(
+    exp_id="dist-N16",
+    figure="fig6",
+    num_nodes=16,
+    message_length=16,
+    multicast_fraction=0.05,
+    group_size=4,
+    destset_mode="random",
+    load_fractions=(0.2, 0.5, 0.7),
+)
+
+
+def small_task(seed: int) -> SimTask:
+    return SimTask(
+        network="quarc",
+        network_args=(16,),
+        workload="random",
+        group_size=4,
+        workload_seed=3,
+        message_rate=0.004,
+        multicast_fraction=0.05,
+        message_length=16,
+        sim=SimConfig(
+            seed=seed,
+            warmup_cycles=1_500,
+            target_unicast_samples=400,
+            target_multicast_samples=60,
+        ),
+        label=f"dist-test-{seed}",
+    )
+
+
+def worker_env() -> dict:
+    """Subprocess env: src on the path (and tests/, so task functions
+    defined in this module unpickle on the worker side)."""
+    env = dict(os.environ)
+    parts = [str(SRC_DIR), str(TESTS_DIR)]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+def spawn_worker(address: str, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            address,
+            "--heartbeat",
+            "0.5",
+            "--connect-timeout",
+            "30",
+            *extra,
+        ],
+        env=worker_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+@pytest.fixture
+def executor():
+    ex = DistributedExecutor(
+        "tcp://127.0.0.1:0",
+        min_workers=1,
+        start_timeout=30.0,
+        heartbeat_timeout=5.0,
+        worker_grace=10.0,
+    )
+    procs: list[subprocess.Popen] = []
+
+    def add_workers(n: int, *extra: str) -> list[subprocess.Popen]:
+        address = ex.start()
+        started = [spawn_worker(address, *extra) for _ in range(n)]
+        procs.extend(started)
+        return started
+
+    ex.add_workers = add_workers
+    try:
+        yield ex
+    finally:
+        ex.close()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+# top-level functions so they pickle by reference for the executor tests
+def _boom(item):
+    raise ValueError(f"synthetic failure for {item!r}")
+
+
+def _slow_echo(item):
+    time.sleep(0.3)
+    return item
+
+
+class TestBitwiseEquality:
+    def test_grid_distributed_matches_serial(self, executor):
+        executor.min_workers = 2
+        executor.add_workers(2)
+        serial = run_grid([SMALL_PANEL], sim_config=QUICK_SIM, derive_seeds=True)
+        dist = run_grid(
+            [SMALL_PANEL],
+            sim_config=QUICK_SIM,
+            derive_seeds=True,
+            executor=executor,
+        )
+        assert [dataclasses.asdict(p) for p in dist[0].result.points] == [
+            dataclasses.asdict(p) for p in serial[0].result.points
+        ]
+        assert dist[0].result.saturation_rate == serial[0].result.saturation_rate
+        assert dist[0].occupancy == serial[0].occupancy
+        assert dist[0].paper == serial[0].paper
+
+    def test_worker_crash_requeues_and_run_completes(self, executor):
+        executor.min_workers = 2
+        procs = executor.add_workers(2)
+        tasks = [small_task(seed) for seed in range(1, 9)]
+        serial = run_tasks(tasks)
+
+        from repro.orchestration.tasks import execute_task
+
+        results: dict[int, object] = {}
+        victim_killed = False
+        for index, result in executor.imap_unordered(execute_task, tasks):
+            results[index] = result
+            if not victim_killed:
+                # first completion: the other worker is mid-task; kill one
+                # with the run still in flight
+                procs[0].kill()
+                procs[0].wait()
+                victim_killed = True
+        assert sorted(results) == list(range(len(tasks)))
+        for index, reference in enumerate(serial):
+            assert results[index].payload_equal(reference), f"task {index} differs"
+        # the dead worker was noticed and deregistered; the survivor
+        # finished the whole set
+        assert executor.workers_alive() == 1
+        assert executor._coordinator.workers_lost >= 1
+
+    def test_cache_composes_across_executors(self, executor, tmp_path):
+        executor.add_workers(1)
+        cache = ResultCache(tmp_path)
+        tasks = [small_task(seed) for seed in (21, 22, 23)]
+        fresh = run_tasks(tasks, executor=executor, cache=cache)
+        assert cache.misses == 3 and cache.hits == 0
+        assert not any(r.cached for r in fresh)
+        # second pass, serial: every point must be a hit, bit-identical
+        again = run_tasks(tasks, cache=cache)
+        assert cache.hits == 3
+        assert all(r.cached for r in again)
+        for a, b in zip(fresh, again):
+            assert a.payload_equal(b)
+
+    def test_replications_through_distributed_executor(self, executor):
+        from repro.core import TrafficSpec
+        from repro.routing import QuarcRouting
+        from repro.sim import NocSimulator, run_replications
+        from repro.topology import QuarcTopology
+
+        executor.add_workers(1)
+        topo = QuarcTopology(16)
+        sim = NocSimulator(topo, QuarcRouting(topo))
+        spec = TrafficSpec(0.003, 0.0, 16)
+        base = SimConfig(seed=11, warmup_cycles=300, target_unicast_samples=150)
+        serial = run_replications(sim, spec, base, replications=3)
+        dist = run_replications(
+            sim, spec, base, replications=3, executor=executor
+        )
+        assert [r.unicast.mean for r in dist.replications] == [
+            r.unicast.mean for r in serial.replications
+        ]
+        assert dist.unicast_ci95 == serial.unicast_ci95
+
+    def test_all_hits_need_no_workers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [small_task(31)]
+        run_tasks(tasks, cache=cache)  # warm serially
+        ex = DistributedExecutor("tcp://127.0.0.1:0", start_timeout=0.5)
+        try:
+            [res] = run_tasks(tasks, executor=ex, cache=cache)
+            assert res.cached
+        finally:
+            ex.close()
+
+
+class TestFailureModes:
+    def test_no_workers_times_out(self):
+        ex = DistributedExecutor("tcp://127.0.0.1:0", start_timeout=0.3)
+        try:
+            with pytest.raises(AllWorkersLostError, match="repro worker"):
+                list(ex.imap_unordered(str, [1, 2]))
+        finally:
+            ex.close()
+
+    def test_empty_iterable_completes_without_workers(self):
+        ex = DistributedExecutor("tcp://127.0.0.1:0", start_timeout=0.2)
+        try:
+            assert list(ex.imap_unordered(str, [])) == []
+        finally:
+            ex.close()
+
+    def test_losing_every_worker_raises(self, executor):
+        executor.worker_grace = 1.5
+        [proc] = executor.add_workers(1)
+        tasks = [small_task(seed) for seed in range(41, 47)]
+        from repro.orchestration.tasks import execute_task
+
+        with pytest.raises(AllWorkersLostError, match="outstanding"):
+            for _index, _result in executor.imap_unordered(execute_task, tasks):
+                proc.kill()
+                proc.wait()
+
+    def test_remote_exception_propagates_with_traceback(self, executor):
+        executor.add_workers(1)
+        with pytest.raises(RemoteTaskError, match="synthetic failure"):
+            list(executor.imap_unordered(_boom, ["payload"]))
+        # the daemon survives a failing task and still serves work
+        assert list(executor.imap_unordered(len, ["abc", "de"])) in (
+            [(0, 3), (1, 2)],
+            [(1, 2), (0, 3)],
+        )
+
+    def test_reuse_after_abandoned_run_discards_stale_results(self, executor):
+        executor.add_workers(1)
+        # abandon run 1 after its first result; the worker keeps chewing
+        # through the leftovers in the background
+        for _index, _value in executor.imap_unordered(_slow_echo, list("abcd")):
+            break
+        # run 2 on the same executor must see only its own results, even
+        # while stale ResultMessages from run 1 drain into the queue
+        out = sorted(executor.imap_unordered(_slow_echo, ["x", "y"]))
+        assert out == [(0, "x"), (1, "y")]
+
+    def test_dial_address_substitutes_wildcard_host(self):
+        ex = DistributedExecutor("tcp://0.0.0.0:0")
+        try:
+            bound = ex.start()
+            assert bound.startswith("tcp://0.0.0.0:")
+            dial = ex.dial_address
+            assert "0.0.0.0" not in dial
+            assert dial.startswith("tcp://") and dial.endswith(bound.rsplit(":", 1)[1])
+        finally:
+            ex.close()
+        # loopback binds are reachable as-is and stay untouched
+        ex = DistributedExecutor("tcp://127.0.0.1:0")
+        try:
+            ex.start()
+            assert ex.dial_address == ex.address
+        finally:
+            ex.close()
+
+    def test_handshake_refuses_wrong_engine(self, executor):
+        address = executor.start()
+        from repro.distributed.protocol import parse_address
+
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=5) as sock:
+            send_msg(
+                sock,
+                Hello(protocol=PROTOCOL_VERSION, engine=-1, pid=1, host="t"),
+            )
+            reply = recv_msg(sock)
+        assert isinstance(reply, Shutdown)
+        assert "engine version mismatch" in reply.reason
+        assert executor.workers_alive() == 0
+
+    def test_handshake_refuses_wrong_protocol(self, executor):
+        address = executor.start()
+        from repro.distributed.protocol import parse_address
+        from repro.sim.engine import ENGINE_VERSION
+
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=5) as sock:
+            send_msg(
+                sock,
+                Hello(protocol=999, engine=ENGINE_VERSION, pid=1, host="t"),
+            )
+            reply = recv_msg(sock)
+        assert isinstance(reply, Shutdown)
+        assert "protocol version mismatch" in reply.reason
+
+    def test_worker_gives_up_when_no_coordinator(self):
+        # grab a port nothing listens on
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        from repro.distributed import run_worker
+
+        lines: list[str] = []
+        rc = run_worker(
+            f"tcp://127.0.0.1:{port}", connect_timeout=0.3, log=lines.append
+        )
+        assert rc == 1
+        assert any("cannot reach coordinator" in line for line in lines)
+
+
+class TestWorkerDaemonLifecycle:
+    def test_clean_dismissal_exits_zero_with_task_tally(self, executor):
+        [proc] = executor.add_workers(1)
+        assert list(executor.imap_unordered(len, ["one", "two", "three"])) == [
+            (0, 3),
+            (1, 3),
+            (2, 5),
+        ]
+        snapshot = executor._coordinator.worker_snapshot()
+        assert len(snapshot) == 1 and snapshot[0].tasks_done == 3
+        assert snapshot[0].pid == proc.pid
+        executor.close()
+        assert proc.wait(timeout=10) == 0
+        output = proc.stdout.read()
+        assert "registered" in output
+        assert "dismissed after 3 task(s)" in output

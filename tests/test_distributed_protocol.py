@@ -1,0 +1,194 @@
+"""Framing-protocol tests: round-trips, torn streams, hostile headers.
+
+The framing layer is the part of the distributed subsystem that faces
+raw bytes, so it gets the property-style treatment: randomized payload
+shapes and sizes must round-trip exactly, and every way a stream can be
+malformed -- wrong magic, truncation mid-header or mid-payload, a length
+field larger than :data:`~repro.distributed.protocol.MAX_FRAME`, a valid
+frame around an unpicklable payload -- must surface as the right typed
+error instead of garbage objects.
+"""
+
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.distributed.protocol import (
+    MAGIC,
+    MAX_FRAME,
+    ConnectionClosed,
+    Heartbeat,
+    Hello,
+    ProtocolError,
+    ResultMessage,
+    Shutdown,
+    TaskMessage,
+    format_address,
+    parse_address,
+    recv_msg,
+    send_msg,
+)
+
+
+def roundtrip(obj):
+    """Send ``obj`` across a socketpair (writer threaded, so payloads
+    larger than the kernel buffer cannot deadlock) and receive it back."""
+    a, b = socket.socketpair()
+    try:
+        error = []
+
+        def write():
+            try:
+                send_msg(a, obj)
+            except Exception as exc:  # surfaced in the main thread
+                error.append(exc)
+
+        t = threading.Thread(target=write)
+        t.start()
+        out = recv_msg(b)
+        t.join()
+        if error:
+            raise error[0]
+        return out
+    finally:
+        a.close()
+        b.close()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            42,
+            "a string",
+            [1, 2, 3],
+            {"nested": {"deep": (1.5, float("inf"))}},
+            Heartbeat(worker_id="w3"),
+            Shutdown(reason="done"),
+            Hello(protocol=1, engine=2, pid=1234, host="h", tag="lab-a"),
+            ResultMessage(seq=7, ok=False, error="Traceback ...", worker_id="w0"),
+        ],
+    )
+    def test_exact(self, obj):
+        assert roundtrip(obj) == obj
+
+    def test_task_message_carries_function_by_reference(self):
+        msg = roundtrip(TaskMessage(seq=3, fn=parse_address, item="tcp://h:1"))
+        assert msg.seq == 3 and msg.item == "tcp://h:1"
+        assert msg.fn("tcp://x:9") == ("x", 9)  # same function after the wire
+
+    def test_payload_larger_than_socket_buffer(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB: forces chunked recv
+        assert roundtrip(blob) == blob
+
+    def test_randomized_shapes(self):
+        rng = random.Random(2009)
+
+        def shape(depth):
+            kind = rng.randrange(6 if depth < 3 else 4)
+            if kind == 0:
+                return rng.randrange(-(2**40), 2**40)
+            if kind == 1:
+                return rng.random() * 10**rng.randrange(-3, 9)
+            if kind == 2:
+                return "".join(chr(rng.randrange(32, 0x2FF)) for _ in range(rng.randrange(30)))
+            if kind == 3:
+                return rng.randbytes(rng.randrange(200))
+            if kind == 4:
+                return [shape(depth + 1) for _ in range(rng.randrange(6))]
+            return {f"k{i}": shape(depth + 1) for i in range(rng.randrange(5))}
+
+        for _ in range(50):
+            obj = shape(0)
+            assert roundtrip(obj) == obj
+
+    def test_back_to_back_frames(self):
+        a, b = socket.socketpair()
+        try:
+            for seq in range(5):
+                send_msg(a, Heartbeat(worker_id=f"w{seq}"))
+            assert [recv_msg(b).worker_id for _ in range(5)] == [
+                "w0", "w1", "w2", "w3", "w4"
+            ]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestMalformedStreams:
+    def feed(self, raw: bytes):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(raw)
+            a.close()
+            return recv_msg(b)
+        finally:
+            b.close()
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            self.feed(b"HTTP" + struct.pack("!I", 4) + b"oops")
+
+    def test_eof_between_frames(self):
+        with pytest.raises(ConnectionClosed):
+            self.feed(b"")
+
+    def test_eof_mid_header(self):
+        with pytest.raises(ConnectionClosed):
+            self.feed(MAGIC + b"\x00")
+
+    def test_eof_mid_payload(self):
+        with pytest.raises(ConnectionClosed, match="outstanding"):
+            self.feed(MAGIC + struct.pack("!I", 100) + b"only-part")
+
+    def test_oversized_length_field_rejected_before_allocation(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            self.feed(MAGIC + struct.pack("!I", MAX_FRAME + 1))
+
+    def test_valid_frame_unpicklable_payload(self):
+        junk = b"\x00not a pickle\xff"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            self.feed(MAGIC + struct.pack("!I", len(junk)) + junk)
+
+    def test_oversized_send_rejected_locally(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="MAX_FRAME"):
+                send_msg(a, bytes(MAX_FRAME + 1))
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAddresses:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("tcp://127.0.0.1:7209", ("127.0.0.1", 7209)),
+            ("tcp://cluster-head:80", ("cluster-head", 80)),
+            ("localhost:0", ("localhost", 0)),  # scheme optional
+        ],
+    )
+    def test_parse_ok(self, text, expected):
+        assert parse_address(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "udp://h:1",  # wrong scheme
+            "tcp://h",  # no port
+            "tcp://:7209",  # no host
+            "tcp://h:port",  # non-numeric port
+            "tcp://h:99999",  # out of range
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_address(text)
+
+    def test_format_parse_roundtrip(self):
+        assert parse_address(format_address("node7", 4321)) == ("node7", 4321)

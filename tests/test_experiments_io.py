@@ -110,3 +110,159 @@ class TestCsv:
         path = save_points_csv(result, tmp_path / "points.csv")
         content = path.read_text()
         assert "0.001" in content and "0.006" in content
+
+
+# ---------------------------------------------------------------------- #
+# result-cache eviction (prune) and concurrent atomic writes
+
+
+def _fake_entry(seed: int):
+    """A (task, result) pair without running a simulation."""
+    import math as _math
+
+    from repro.orchestration import SimTask, StatsSummary, TaskResult
+    from repro.sim import SimConfig
+
+    task = SimTask(
+        network="quarc",
+        network_args=(16,),
+        message_rate=0.001 * seed,
+        sim=SimConfig(seed=seed),
+    )
+    stats = StatsSummary(mean=40.0 + seed, ci95=0.5, count=100)
+    return task, TaskResult(
+        task_key=task.task_key(),
+        label="",
+        unicast=stats,
+        multicast=StatsSummary(mean=_math.nan, ci95=_math.nan, count=0),
+        saturated=False,
+        target_met=True,
+        deadlock_recoveries=0,
+        recovered_samples=0,
+        sim_time=1_000.0,
+        events=5_000,
+        generated_messages=50,
+        completed_messages=50,
+    )
+
+
+class TestCachePrune:
+    def _cache(self, tmp_path, n=3):
+        from repro.experiments.io import ResultCache
+
+        cache = ResultCache(tmp_path)
+        pairs = [_fake_entry(seed) for seed in range(1, n + 1)]
+        for task, result in pairs:
+            cache.put(task, result)
+        return cache, pairs
+
+    def test_noop_prune_keeps_everything(self, tmp_path):
+        cache, pairs = self._cache(tmp_path)
+        counts = cache.prune()
+        assert counts["removed"] == 0 and counts["kept"] == len(pairs)
+        assert all(cache.get(task) is not None for task, _ in pairs)
+
+    def test_prune_evicts_stale_engine_entries(self, tmp_path):
+        import json
+
+        cache, pairs = self._cache(tmp_path)
+        stale = json.loads(cache.path_for(pairs[0][0]).read_text())
+        stale["engine"] = -7
+        cache.path_for(pairs[0][0]).write_text(json.dumps(stale))
+        counts = cache.prune()
+        assert counts["removed_stale_engine"] == 1
+        assert counts["kept"] == len(pairs) - 1
+        assert not cache.path_for(pairs[0][0]).exists()
+        assert cache.get(pairs[1][0]) is not None
+
+    def test_prune_keep_engine_false_spares_stale_entries(self, tmp_path):
+        import json
+
+        cache, pairs = self._cache(tmp_path)
+        stale = json.loads(cache.path_for(pairs[0][0]).read_text())
+        stale["engine"] = -7
+        cache.path_for(pairs[0][0]).write_text(json.dumps(stale))
+        counts = cache.prune(keep_engine=False)
+        assert counts["removed"] == 0 and counts["kept"] == len(pairs)
+
+    def test_prune_by_age(self, tmp_path):
+        import os
+        import time
+
+        cache, pairs = self._cache(tmp_path)
+        old = cache.path_for(pairs[0][0])
+        ancient = time.time() - 10 * 86_400
+        os.utime(old, (ancient, ancient))
+        counts = cache.prune(max_age=7 * 86_400)
+        assert counts["removed_old"] == 1 and counts["kept"] == len(pairs) - 1
+        assert not old.exists()
+
+    def test_prune_removes_corrupt_and_orphaned_tmp(self, tmp_path):
+        import os
+        import time
+
+        cache, pairs = self._cache(tmp_path)
+        (cache.root / "deadbeef0000.json").write_text("{not json")
+        orphan = cache.root / "deadbeef0000.123-ab.tmp"
+        orphan.write_text("half a write")
+        ancient = time.time() - 2 * 3_600
+        os.utime(orphan, (ancient, ancient))  # well past the grace window
+        counts = cache.prune()
+        assert counts["removed_corrupt"] == 1
+        assert counts["removed_tmp"] == 1
+        assert counts["kept"] == len(pairs)
+
+    def test_prune_spares_fresh_tmp_of_a_live_writer(self, tmp_path):
+        cache, _pairs = self._cache(tmp_path)
+        live = cache.root / "deadbeef0000.123-ab.tmp"
+        live.write_text("a write in progress right now")
+        counts = cache.prune()
+        assert counts["removed_tmp"] == 0
+        assert live.exists()  # never unlink under a concurrent writer
+
+    def test_prune_missing_root_is_a_noop(self, tmp_path):
+        from repro.experiments.io import ResultCache
+
+        counts = ResultCache(tmp_path / "never-created").prune(max_age=1.0)
+        assert counts["removed"] == 0 and counts["kept"] == 0
+
+
+class TestCacheAtomicPut:
+    def test_concurrent_writers_never_publish_a_torn_entry(self, tmp_path):
+        import threading
+
+        from repro.experiments.io import ResultCache
+
+        cache = ResultCache(tmp_path)
+        task, result = _fake_entry(9)
+
+        def hammer():
+            mine = ResultCache(tmp_path)  # own stats, shared directory
+            for _ in range(40):
+                mine.put(task, result)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in writers:
+            w.start()
+        torn = 0
+        reader = ResultCache(tmp_path)
+        while any(w.is_alive() for w in writers):
+            got = reader.get(task)
+            if got is not None and not got.payload_equal(result):
+                torn += 1
+        for w in writers:
+            w.join()
+        assert torn == 0
+        final = reader.get(task)
+        assert final is not None and final.payload_equal(result)
+        # every tmp was either renamed into place or cleaned up
+        assert list(cache.root.glob("*.tmp")) == []
+
+    def test_put_leaves_single_entry_per_key(self, tmp_path):
+        from repro.experiments.io import ResultCache
+
+        cache = ResultCache(tmp_path)
+        task, result = _fake_entry(11)
+        for _ in range(5):
+            cache.put(task, result)
+        assert len(list(cache.root.iterdir())) == 1
