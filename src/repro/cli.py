@@ -22,6 +22,13 @@ Commands
     Run a task-execution daemon that serves a remote coordinator
     (``repro worker tcp://host:port``).
 
+``sweep`` and ``grid`` accept ``--ci-rel R`` (with ``--min-reps`` /
+``--max-reps``) to replace the fixed per-point sample budget with
+precision-driven replication: each point runs seed-deterministic
+replication rounds until the pooled Student-t 95% half-width of its
+mean latency is below ``R`` of the mean (``--samples`` then budgets one
+replication), and the report prints the achieved half-widths.
+
 ``sweep`` and ``grid`` accept ``--jobs N`` to fan simulation points out
 over N worker processes, or ``--workers tcp://HOST:PORT`` to bind a
 coordinator there and farm the points out to ``repro worker`` daemons on
@@ -49,10 +56,10 @@ from repro.experiments.compare import render_grid_summary, run_grid
 from repro.experiments.config import ExperimentConfig, paper_grid
 from repro.experiments.io import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.report import render_series
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import budget_sim_config, run_experiment
 from repro.orchestration import SimTask, make_executor, run_tasks
 from repro.routing import QuarcRouting
-from repro.sim import SimConfig
+from repro.sim import AdaptiveSettings, SimConfig
 from repro.topology import QuarcTopology
 from repro.workloads import random_multicast_sets
 
@@ -100,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "(overrides --jobs; results are identical either way)",
         )
 
+    def adaptive_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ci-rel", type=float, default=None, metavar="R",
+            help="adaptive sampling: per point, run independent replications "
+                 "in rounds until the pooled Student-t 95%% half-width of "
+                 "mean latency is <= R * mean (e.g. 0.05); --samples then "
+                 "sets the per-replication budget.  Default: one fixed run "
+                 "per point",
+        )
+        p.add_argument("--min-reps", type=int, default=3, metavar="N",
+                       help="adaptive sampling: initial replication round "
+                            "(>= 2; also the smallest stop count)")
+        p.add_argument("--max-reps", type=int, default=24, metavar="N",
+                       help="adaptive sampling: hard per-point cap")
+
     p_eval = sub.add_parser("evaluate", help="one-shot model prediction")
     common(p_eval)
     cache_args(p_eval)  # a single simulation: cacheable, nothing to fan out
@@ -110,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="regenerate a figure panel")
     common(p_sweep)
     orchestration(p_sweep)
+    adaptive_args(p_sweep)
     p_sweep.add_argument(
         "--dests", choices=["random", "localized"], default="random",
         help="fig6 (random) or fig7 (localized) destination sets",
@@ -129,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grid", help="run the paper's Figure 6/7 grid through one executor"
     )
     orchestration(p_grid)
+    adaptive_args(p_grid)
     p_grid.add_argument("--full-grid", action="store_true",
                         help="full 4x4x3 cartesian product per figure "
                              "(default: one representative panel per size)")
@@ -219,6 +243,24 @@ def _cache(args) -> Optional[ResultCache]:
     return None if args.no_cache else ResultCache(args.cache_dir)
 
 
+def _adaptive(args) -> Optional[AdaptiveSettings]:
+    """CI-targeted sampling settings, or None for fixed-budget runs."""
+    if args.ci_rel is None:
+        return None
+    try:
+        return AdaptiveSettings(
+            ci_rel=args.ci_rel, min_reps=args.min_reps, max_reps=args.max_reps
+        )
+    except ValueError as exc:  # argparse-style diagnostics, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _print_round(round_index: int, submitted: int, still_running: int) -> None:
+    print(f"  round {round_index}: {submitted} replications submitted, "
+          f"{still_running} points still running", flush=True)
+
+
 def cmd_evaluate(args) -> int:
     topo, routing = _network(args)
     sets = _sets(args, routing)
@@ -277,6 +319,9 @@ def cmd_sweep(args) -> int:
         rim=args.rim,
         seed=args.seed,
         load_fractions=fractions,
+        # carried on the config so --json output records the sampling
+        # policy that produced the series (and reloading reproduces it)
+        adaptive=_adaptive(args),
     )
     cache = _cache(args)
     executor = _executor(args)
@@ -284,11 +329,10 @@ def cmd_sweep(args) -> int:
         result = run_experiment(
             config,
             include_sim=not args.no_sim,
-            sim_config=SimConfig(
+            sim_config=budget_sim_config(
                 seed=args.seed,
-                warmup_cycles=2_000,
-                target_unicast_samples=args.samples,
-                target_multicast_samples=max(100, args.samples // 6),
+                samples=args.samples,
+                multicast_samples=max(100, args.samples // 6),
             ),
             executor=executor,
             cache=cache,
@@ -359,17 +403,24 @@ def cmd_grid(args) -> int:
     if args.limit is not None:
         configs = configs[: args.limit]
     fractions = tuple((k + 1) * 0.8 / args.points for k in range(args.points))
-    configs = [c.scaled(load_fractions=fractions) for c in configs]
-    sim_config = SimConfig(
-        seed=args.seed,
-        warmup_cycles=2_000,
-        target_unicast_samples=args.samples,
-        target_multicast_samples=max(60, args.samples // 6),
-    )
+    adaptive = _adaptive(args)
+    # the sampling policy rides on each config so saved panel JSON
+    # records how its series was sampled
+    configs = [
+        c.scaled(load_fractions=fractions, adaptive=adaptive) for c in configs
+    ]
+    sim_config = budget_sim_config(seed=args.seed, samples=args.samples)
     cache = _cache(args)
-    n_tasks = 0 if args.no_sim else len(configs) * args.points
     lanes = f"workers={args.workers}" if args.workers else f"jobs={args.jobs}"
-    print(f"== paper grid: {len(configs)} panels, {n_tasks} simulation tasks, "
+    n_points = len(configs) * args.points
+    if args.no_sim:
+        plan = "no simulation"
+    elif adaptive is not None:
+        plan = (f"{n_points} points, adaptive ci-rel={adaptive.ci_rel:g} "
+                f"reps {adaptive.min_reps}..{adaptive.max_reps}")
+    else:
+        plan = f"{n_points} simulation tasks"
+    print(f"== paper grid: {len(configs)} panels, {plan}, "
           f"{lanes}, cache={'off' if cache is None else args.cache_dir} ==")
 
     def progress(done: int, total: int, task) -> None:
@@ -386,12 +437,20 @@ def cmd_grid(args) -> int:
             cache=cache,
             derive_seeds=True,
             progress=progress,
+            adaptive=adaptive,
+            on_round=_print_round,
         )
     finally:
         executor.close()  # dismisses remote workers; no-op in-process
     elapsed = time.perf_counter() - t0
     print()
     print(render_grid_summary(panels))
+    if adaptive is not None and not args.no_sim:
+        reps = sum(p.sim_replications for panel in panels
+                   for p in panel.result.points)
+        fixed = n_points * adaptive.max_reps
+        print(f"adaptive sampling: {reps} replications total "
+              f"(fixed {adaptive.max_reps}-rep budget would run {fixed})")
     print(f"elapsed: {elapsed:.1f}s ({lanes})")
     if cache is not None:
         print(_render_cache_line(cache))

@@ -21,11 +21,17 @@ from dataclasses import dataclass
 
 from repro.core.flows import TrafficSpec
 from repro.core.model import AnalyticalModel
+from repro.experiments.runner import budget_sim_config
 from repro.routing.quarc import QuarcRouting
 from repro.sim.network import NocSimulator, SimConfig
 from repro.topology.quarc import QuarcTopology
 
-__all__ = ["BroadcastPoint", "broadcast_scaling_study", "render_broadcast_study"]
+__all__ = [
+    "BroadcastPoint",
+    "broadcast_sim_config",
+    "broadcast_scaling_study",
+    "render_broadcast_study",
+]
 
 
 @dataclass(frozen=True)
@@ -54,23 +60,35 @@ def broadcast_sets(num_nodes: int) -> dict[int, frozenset[int]]:
     }
 
 
+def broadcast_sim_config(*, seed: int = 2009, samples: int = 400) -> SimConfig:
+    """The study's run control, routed through the shared sample-budget
+    path (:func:`repro.experiments.runner.budget_sim_config`) instead of
+    a hard-coded :class:`SimConfig`.  The study is multicast-dominated,
+    so its multicast target is 3/8 of the unicast budget (150 at the
+    historical 400-sample default, preserving the study's numbers)."""
+    return budget_sim_config(
+        seed=seed,
+        samples=samples,
+        multicast_samples=max(60, samples * 3 // 8),
+        warmup_cycles=2_000,
+    )
+
+
 def broadcast_scaling_study(
     sizes=(16, 32, 64),
     *,
     message_length: int = 32,
     load_fraction: float = 0.4,
     sim_config: SimConfig | None = None,
+    samples: int = 400,
     include_one_port: bool = True,
 ) -> list[BroadcastPoint]:
-    """Run the study; one point per network size."""
+    """Run the study; one point per network size.  ``samples`` is the
+    per-point unicast sample budget (ignored when an explicit
+    ``sim_config`` is supplied)."""
     if not 0.0 < load_fraction < 1.0:
         raise ValueError(f"load_fraction must be in (0,1), got {load_fraction}")
-    cfg = sim_config or SimConfig(
-        seed=2009,
-        warmup_cycles=2_000,
-        target_unicast_samples=400,
-        target_multicast_samples=150,
-    )
+    cfg = sim_config or broadcast_sim_config(samples=samples)
     points: list[BroadcastPoint] = []
     for n in sizes:
         topo = QuarcTopology(n)

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     ExperimentResult,
+    apply_adaptive_point,
     apply_task_result,
     default_sim_config,
     model_series,
@@ -25,6 +26,7 @@ from repro.experiments.runner import (
 )
 from repro.orchestration.executor import Executor, ResultStore, iter_task_results
 from repro.orchestration.tasks import SimTask
+from repro.sim.adaptive import AdaptiveSettings, run_adaptive_tasks
 from repro.sim.network import SimConfig
 
 __all__ = [
@@ -116,6 +118,8 @@ def run_grid(
     cache: Optional[ResultStore] = None,
     derive_seeds: bool = False,
     progress=None,
+    adaptive: Optional[AdaptiveSettings] = None,
+    on_round=None,
 ) -> list[GridPanel]:
     """Run many panels against one executor and score each.
 
@@ -134,8 +138,30 @@ def run_grid(
     parallel executor this exceeds elapsed time (N workers accrue N
     seconds per wall second); measure elapsed around this call if that
     is what you need.
+
+    ``adaptive`` switches every panel to precision-driven sampling: the
+    driver collects *every* panel's per-point base tasks up front and
+    runs one shared round-synchronous controller over all of them (see
+    :func:`repro.sim.adaptive.run_adaptive_tasks`), so each round's
+    batch spans panel boundaries and keeps the executor saturated.
+    ``on_round(round_index, submitted, still_running)`` reports round
+    progress in that mode; ``progress`` is not called (the total task
+    count is not known in advance).
     """
     configs = list(configs)
+    if adaptive is None:
+        # honour settings carried by the configs themselves (the same
+        # fallback run_experiment applies); the shared controller runs
+        # one settings object, so mixed intent must be resolved by the
+        # caller rather than silently ignored
+        carried = [c.adaptive for c in configs if c.adaptive is not None]
+        if carried:
+            if len(set(carried)) > 1 or len(carried) != len(configs):
+                raise ValueError(
+                    "configs carry non-uniform AdaptiveSettings; pass "
+                    "adaptive= explicitly to run_grid"
+                )
+            adaptive = carried[0]
     panels: list[GridPanel] = []
 
     def build_panel(config: ExperimentConfig) -> tuple[GridPanel, list[float]]:
@@ -150,6 +176,34 @@ def run_grid(
     if not include_sim:
         for config in configs:
             build_panel(config)
+        return panels
+
+    if adaptive is not None:
+        # model series first (cheap), then one shared controller whose
+        # round batches span every panel's still-running points
+        base_tasks: list[SimTask] = []
+        adaptive_owners: list[tuple[int, int]] = []
+        for c_idx, config in enumerate(configs):
+            _panel, sweep = build_panel(config)
+            scfg = sim_config or default_sim_config(config, per_replication=True)
+            for p_idx, task in enumerate(
+                sweep_tasks(config, sweep, scfg, derive_seeds=derive_seeds)
+            ):
+                base_tasks.append(task)
+                adaptive_owners.append((c_idx, p_idx))
+        adaptive_points = run_adaptive_tasks(
+            base_tasks, adaptive, executor=executor, cache=cache,
+            on_round=on_round,
+        )
+        for (c_idx, p_idx), ap in zip(adaptive_owners, adaptive_points):
+            panel = panels[c_idx]
+            apply_adaptive_point(panel.result.points[p_idx], ap)
+            panel.result.wall_seconds += sum(
+                r.wall_seconds for r in ap.results if not r.cached
+            )
+        for panel in panels:
+            panel.occupancy = agreement_metrics(panel.result, "occupancy")
+            panel.paper = agreement_metrics(panel.result, "paper")
         return panels
 
     # every panel contributes one task per load fraction, so the total is

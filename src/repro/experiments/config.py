@@ -19,6 +19,7 @@ from typing import Iterator, Sequence
 from repro.core.flows import TrafficSpec
 from repro.core.model import AnalyticalModel
 from repro.routing.quarc import QuarcRouting
+from repro.sim.adaptive import AdaptiveSettings
 from repro.topology.quarc import QuarcTopology
 from repro.workloads.destsets import localized_multicast_sets, random_multicast_sets
 
@@ -52,6 +53,11 @@ class ExperimentConfig:
     seed: int = 2009
     #: sweep points as fractions of the model's saturation rate
     load_fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+    #: per-point sample policy: ``None`` keeps the historical flat budget
+    #: (one fixed run per point); an :class:`~repro.sim.adaptive.
+    #: AdaptiveSettings` runs CI-targeted replications per point instead,
+    #: spending budget where the variance actually is
+    adaptive: AdaptiveSettings | None = None
 
     def __post_init__(self) -> None:
         if self.destset_mode not in ("random", "localized"):

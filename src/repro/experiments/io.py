@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, SweepPoint
+from repro.sim.adaptive import AdaptiveSettings
 from repro.orchestration.tasks import (
     SimTask,
     TaskResult,
@@ -87,19 +88,29 @@ def experiment_from_dict(data: dict) -> ExperimentResult:
         raise ValueError(f"unsupported experiment format version {version!r}")
     cfg_data = dict(data["config"])
     cfg_data["load_fractions"] = tuple(cfg_data["load_fractions"])
+    if cfg_data.get("adaptive") is not None:
+        # asdict() flattened the nested settings into a plain dict
+        cfg_data["adaptive"] = AdaptiveSettings(**cfg_data["adaptive"])
     config = ExperimentConfig(**cfg_data)
     points = []
+    int_fields = (
+        "sim_deadlock_recoveries",
+        "sim_samples_unicast",
+        "sim_samples_multicast",
+        "sim_replications",
+    )
+    non_float_fields = int_fields + ("sim_saturated", "sim_stop_reason")
     for pd in data["points"]:
         kwargs = {
-            k: _decode_float(v) if isinstance(v, (int, float, str)) and k != "sim_deadlock_recoveries"
-            and k not in ("sim_saturated", "sim_samples_unicast", "sim_samples_multicast")
+            k: _decode_float(v)
+            if isinstance(v, (int, float, str)) and k not in non_float_fields
             else v
             for k, v in pd.items()
         }
         kwargs["sim_saturated"] = bool(pd["sim_saturated"])
-        kwargs["sim_deadlock_recoveries"] = int(pd["sim_deadlock_recoveries"])
-        kwargs["sim_samples_unicast"] = int(pd["sim_samples_unicast"])
-        kwargs["sim_samples_multicast"] = int(pd["sim_samples_multicast"])
+        for name in int_fields:
+            if name in pd:  # absent in pre-adaptive files: keep the default
+                kwargs[name] = int(pd[name])
         points.append(SweepPoint(**kwargs))
     return ExperimentResult(
         config=config,

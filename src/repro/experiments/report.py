@@ -48,6 +48,17 @@ def render_series(result: ExperimentResult) -> str:
             f"{_fmt(p.sim_unicast, 9)} |"
             f" {p.sim_deadlock_recoveries:3d} {'Y' if p.sim_saturated else 'n'}"
         )
+    if any(p.sim_replications > 1 for p in result.points):
+        reps = "/".join(str(p.sim_replications) for p in result.points)
+        halves = "/".join(
+            f"{p.sim_rel_halfwidth * 100:.1f}%"
+            if math.isfinite(p.sim_rel_halfwidth)
+            else "-"
+            for p in result.points
+        )
+        stops = "/".join(p.sim_stop_reason or "-" for p in result.points)
+        lines.append(f"   adaptive sampling: replications per point {reps}")
+        lines.append(f"   achieved unicast rel. 95% half-width {halves} ({stops})")
     for variant in ("paper", "occupancy"):
         m = agreement_metrics(result, variant)
         lines.append(

@@ -25,6 +25,7 @@ from repro.core.model import AnalyticalModel
 from repro.experiments.config import ExperimentConfig
 from repro.orchestration.executor import Executor, ResultStore, run_tasks
 from repro.orchestration.tasks import SimTask, TaskResult, spawn_seeds
+from repro.sim.adaptive import AdaptivePoint, AdaptiveSettings, run_adaptive_tasks
 from repro.sim.network import SimConfig
 
 __all__ = [
@@ -33,8 +34,11 @@ __all__ = [
     "run_experiment",
     "sweep_tasks",
     "model_series",
+    "budget_sim_config",
     "default_sim_config",
     "apply_task_result",
+    "apply_adaptive_point",
+    "ADAPTIVE_SAMPLES_PER_REPLICATION",
 ]
 
 
@@ -55,10 +59,22 @@ class SweepPoint:
     sim_deadlock_recoveries: int = 0
     sim_samples_unicast: int = 0
     sim_samples_multicast: int = 0
+    #: independent replications pooled into the sim fields (1 = one fixed
+    #: run, the historical behaviour; >1 = adaptive sampling)
+    sim_replications: int = 0
+    #: why adaptive sampling stopped ("" for fixed-budget runs)
+    sim_stop_reason: str = ""
 
     @property
     def has_sim(self) -> bool:
         return not math.isnan(self.sim_unicast)
+
+    @property
+    def sim_rel_halfwidth(self) -> float:
+        """Achieved relative 95% half-width of the unicast mean."""
+        if not self.has_sim or self.sim_unicast == 0.0:
+            return math.nan
+        return self.sim_unicast_ci95 / abs(self.sim_unicast)
 
 
 @dataclass
@@ -72,14 +88,60 @@ class ExperimentResult:
         return [p for p in self.points if not p.sim_saturated and p.has_sim]
 
 
-def default_sim_config(config: ExperimentConfig) -> SimConfig:
-    """The benchmark-grade run control used when none is supplied --
-    deliberately small samples; validation tests use larger targets."""
+#: per-replication sample budget used by adaptive sampling: the
+#: controller buys precision by adding replications, not by lengthening
+#: individual runs, so each replication is deliberately short
+ADAPTIVE_SAMPLES_PER_REPLICATION = 600
+
+
+def budget_sim_config(
+    *,
+    seed: int,
+    samples: int,
+    multicast_samples: Optional[int] = None,
+    warmup_cycles: float = 2_000,
+) -> SimConfig:
+    """The one sample-budget -> run-control path shared by the CLI, the
+    grid driver and the studies: a single ``samples`` budget (measured
+    unicast latencies) determines the run control, with the multicast
+    target defaulting to a proportional share.
+
+    The default warmup is the integer ``2_000`` the CLI has always
+    passed: the value reaches ``SimTask.task_key()`` through JSON, where
+    ``2000`` and ``2000.0`` hash differently -- keeping the historical
+    type keeps existing cache entries addressable."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if multicast_samples is None:
+        multicast_samples = max(60, samples // 6)
     return SimConfig(
+        seed=seed,
+        warmup_cycles=warmup_cycles,
+        target_unicast_samples=samples,
+        target_multicast_samples=multicast_samples,
+    )
+
+
+def default_sim_config(
+    config: ExperimentConfig, *, per_replication: bool = False
+) -> SimConfig:
+    """The benchmark-grade run control used when none is supplied --
+    deliberately small samples; validation tests use larger targets.
+    ``per_replication=True`` returns the smaller per-replication budget
+    used under adaptive sampling, where total samples at a point are
+    ``replications x budget`` and the controller chooses the count."""
+    if per_replication:
+        return budget_sim_config(
+            seed=config.seed,
+            samples=ADAPTIVE_SAMPLES_PER_REPLICATION,
+            multicast_samples=100,
+            warmup_cycles=3_000.0,
+        )
+    return budget_sim_config(
         seed=config.seed,
+        samples=2_000,
+        multicast_samples=300,
         warmup_cycles=3_000.0,
-        target_unicast_samples=2_000,
-        target_multicast_samples=300,
     )
 
 
@@ -160,6 +222,25 @@ def apply_task_result(point: SweepPoint, result: TaskResult) -> SweepPoint:
     point.sim_deadlock_recoveries = result.deadlock_recoveries
     point.sim_samples_unicast = result.unicast.count
     point.sim_samples_multicast = result.multicast.count
+    point.sim_replications = 1
+    point.sim_stop_reason = ""
+    return point
+
+
+def apply_adaptive_point(point: SweepPoint, adaptive: AdaptivePoint) -> SweepPoint:
+    """Fill a sweep point's sim fields from an adaptive point's pooled
+    replications (in place).  The latency fields become the pooled
+    Student-t interval over replication means; counters are summed."""
+    point.sim_unicast, point.sim_unicast_ci95 = adaptive.pooled("unicast")
+    point.sim_multicast, point.sim_multicast_ci95 = adaptive.pooled("multicast")
+    point.sim_saturated = any(r.saturated for r in adaptive.results)
+    point.sim_deadlock_recoveries = sum(
+        r.deadlock_recoveries for r in adaptive.results
+    )
+    point.sim_samples_unicast = sum(r.unicast.count for r in adaptive.results)
+    point.sim_samples_multicast = sum(r.multicast.count for r in adaptive.results)
+    point.sim_replications = adaptive.replications
+    point.sim_stop_reason = adaptive.decision.reason
     return point
 
 
@@ -172,6 +253,7 @@ def run_experiment(
     executor: Optional[Executor] = None,
     cache: Optional[ResultStore] = None,
     derive_seeds: bool = False,
+    adaptive: Optional[AdaptiveSettings] = None,
 ) -> ExperimentResult:
     """Produce the model/sim series of one figure panel.
 
@@ -181,18 +263,36 @@ def run_experiment(
     targets.  ``executor`` chooses where the simulations run (default:
     serially, in-process); ``cache`` skips already-computed points.  The
     resulting series is identical for any executor.
+
+    ``adaptive`` (or ``config.adaptive``) switches the sweep to
+    precision-driven sampling: every point runs independent replications
+    in rounds until its pooled Student-t 95% half-width meets the
+    settings' relative target (see :mod:`repro.sim.adaptive`);
+    ``sim_config`` then holds the *per-replication* budget.
     """
     start = time.perf_counter()
     sat, sweep, points = model_series(config, rates=rates)
     result = ExperimentResult(config=config, saturation_rate=sat, points=points)
+    adaptive = adaptive if adaptive is not None else config.adaptive
 
     if include_sim:
-        scfg = sim_config or default_sim_config(config)
+        scfg = sim_config or default_sim_config(
+            config, per_replication=adaptive is not None
+        )
         tasks = sweep_tasks(config, sweep, scfg, derive_seeds=derive_seeds)
-        for point, tres in zip(
-            points, run_tasks(tasks, executor=executor, cache=cache)
-        ):
-            apply_task_result(point, tres)
+        if adaptive is None:
+            for point, tres in zip(
+                points, run_tasks(tasks, executor=executor, cache=cache)
+            ):
+                apply_task_result(point, tres)
+        else:
+            for point, ap in zip(
+                points,
+                run_adaptive_tasks(
+                    tasks, adaptive, executor=executor, cache=cache
+                ),
+            ):
+                apply_adaptive_point(point, ap)
 
     result.wall_seconds = time.perf_counter() - start
     return result

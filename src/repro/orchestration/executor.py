@@ -25,7 +25,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from collections import deque
-from typing import Any, Callable, Iterable, Iterator, Optional, Protocol
+from typing import Any, Callable, Iterable, Iterator, Optional, Protocol, Sequence
 
 from repro.orchestration.tasks import SimTask, TaskResult, execute_task
 

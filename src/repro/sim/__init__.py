@@ -20,9 +20,17 @@ from repro.sim.engine import ENGINE_VERSION, EventQueue
 from repro.sim.worm import Worm, WormClass
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 from repro.sim.measurement import LatencyStats
+from repro.sim.adaptive import (
+    AdaptivePoint,
+    AdaptiveSettings,
+    StopDecision,
+    run_adaptive_tasks,
+    stopping_decision,
+)
 from repro.sim.replication import (
     ReplicationSummary,
     mser_truncation,
+    pooled_mean_halfwidth,
     replication_tasks,
     run_replications,
     summarize_task_results,
@@ -40,11 +48,17 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "LatencyStats",
+    "AdaptivePoint",
+    "AdaptiveSettings",
+    "StopDecision",
+    "run_adaptive_tasks",
+    "stopping_decision",
     "ReplicationSummary",
     "run_replications",
     "replication_tasks",
     "summarize_task_results",
     "mser_truncation",
+    "pooled_mean_halfwidth",
     "ChannelUtilizationTracer",
     "CompositeTracer",
     "WormEngine",

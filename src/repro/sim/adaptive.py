@@ -1,0 +1,239 @@
+"""Precision-driven replication control: run until the CI is tight enough.
+
+A fixed replication count spends the same budget at every sweep point,
+but the latency variance grows sharply toward saturation -- low-load
+points waste replications while near-saturation points starve.  This
+module implements the textbook sequential-stopping remedy (the same
+independent-replications machinery as :mod:`repro.sim.replication`): run
+an initial round of ``min_reps`` replications per point, then geometric
+top-up rounds until the pooled Student-t 95% half-width of the mean
+falls below ``ci_rel`` of the mean, or a hard ``max_reps`` cap.
+
+Determinism contract
+--------------------
+Replication ``i`` of a point always uses the same
+``SeedSequence``-spawned seed -- seed ``i`` depends only on the point's
+base seed and ``i`` (:func:`repro.orchestration.tasks.spawn_seeds` is
+prefix-stable), never on when the controller decides to stop.  Hence an
+adaptive run that stops at ``n`` replications is *bitwise identical* to
+the first ``n`` replications of a fixed ``n``-replication run, every
+replication is an ordinary content-addressed
+:class:`~repro.orchestration.tasks.SimTask` (so top-up rounds reuse
+earlier rounds through the disk cache), and the whole procedure is
+executor-agnostic: serial, process-pool and distributed execution
+produce the same rounds, the same stop decisions and the same numbers.
+
+The controller is round-synchronous: each round submits one batch of
+tasks (all points' top-ups together) through the ordinary lazy
+``imap_unordered`` executor contract, so ``--jobs N`` and
+``--workers tcp://...`` parallelise across points *and* replications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.sim.replication import pooled_mean_halfwidth, replication_tasks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.orchestration.executor import Executor, ResultStore
+    from repro.orchestration.tasks import SimTask, TaskResult
+
+__all__ = [
+    "AdaptiveSettings",
+    "StopDecision",
+    "AdaptivePoint",
+    "stopping_decision",
+    "next_round_size",
+    "replication_plan",
+    "run_adaptive_tasks",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveSettings:
+    """Stopping-rule knobs for precision-driven replication."""
+
+    #: target *relative* 95% half-width: stop when half-width <= ci_rel * |mean|
+    ci_rel: float = 0.05
+    #: initial round size (also the smallest count a point can stop at)
+    min_reps: int = 3
+    #: hard cap: a point never runs more replications than this
+    max_reps: int = 24
+    #: geometric top-up factor: a point at n grows to ~ceil(n * growth)
+    growth: float = 1.5
+    #: which pooled statistic drives the rule ("unicast" or "multicast")
+    quantity: str = "unicast"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.ci_rel) and self.ci_rel > 0.0):
+            raise ValueError(f"ci_rel must be > 0, got {self.ci_rel}")
+        if self.min_reps < 2:
+            # one replication has no variance estimate: the rule needs >= 2
+            raise ValueError(f"min_reps must be >= 2, got {self.min_reps}")
+        if self.max_reps < self.min_reps:
+            raise ValueError(
+                f"max_reps ({self.max_reps}) must be >= min_reps ({self.min_reps})"
+            )
+        if self.growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {self.growth}")
+        if self.quantity not in ("unicast", "multicast"):
+            raise ValueError(f"unknown quantity {self.quantity!r}")
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Outcome of one stopping-rule evaluation."""
+
+    stop: bool
+    #: "" while running; "target" | "max-reps" | "degenerate" once stopped
+    reason: str
+    mean: float
+    halfwidth: float
+
+    @property
+    def rel_halfwidth(self) -> float:
+        if not (math.isfinite(self.halfwidth) and math.isfinite(self.mean)):
+            return math.nan
+        if self.mean == 0.0:
+            return 0.0 if self.halfwidth == 0.0 else math.nan
+        return self.halfwidth / abs(self.mean)
+
+
+def stopping_decision(
+    means: Sequence[float],
+    settings: AdaptiveSettings,
+    *,
+    n_run: Optional[int] = None,
+) -> StopDecision:
+    """Evaluate the sequential stopping rule on the replication means.
+
+    ``means`` are the usable (finite, sample-bearing) replication means;
+    ``n_run`` is the number of replications actually executed, which can
+    exceed ``len(means)`` when some replications produced no statistic
+    (e.g. saturated runs) -- the min/max caps count executed
+    replications, the precision test uses only usable means.
+    """
+    n_run = len(means) if n_run is None else n_run
+    mean, half = pooled_mean_halfwidth(means)
+    if n_run < settings.min_reps:
+        return StopDecision(False, "", mean, half)
+    if not means:
+        # nothing to pool and nothing to gain by re-running: stop
+        return StopDecision(True, "degenerate", mean, half)
+    if (
+        len(means) >= 2
+        and math.isfinite(half)
+        and math.isfinite(mean)
+        and half <= settings.ci_rel * abs(mean)
+    ):
+        return StopDecision(True, "target", mean, half)
+    if n_run >= settings.max_reps:
+        return StopDecision(True, "max-reps", mean, half)
+    return StopDecision(False, "", mean, half)
+
+
+def next_round_size(n_done: int, settings: AdaptiveSettings) -> int:
+    """Total replication count after the next top-up round: geometric
+    growth (at least one new replication), clamped to ``max_reps``."""
+    if n_done < settings.min_reps:
+        return settings.min_reps
+    grown = max(n_done + 1, math.ceil(n_done * settings.growth))
+    return min(settings.max_reps, grown)
+
+
+def replication_plan(base_task: "SimTask", n: int) -> list["SimTask"]:
+    """The first ``n`` replication tasks of a point.
+
+    Prefix-stable by construction: task ``i`` carries the ``i``-th
+    ``SeedSequence``-spawned child seed of the point's base seed, so two
+    plans of different lengths agree on their common prefix -- the heart
+    of the determinism contract.
+    """
+    return replication_tasks(base_task, replications=n, spawn=True)
+
+
+@dataclass
+class AdaptivePoint:
+    """One sweep point's adaptive outcome: its replications and verdict."""
+
+    base_task: "SimTask"
+    results: list["TaskResult"] = field(default_factory=list)
+    decision: StopDecision = StopDecision(False, "", math.nan, math.nan)
+    rounds: int = 0
+
+    @property
+    def replications(self) -> int:
+        return len(self.results)
+
+    def means(self, quantity: str) -> list[float]:
+        """Usable replication means of ``quantity`` (finite, count > 0),
+        in replication order -- the stopping rule's input."""
+        out = []
+        for res in self.results:
+            stats = getattr(res, quantity)
+            if stats.count > 0 and math.isfinite(stats.mean):
+                out.append(stats.mean)
+        return out
+
+    def pooled(self, quantity: str) -> tuple[float, float]:
+        """Pooled (mean, Student-t 95% half-width) of ``quantity``."""
+        return pooled_mean_halfwidth(self.means(quantity))
+
+
+def run_adaptive_tasks(
+    base_tasks: Sequence["SimTask"],
+    settings: Optional[AdaptiveSettings] = None,
+    *,
+    executor: Optional["Executor"] = None,
+    cache: Optional["ResultStore"] = None,
+    on_round: Optional[Callable[[int, int, int], None]] = None,
+) -> list[AdaptivePoint]:
+    """Drive every point (one ``base_task`` each) to its stopping rule.
+
+    Round-synchronous: each iteration gathers the top-up replications of
+    every still-running point into one task batch and submits it through
+    ``executor`` (default: serial) with ``cache`` layered in -- exactly
+    the contract ``sweep``/``grid`` already use, so any executor works
+    and produces identical results.  ``on_round(round_index, submitted,
+    still_running)`` is invoked after each round's decisions.
+    """
+    from repro.orchestration.executor import run_tasks
+
+    settings = settings or AdaptiveSettings()
+    points = [AdaptivePoint(base_task=task) for task in base_tasks]
+    active = list(range(len(points)))
+    round_index = 0
+    while active:
+        batch: list["SimTask"] = []
+        owners: list[tuple[int, int]] = []  #: batch index -> (point, rep)
+        for pi in active:
+            point = points[pi]
+            have = point.replications
+            want = next_round_size(have, settings)
+            plan = replication_plan(point.base_task, want)
+            for ri in range(have, want):
+                batch.append(plan[ri])
+                owners.append((pi, ri))
+            point.results.extend([None] * (want - have))  # type: ignore[list-item]
+            point.rounds += 1
+        for (pi, ri), result in zip(
+            owners, run_tasks(batch, executor=executor, cache=cache)
+        ):
+            points[pi].results[ri] = result
+        still_running = []
+        for pi in active:
+            point = points[pi]
+            point.decision = stopping_decision(
+                point.means(settings.quantity), settings,
+                n_run=point.replications,
+            )
+            if not point.decision.stop:
+                still_running.append(pi)
+        round_index += 1
+        if on_round is not None:
+            on_round(round_index, len(batch), len(still_running))
+        active = still_running
+    return points

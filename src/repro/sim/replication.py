@@ -35,6 +35,7 @@ __all__ = [
     "replication_tasks",
     "summarize_task_results",
     "mser_truncation",
+    "pooled_mean_halfwidth",
     "t_quantile_975",
 ]
 
@@ -61,6 +62,26 @@ def t_quantile_975(dof: int) -> float:
     return _T_975[usable]
 
 
+def pooled_mean_halfwidth(means: Sequence[float]) -> tuple[float, float]:
+    """Grand mean and two-sided Student-t 95% half-width of a list of
+    replication means -- the independent-replications interval.
+
+    Returns ``(nan, nan)`` for an empty list and ``(mean, nan)`` for a
+    single replication (no variance estimate).  This is the single
+    pooling path shared by :class:`ReplicationSummary` and the adaptive
+    controller (:mod:`repro.sim.adaptive`).
+    """
+    if not means:
+        return math.nan, math.nan
+    n = len(means)
+    grand = sum(means) / n
+    if n == 1:
+        return grand, math.nan
+    var = sum((m - grand) ** 2 for m in means) / (n - 1)
+    half = t_quantile_975(n - 1) * math.sqrt(var / n)
+    return grand, half
+
+
 @dataclass
 class ReplicationSummary:
     """Pooled statistics over independent replications."""
@@ -77,16 +98,7 @@ class ReplicationSummary:
         return out
 
     def _pooled(self, which: str) -> tuple[float, float]:
-        means = self._means(which)
-        if not means:
-            return math.nan, math.nan
-        n = len(means)
-        grand = sum(means) / n
-        if n == 1:
-            return grand, math.nan
-        var = sum((m - grand) ** 2 for m in means) / (n - 1)
-        half = t_quantile_975(n - 1) * math.sqrt(var / n)
-        return grand, half
+        return pooled_mean_halfwidth(self._means(which))
 
     @property
     def unicast_mean(self) -> float:

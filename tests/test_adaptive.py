@@ -1,0 +1,364 @@
+"""Tests for precision-driven adaptive sampling (repro.sim.adaptive).
+
+Two contracts are load-bearing:
+
+* the *stopping rule*: a point stops iff its pooled Student-t 95%
+  half-width meets the relative target, bounded by the min/max caps, and
+* the *determinism contract*: replication ``i`` of a point always uses
+  the same SeedSequence-spawned seed, so an adaptive run's first ``n``
+  replications are bitwise identical to a fixed ``n``-replication run --
+  across any executor, and across cached re-runs.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import ResultCache
+from repro.experiments.runner import run_experiment, sweep_tasks
+from repro.experiments.compare import run_grid
+from repro.orchestration import ParallelExecutor, SerialExecutor, SimTask, run_tasks
+from repro.sim import AdaptiveSettings, SimConfig, replication_tasks
+from repro.sim.adaptive import (
+    next_round_size,
+    replication_plan,
+    run_adaptive_tasks,
+    stopping_decision,
+)
+
+QUICK = AdaptiveSettings(ci_rel=0.10, min_reps=2, max_reps=8)
+
+
+def base_task(seed=7, rate=0.003) -> SimTask:
+    return SimTask(
+        network="quarc",
+        network_args=(16,),
+        workload="random",
+        group_size=4,
+        workload_seed=3,
+        message_rate=rate,
+        multicast_fraction=0.05,
+        message_length=16,
+        sim=SimConfig(seed=seed, warmup_cycles=500, target_unicast_samples=150,
+                      target_multicast_samples=30),
+    )
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        s = AdaptiveSettings()
+        assert s.ci_rel == 0.05 and s.min_reps >= 2
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(ci_rel=0.0),
+            dict(ci_rel=-0.1),
+            dict(ci_rel=math.nan),
+            dict(min_reps=1),
+            dict(min_reps=5, max_reps=4),
+            dict(growth=1.0),
+            dict(quantity="bogus"),
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            AdaptiveSettings(**kw)
+
+
+class TestStoppingRule:
+    S = AdaptiveSettings(ci_rel=0.05, min_reps=2, max_reps=10)
+
+    def test_stops_iff_halfwidth_meets_target(self):
+        # [10.0, 10.2]: half-width = 12.706 * 0.1 = 1.2706, mean 10.1
+        means = [10.0, 10.2]
+        tight = stopping_decision(means, AdaptiveSettings(ci_rel=0.13, min_reps=2))
+        loose = stopping_decision(means, AdaptiveSettings(ci_rel=0.12, min_reps=2))
+        assert tight.stop and tight.reason == "target"
+        assert not loose.stop and loose.reason == ""
+        assert tight.halfwidth == pytest.approx(1.2706)
+
+    def test_zero_variance_stops_at_min_reps(self):
+        d = stopping_decision([42.0, 42.0], self.S)
+        assert d.stop and d.reason == "target"
+        assert d.halfwidth == 0.0 and d.rel_halfwidth == 0.0
+
+    def test_min_cap_blocks_early_stop(self):
+        s = AdaptiveSettings(ci_rel=0.05, min_reps=4, max_reps=10)
+        d = stopping_decision([42.0, 42.0], s, n_run=2)
+        assert not d.stop
+
+    def test_max_cap_forces_stop(self):
+        means = [10.0, 20.0] * 5  # wildly noisy: target unreachable
+        d = stopping_decision(means, self.S)
+        assert d.stop and d.reason == "max-reps"
+        d9 = stopping_decision(means[:9], self.S)
+        assert not d9.stop
+
+    def test_single_usable_mean_continues(self):
+        # n < 2 usable means: no variance estimate, rule cannot fire
+        d = stopping_decision([10.0], self.S, n_run=2)
+        assert not d.stop and math.isnan(d.halfwidth)
+
+    def test_no_usable_means_is_degenerate(self):
+        d = stopping_decision([], self.S, n_run=2)
+        assert d.stop and d.reason == "degenerate"
+        assert not stopping_decision([], self.S, n_run=1).stop
+
+    def test_rel_halfwidth_zero_mean(self):
+        assert stopping_decision([0.0, 0.0], self.S).rel_halfwidth == 0.0
+
+
+class TestRoundSizes:
+    def test_geometric_growth(self):
+        s = AdaptiveSettings(ci_rel=0.05, min_reps=2, max_reps=24, growth=1.5)
+        sizes = [0]
+        while sizes[-1] < s.max_reps:
+            sizes.append(next_round_size(sizes[-1], s))
+        assert sizes == [0, 2, 3, 5, 8, 12, 18, 24]
+
+    def test_always_grows_and_caps(self):
+        s = AdaptiveSettings(ci_rel=0.05, min_reps=3, max_reps=7, growth=1.01)
+        n = 0
+        for _ in range(20):
+            nxt = next_round_size(n, s)
+            assert (nxt > n and nxt <= s.max_reps) or n == s.max_reps == nxt
+            if nxt == n:
+                break
+            n = nxt
+        assert n == s.max_reps
+
+
+class TestReplicationPlan:
+    def test_prefix_stable(self):
+        task = base_task()
+        short = replication_plan(task, 3)
+        long = replication_plan(task, 8)
+        assert long[:3] == short
+
+    def test_matches_spawned_replication_tasks(self):
+        task = base_task()
+        assert replication_plan(task, 4) == replication_tasks(
+            task, replications=4, spawn=True
+        )
+
+    def test_distinct_keys(self):
+        keys = [t.task_key() for t in replication_plan(base_task(), 6)]
+        assert len(set(keys)) == 6
+
+
+class TestDeterminismContract:
+    def test_adaptive_prefix_equals_fixed_run(self):
+        """The first n replications of an adaptive run are bitwise equal
+        to a fixed n-replication run -- the cacheability contract."""
+        [pt] = run_adaptive_tasks([base_task()], QUICK)
+        n = pt.replications
+        fixed = run_tasks(replication_tasks(base_task(), replications=n, spawn=True))
+        assert len(fixed) == n
+        for a, b in zip(pt.results, fixed):
+            assert a.task_key == b.task_key
+            assert a.payload_equal(b)
+
+    def test_serial_matches_parallel_bitwise(self):
+        tasks = [base_task(seed=s) for s in (7, 8)]
+        serial = run_adaptive_tasks(tasks, QUICK, executor=SerialExecutor())
+        parallel = run_adaptive_tasks(
+            tasks, QUICK, executor=ParallelExecutor(jobs=2)
+        )
+        for a, b in zip(serial, parallel):
+            assert a.replications == b.replications
+            assert a.rounds == b.rounds
+            assert a.decision == b.decision
+            for ra, rb in zip(a.results, b.results):
+                assert ra.task_key == rb.task_key
+                assert ra.payload_equal(rb)
+
+    def test_cached_rerun_identical_and_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [first] = run_adaptive_tasks([base_task()], QUICK, cache=cache)
+        assert cache.hits == 0 and cache.misses == first.replications
+        [again] = run_adaptive_tasks([base_task()], QUICK, cache=cache)
+        assert cache.hits == first.replications
+        assert all(r.cached for r in again.results)
+        assert again.replications == first.replications
+        assert again.decision == first.decision
+        for ra, rb in zip(first.results, again.results):
+            assert ra.payload_equal(rb)
+
+    def test_topup_rounds_reuse_earlier_rounds_via_cache(self, tmp_path):
+        """A fixed min_reps run primes the cache; the adaptive run's
+        first round is then served entirely from it."""
+        cache = ResultCache(tmp_path)
+        run_tasks(
+            replication_tasks(base_task(), replications=QUICK.min_reps, spawn=True),
+            cache=cache,
+        )
+        cache.hits = cache.misses = 0
+        [pt] = run_adaptive_tasks([base_task()], QUICK, cache=cache)
+        assert cache.hits == QUICK.min_reps
+        assert all(r.cached for r in pt.results[: QUICK.min_reps])
+
+
+PANEL = ExperimentConfig(
+    exp_id="adaptive-N16",
+    figure="fig6",
+    num_nodes=16,
+    message_length=16,
+    multicast_fraction=0.05,
+    group_size=4,
+    destset_mode="random",
+    load_fractions=(0.2, 0.5),
+)
+
+PER_REP = SimConfig(
+    seed=5, warmup_cycles=500, target_unicast_samples=150,
+    target_multicast_samples=30,
+)
+
+
+class TestExperimentIntegration:
+    def test_targets_achieved_with_fewer_reps_than_fixed_budget(self):
+        """The acceptance criterion: every low-load point reaches the
+        relative half-width target before the cap, so the adaptive sweep
+        spends strictly less than the fixed max_reps-per-point budget."""
+        res = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        total = 0
+        for p in res.points:
+            assert p.sim_stop_reason == "target"
+            assert p.sim_rel_halfwidth <= QUICK.ci_rel
+            assert QUICK.min_reps <= p.sim_replications < QUICK.max_reps
+            total += p.sim_replications
+        assert total < len(res.points) * QUICK.max_reps
+
+    def test_pooled_fields_consistent(self):
+        res = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        for p in res.points:
+            assert p.has_sim and not p.sim_saturated
+            assert p.sim_samples_unicast >= p.sim_replications * 150
+            assert p.sim_unicast_ci95 > 0.0
+
+    def test_executor_equivalence_through_runner(self):
+        serial = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        parallel = run_experiment(
+            PANEL, sim_config=PER_REP, adaptive=QUICK,
+            executor=ParallelExecutor(jobs=2),
+        )
+        assert [dataclasses.asdict(p) for p in serial.points] == [
+            dataclasses.asdict(p) for p in parallel.points
+        ]
+
+    def test_config_carried_settings_equivalent_to_argument(self):
+        via_config = run_experiment(
+            PANEL.scaled(adaptive=QUICK), sim_config=PER_REP
+        )
+        via_arg = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        for a, b in zip(via_config.points, via_arg.points):
+            da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+            assert da == db
+
+    def test_grid_matches_per_panel_run(self):
+        panels = run_grid([PANEL], sim_config=PER_REP, adaptive=QUICK)
+        direct = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        assert [dataclasses.asdict(p) for p in panels[0].result.points] == [
+            dataclasses.asdict(p) for p in direct.points
+        ]
+        assert panels[0].occupancy is not None
+
+    def test_grid_honours_config_carried_settings(self):
+        """Settings carried by the configs trigger adaptive mode without
+        an explicit adaptive= argument (same fallback as run_experiment)."""
+        panels = run_grid([PANEL.scaled(adaptive=QUICK)], sim_config=PER_REP)
+        explicit = run_grid([PANEL], sim_config=PER_REP, adaptive=QUICK)
+        assert [dataclasses.asdict(p) for p in panels[0].result.points] == [
+            dataclasses.asdict(p) for p in explicit[0].result.points
+        ]
+
+    def test_grid_rejects_mixed_config_settings(self):
+        other = AdaptiveSettings(ci_rel=0.2, min_reps=2, max_reps=4)
+        mixed = [PANEL.scaled(adaptive=QUICK),
+                 PANEL.scaled(exp_id="adaptive-N16b", adaptive=other)]
+        with pytest.raises(ValueError, match="non-uniform"):
+            run_grid(mixed, sim_config=PER_REP)
+        partial = [PANEL.scaled(adaptive=QUICK),
+                   PANEL.scaled(exp_id="adaptive-N16c")]
+        with pytest.raises(ValueError, match="non-uniform"):
+            run_grid(partial, sim_config=PER_REP)
+
+    def test_grid_round_callback(self):
+        rounds = []
+        run_grid(
+            [PANEL], sim_config=PER_REP, adaptive=QUICK,
+            on_round=lambda idx, submitted, running: rounds.append(
+                (idx, submitted, running)
+            ),
+        )
+        assert rounds and rounds[0][0] == 1
+        assert rounds[0][1] == len(PANEL.load_fractions) * QUICK.min_reps
+        assert rounds[-1][2] == 0  # last round leaves nothing running
+
+    def test_json_roundtrip_preserves_adaptive_fields(self, tmp_path):
+        from repro.experiments.io import load_experiment_json, save_experiment_json
+
+        res = run_experiment(
+            PANEL.scaled(adaptive=QUICK), sim_config=PER_REP
+        )
+        path = save_experiment_json(res, tmp_path / "adaptive.json")
+        back = load_experiment_json(path)
+        assert back.config.adaptive == QUICK
+        for a, b in zip(res.points, back.points):
+            assert b.sim_replications == a.sim_replications
+            assert b.sim_stop_reason == a.sim_stop_reason
+            assert b.sim_unicast == a.sim_unicast
+
+    def test_report_prints_achieved_halfwidths(self):
+        from repro.experiments.report import render_series
+
+        res = run_experiment(PANEL, sim_config=PER_REP, adaptive=QUICK)
+        text = render_series(res)
+        assert "adaptive sampling: replications per point" in text
+        assert "achieved unicast rel. 95% half-width" in text
+
+
+class TestCliFlags:
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--ci-rel", "0.05", "--min-reps", "2", "--max-reps", "12"]
+        )
+        assert args.ci_rel == 0.05 and args.min_reps == 2 and args.max_reps == 12
+        args = build_parser().parse_args(["grid", "--ci-rel", "0.1"])
+        assert args.ci_rel == 0.1 and args.min_reps == 3 and args.max_reps == 24
+        assert build_parser().parse_args(["sweep"]).ci_rel is None
+
+    def test_sweep_adaptive_end_to_end(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.experiments.io import load_experiment_json
+
+        out_json = tmp_path / "panel.json"
+        rc = main([
+            "sweep", "-n", "16", "--points", "2", "--samples", "120",
+            "--ci-rel", "0.15", "--min-reps", "2", "--max-reps", "4",
+            "--no-cache", "--json", str(out_json),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adaptive sampling: replications per point" in out
+        # the saved panel records the sampling policy that produced it
+        back = load_experiment_json(out_json)
+        assert back.config.adaptive == AdaptiveSettings(
+            ci_rel=0.15, min_reps=2, max_reps=4
+        )
+
+    def test_invalid_flag_values_exit_cleanly(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--ci-rel", "0.05", "--min-reps", "1"])
+        assert exc.value.code == 2
+        assert "min_reps" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as exc:
+            main(["grid", "--ci-rel", "0", "--limit", "1"])
+        assert exc.value.code == 2

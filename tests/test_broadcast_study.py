@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.broadcast import (
     broadcast_scaling_study,
     broadcast_sets,
+    broadcast_sim_config,
     render_broadcast_study,
 )
 from repro.sim import SimConfig
@@ -66,3 +67,46 @@ class TestStudy:
     def test_bad_fraction_rejected(self):
         with pytest.raises(ValueError):
             broadcast_scaling_study(sizes=(16,), load_fraction=1.5)
+
+
+class TestBudgetRouting:
+    """Regression: the study's run control goes through the shared
+    sample-budget path (`budget_sim_config`), not a hard-coded SimConfig
+    that silently bypasses the runner's budget logic."""
+
+    def test_default_preserves_historical_run_control(self):
+        assert broadcast_sim_config() == SimConfig(
+            seed=2009,
+            warmup_cycles=2_000,
+            target_unicast_samples=400,
+            target_multicast_samples=150,
+        )
+
+    def test_default_is_shared_budget_path(self):
+        from repro.experiments.runner import budget_sim_config
+
+        assert broadcast_sim_config(seed=11, samples=800) == budget_sim_config(
+            seed=11, samples=800, multicast_samples=300
+        )
+
+    def test_samples_budget_reaches_the_simulator(self, monkeypatch):
+        """The `samples` knob must flow into the run control the
+        simulator actually receives."""
+        import repro.experiments.broadcast as broadcast_mod
+
+        real_cls = broadcast_mod.NocSimulator
+        seen: list[SimConfig] = []
+
+        class RecordingSimulator(real_cls):
+            def run(self, spec, cfg):
+                seen.append(cfg)
+                return super().run(spec, cfg)
+
+        monkeypatch.setattr(broadcast_mod, "NocSimulator", RecordingSimulator)
+        broadcast_scaling_study(
+            sizes=(16,), samples=120, include_one_port=False,
+            load_fraction=0.2,
+        )
+        assert seen and all(
+            cfg == broadcast_sim_config(samples=120) for cfg in seen
+        )

@@ -168,6 +168,51 @@ def eq(a: float, b: float) -> bool:
     return a == b or (math.isnan(a) and math.isnan(b))
 
 
+#: frozen adaptive-controller fingerprint: which replications run (their
+#: SeedSequence-spawned seeds), each replication's exact unicast mean and
+#: sample count, and the controller's verdict.  A kernel change shifts the
+#: means; a controller/seed-derivation change shifts which replications
+#: run at all -- both must be deliberate, never silent.
+ADAPTIVE_GOLDEN = {
+    "seeds": [213907198, 1982228470, 504589216, 3118949013, 906654279,
+              4084673216, 2257730199, 3845979149],
+    "unicast_means": [46.25645280633677, 44.34467666925803, 45.24244184168942,
+                      49.81310310911825, 44.330402757653204, 46.512664784899385,
+                      43.06232414129634, 46.38768064646897],
+    "unicast_counts": [587, 564, 594, 577, 604, 558, 589, 605],
+    "replications": 8,
+    "rounds": 4,
+    "reason": "max-reps",
+    "pooled_mean": 45.74371834459005,
+    "pooled_halfwidth": 1.708488512563924,
+}
+
+
+def test_adaptive_controller_golden_fingerprint():
+    from repro.orchestration import SimTask
+    from repro.sim import AdaptiveSettings, run_adaptive_tasks
+    from repro.sim.adaptive import replication_plan
+
+    task = SimTask(
+        network="quarc", network_args=(16,), workload="random", group_size=4,
+        workload_seed=3, message_rate=0.006, multicast_fraction=0.1,
+        message_length=32,
+        sim=cfg(target_unicast_samples=300, target_multicast_samples=60),
+    )
+    settings = AdaptiveSettings(ci_rel=0.02, min_reps=2, max_reps=8, growth=1.5)
+    [point] = run_adaptive_tasks([task], settings)
+    want = ADAPTIVE_GOLDEN
+    plan = replication_plan(task, point.replications)
+    assert [t.sim.seed for t in plan] == want["seeds"]
+    assert [r.unicast.mean for r in point.results] == want["unicast_means"]
+    assert [r.unicast.count for r in point.results] == want["unicast_counts"]
+    assert point.replications == want["replications"]
+    assert point.rounds == want["rounds"]
+    assert point.decision.reason == want["reason"]
+    assert point.decision.mean == want["pooled_mean"]
+    assert point.decision.halfwidth == want["pooled_halfwidth"]
+
+
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_golden_fingerprint(name):
     build, make_spec, config, want = GOLDEN[name]

@@ -1,0 +1,186 @@
+"""Reference-checked property tests for the statistical machinery.
+
+The adaptive sampling controller stands on three numerical legs --
+``t_quantile_975`` (Student-t critical values), ``pooled_mean_halfwidth``
+(independent-replications intervals) and ``LatencyStats`` (Welford
+streaming moments) -- plus the MSER-5 warmup detector.  Stochastic
+control logic fails silently when these drift, so each is pinned against
+an independent reference: a hard-coded exact quantile table (scipy
+``t.ppf(0.975, dof)`` to 4 decimals, frozen here so the suite needs no
+scipy) and brute-force numpy recomputation on randomized series.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.measurement import LatencyStats
+from repro.sim.replication import (
+    mser_truncation,
+    pooled_mean_halfwidth,
+    t_quantile_975,
+)
+
+#: exact two-sided 95% Student-t critical values, scipy t.ppf(0.975, dof)
+#: rounded to 4 decimals -- an independent reference for the module's
+#: abridged floor-lookup table
+EXACT_T_975 = {
+    1: 12.7062, 2: 4.3027, 3: 3.1824, 4: 2.7764, 5: 2.5706,
+    6: 2.4469, 7: 2.3646, 8: 2.3060, 9: 2.2622, 10: 2.2281,
+    11: 2.2010, 12: 2.1788, 13: 2.1604, 14: 2.1448, 15: 2.1314,
+    16: 2.1199, 17: 2.1098, 18: 2.1009, 19: 2.0930, 20: 2.0860,
+    21: 2.0796, 22: 2.0739, 23: 2.0687, 24: 2.0639, 25: 2.0595,
+    26: 2.0555, 27: 2.0518, 28: 2.0484, 29: 2.0452, 30: 2.0423,
+    40: 2.0211, 60: 2.0003, 120: 1.9799, 240: 1.9699, 1000: 1.9623,
+}
+
+
+class TestTQuantileReference:
+    @pytest.mark.parametrize("dof", range(1, 31))
+    def test_small_dof_close_to_exact(self, dof):
+        """The abridged table's floor lookup must stay within 1.5% of
+        the exact quantile for every dof it claims to cover (the worst
+        knot gap today is dof=11 -> the 10-dof value, +1.23%)."""
+        assert t_quantile_975(dof) == pytest.approx(EXACT_T_975[dof], rel=0.015)
+
+    @pytest.mark.parametrize("dof", range(1, 31))
+    def test_small_dof_conservative(self, dof):
+        """Floor lookup uses a *lower* dof, whose quantile is larger:
+        the approximation must never understate the interval below 31
+        dof."""
+        assert t_quantile_975(dof) >= EXACT_T_975[dof] - 5e-4
+
+    @pytest.mark.parametrize("dof", [31, 40, 60, 120, 240, 1000])
+    def test_large_dof_normal_approximation_bounded(self, dof):
+        """Beyond the table the module uses the normal 1.96, which
+        *understates* the t quantile; the worst case (dof=31) is ~4%.
+        A drift past that bound means the handover point moved."""
+        exact = EXACT_T_975.get(dof, 2.0395)
+        got = t_quantile_975(dof)
+        assert got == 1.96
+        assert abs(got - exact) / exact < 0.041
+
+    def test_exact_at_table_knots(self):
+        for dof in (1, 5, 10, 20, 30):
+            assert t_quantile_975(dof) == pytest.approx(EXACT_T_975[dof], abs=5e-4)
+
+
+def reference_halfwidth(means):
+    """Brute-force numpy reference: t * s / sqrt(n) with sample std."""
+    arr = np.asarray(means, dtype=float)
+    n = len(arr)
+    sd = float(np.std(arr, ddof=1))
+    return float(np.mean(arr)), t_quantile_975(n - 1) * sd / math.sqrt(n)
+
+
+class TestPooledHalfwidthReference:
+    def test_empty_and_single(self):
+        m, h = pooled_mean_halfwidth([])
+        assert math.isnan(m) and math.isnan(h)
+        m, h = pooled_mean_halfwidth([3.5])
+        assert m == 3.5 and math.isnan(h)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_numpy_reference_on_random_series(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        means = list(rng.normal(50.0, 12.0, n))
+        got_m, got_h = pooled_mean_halfwidth(means)
+        ref_m, ref_h = reference_halfwidth(means)
+        assert got_m == pytest.approx(ref_m, rel=1e-12)
+        assert got_h == pytest.approx(ref_h, rel=1e-12)
+
+    def test_zero_variance(self):
+        m, h = pooled_mean_halfwidth([7.0] * 5)
+        assert m == 7.0 and h == 0.0
+
+    def test_matches_replication_summary_pooling(self):
+        """ReplicationSummary delegates to the same pooling path."""
+        from repro.sim.replication import ReplicationSummary
+
+        class FakeStats:
+            def __init__(self, mean):
+                self.mean = mean
+                self.count = 10
+
+        class FakeRep:
+            def __init__(self, mean):
+                self.unicast = FakeStats(mean)
+
+        means = [40.0, 42.0, 41.0, 44.0]
+        summary = ReplicationSummary(spec=None)
+        summary.replications = [FakeRep(m) for m in means]
+        m, h = pooled_mean_halfwidth(means)
+        assert summary.unicast_mean == m
+        assert summary.unicast_ci95 == h
+
+
+class TestLatencyStatsReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_welford_matches_numpy(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        data = rng.gamma(4.0, 12.0, int(rng.integers(5, 500)))
+        stats = LatencyStats()
+        stats.extend(data)
+        assert stats.count == len(data)
+        assert stats.mean == pytest.approx(float(np.mean(data)), rel=1e-10)
+        assert stats.variance == pytest.approx(
+            float(np.var(data, ddof=1)), rel=1e-8
+        )
+        assert stats.minimum == float(np.min(data))
+        assert stats.maximum == float(np.max(data))
+        assert stats.ci95_halfwidth() == pytest.approx(
+            1.96 * float(np.std(data, ddof=1)) / math.sqrt(len(data)), rel=1e-8
+        )
+
+    @pytest.mark.parametrize("q", [0.0, 10.0, 50.0, 90.5, 100.0])
+    def test_percentile_matches_numpy_linear(self, q):
+        rng = np.random.default_rng(9)
+        data = rng.normal(30.0, 5.0, 257)
+        stats = LatencyStats()
+        stats.extend(np.abs(data))
+        assert stats.percentile(q) == pytest.approx(
+            float(np.percentile(np.abs(data), q)), rel=1e-10
+        )
+
+    def test_batch_means_positive_on_noise(self):
+        rng = np.random.default_rng(3)
+        stats = LatencyStats()
+        stats.extend(np.abs(rng.normal(40.0, 4.0, 600)))
+        assert stats.batch_means_ci95() > 0.0
+
+
+class TestMserInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_invariants(self, seed):
+        """On any series: the cut is a non-negative multiple of the
+        batch size, restricted to the first half of the series."""
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(20, 400))
+        data = list(rng.gamma(3.0, 10.0, n))
+        cut = mser_truncation(data, batch=5)
+        assert cut % 5 == 0
+        assert 0 <= cut <= len(data) / 2
+
+    def test_scale_invariance_power_of_two(self):
+        """Scaling every sample by a power of two scales every candidate
+        SSE exactly, so the argmin (the cut) cannot move."""
+        rng = np.random.default_rng(42)
+        data = list(100.0 + rng.normal(0, 1, 60)) + list(
+            10.0 + rng.normal(0, 1, 300)
+        )
+        assert mser_truncation(data) == mser_truncation([4.0 * x for x in data])
+
+    def test_constant_series_keeps_everything(self):
+        assert mser_truncation([5.0] * 200) == 0
+
+    def test_detects_planted_transient(self):
+        rng = np.random.default_rng(7)
+        transient = list(500.0 + rng.normal(0, 1, 50))
+        steady = list(20.0 + rng.normal(0, 1, 450))
+        cut = mser_truncation(transient + steady)
+        assert 40 <= cut <= 100
+
+    def test_short_series_uncut(self):
+        assert mser_truncation([1.0, 2.0, 3.0], batch=5) == 0
