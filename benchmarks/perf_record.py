@@ -15,12 +15,28 @@ import os
 import time
 from pathlib import Path
 
-__all__ = ["BENCH_FILE", "record_metric"]
+__all__ = ["BENCH_FILE", "latest_metric", "record_metric"]
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf_sim.json"
 
 #: history entries kept per file (append-only, oldest dropped first)
 HISTORY_LIMIT = 500
+
+
+def latest_metric(name: str, path: Path | None = None) -> dict | None:
+    """The most recent recorded entry for ``name``, or None.
+
+    Benchmarks use this to print the trajectory delta (e.g. the kernel
+    A/B reports how the current speedup compares to the last recorded
+    run); a missing or corrupt file is simply "no history", never fatal.
+    """
+    path = BENCH_FILE if path is None else path
+    try:
+        data = json.loads(path.read_text())
+        entry = data["latest"][name]
+        return entry if isinstance(entry, dict) else None
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def record_metric(name: str, metrics: dict, path: Path | None = None) -> dict:

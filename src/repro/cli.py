@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(>= 2; also the smallest stop count)")
         p.add_argument("--max-reps", type=int, default=24, metavar="N",
                        help="adaptive sampling: hard per-point cap")
+        p.add_argument("--growth", type=float, default=1.5, metavar="G",
+                       help="adaptive sampling: round growth factor (> 1; "
+                            "each top-up round asks for ceil((G-1) * reps) "
+                            "more replications)")
 
     p_eval = sub.add_parser("evaluate", help="one-shot model prediction")
     common(p_eval)
@@ -244,14 +248,24 @@ def _cache(args) -> Optional[ResultCache]:
 
 
 def _adaptive(args) -> Optional[AdaptiveSettings]:
-    """CI-targeted sampling settings, or None for fixed-budget runs."""
+    """CI-targeted sampling settings, or None for fixed-budget runs.
+
+    Invalid combinations (``--ci-rel 0``, ``--min-reps 1``,
+    ``--growth 1.0``, ...) surface as proper :mod:`argparse` errors --
+    usage line, ``prog: error: ...`` diagnostic, exit code 2 -- instead
+    of a raw ``ValueError`` traceback out of
+    :class:`AdaptiveSettings`."""
     if args.ci_rel is None:
         return None
     try:
         return AdaptiveSettings(
-            ci_rel=args.ci_rel, min_reps=args.min_reps, max_reps=args.max_reps
+            ci_rel=args.ci_rel, min_reps=args.min_reps, max_reps=args.max_reps,
+            growth=args.growth,
         )
-    except ValueError as exc:  # argparse-style diagnostics, not a traceback
+    except ValueError as exc:
+        parser = getattr(args, "_parser", None)
+        if parser is not None:
+            parser.error(str(exc))  # prints usage + diagnostic, exits 2
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2)
 
@@ -566,7 +580,11 @@ COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # commands validate derived option bundles (e.g. AdaptiveSettings)
+    # through the parser so bad flag values exit like any argparse error
+    args._parser = parser
     return COMMANDS[args.command](args)
 
 

@@ -146,7 +146,16 @@ def format_address(host: str, port: int) -> str:
 
 @dataclass(frozen=True)
 class Hello:
-    """Worker -> coordinator, first frame after connecting."""
+    """Worker -> coordinator, first frame after connecting.
+
+    The ``engine`` stamp vets kernel provenance, not wire
+    compatibility: a worker running another
+    :data:`~repro.sim.engine.ENGINE_VERSION` (e.g. a v2 heapq-kernel
+    checkout talking to a v3 calendar-kernel coordinator) is refused at
+    the handshake even when, as in the v2->v3 swap, the kernels are
+    proven bit-identical -- mixed-kernel runs must be a deliberate
+    choice, never an accident of deployment skew.
+    """
 
     protocol: int
     engine: int  #: the worker's kernel ENGINE_VERSION (must match)

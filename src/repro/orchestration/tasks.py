@@ -321,7 +321,10 @@ def execute_task(task: SimTask) -> TaskResult:
 #: is tracked separately by the ``engine`` stamp
 #: (:data:`repro.sim.engine.ENGINE_VERSION`): an entry simulated by a
 #: different kernel is reported as stale and recomputed, never served
-#: silently, even when the layout still parses.
+#: silently, even when the layout still parses.  The stamp is about
+#: provenance, not payload compatibility -- the v2->v3 calendar-kernel
+#: swap was proven bit-identical, yet v2 entries still read as stale,
+#: because "which kernel produced this number" must never be guessed.
 CACHE_FORMAT_VERSION = 1
 
 

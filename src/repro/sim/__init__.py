@@ -16,9 +16,15 @@ derivation and :mod:`repro.sim.network` for the simulator facade.
 """
 
 from repro.sim.arrivals import PoissonArrivalStream
-from repro.sim.engine import ENGINE_VERSION, EventQueue
+from repro.sim.engine import ENGINE_VERSION, EventQueue, HeapEventQueue
 from repro.sim.worm import Worm, WormClass
-from repro.sim.network import NocSimulator, SimConfig, SimResult
+from repro.sim.network import (
+    AUTO_KERNEL_MIN_NODES,
+    KERNELS,
+    NocSimulator,
+    SimConfig,
+    SimResult,
+)
 from repro.sim.measurement import LatencyStats
 from repro.sim.adaptive import (
     AdaptivePoint,
@@ -36,11 +42,15 @@ from repro.sim.replication import (
     summarize_task_results,
 )
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
-from repro.sim.wormengine import WormEngine
+from repro.sim.wormengine import HeapWormEngine, WormEngine
 
 __all__ = [
     "ENGINE_VERSION",
     "EventQueue",
+    "AUTO_KERNEL_MIN_NODES",
+    "HeapEventQueue",
+    "HeapWormEngine",
+    "KERNELS",
     "PoissonArrivalStream",
     "Worm",
     "WormClass",

@@ -33,6 +33,18 @@ so it is deliberately not used.
 The block arrays also pre-resolve destinations (uniform integer draw with
 the self-exclusion shift, or CDF inversion for weighted patterns), so the
 consumer just reads ``(time, node, dest)`` triples.
+
+Merge point with the calendar kernel (ENGINE_VERSION 3)
+-------------------------------------------------------
+The fused dispatch loop merges this stream against the event queue by
+comparing ``next_time`` heads, and caches the arrival head on the engine
+between firings so the free-path fast-forward checks are plain float
+compares.  Two ordering details are load-bearing there: ``fire`` updates
+``next_time`` *before* invoking ``spawn`` (the engine re-reads the head
+at injection, so a freshly spawned worm fast-forwards against the *next*
+arrival, not the one being consumed), and ties between an event and an
+arrival at the same timestamp fire the event first -- both properties
+are pinned by the calendar/heap differential suite.
 """
 
 from __future__ import annotations

@@ -36,14 +36,24 @@ from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import TrafficSpec
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.arrivals import MULTICAST, PoissonArrivalStream
-from repro.sim.engine import EventQueue
 from repro.sim.measurement import LatencyStats
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.worm import Worm, WormClass
-from repro.sim.wormengine import WormEngine
+from repro.sim.wormengine import KERNELS
 from repro.topology.base import Topology
 
-__all__ = ["SimConfig", "SimResult", "NocSimulator", "MulticastTransaction"]
+__all__ = ["AUTO_KERNEL_MIN_NODES", "KERNELS", "SimConfig", "SimResult",
+           "NocSimulator", "MulticastTransaction"]
+
+#: network size at which ``kernel="auto"`` switches from the heapq
+#: kernel to the calendar kernel.  The measured crossover on the
+#: reference container: with the paper-sized networks the pending-event
+#: population is shallow (1-10 records) and C heapq wins (~0.83x for
+#: the calendar on bench_perf_sim[64]); at N=1024 near saturation the
+#: pending set reaches thousands and the calendar's O(1) scheduling
+#: reaches and crosses parity.  See README "Performance" and
+#: BENCH_perf_sim.json's kernel_speedup entries.
+AUTO_KERNEL_MIN_NODES = 512
 
 
 @dataclass
@@ -218,6 +228,14 @@ class NocSimulator:
         servers -- a standard simplification that slightly under-counts
         contention; use it for deadlock-freedom studies, not for the
         model-validation runs.
+    kernel:
+        Event-scheduler implementation: a :data:`KERNELS` key, or the
+        default ``"auto"``, which resolves to the frozen-v2 heapq
+        kernel below :data:`AUTO_KERNEL_MIN_NODES` nodes (shallow
+        pending queues, C heapq's home turf) and to the v3 calendar
+        kernel at scale (deep pending queues, where its O(1)
+        scheduling wins).  Results are bit-identical for every choice;
+        the resolved name is exposed as ``self.kernel``.
     """
 
     def __init__(
@@ -228,12 +246,24 @@ class NocSimulator:
         one_port: bool = False,
         lanes: int = 1,
         dateline_tags: frozenset[str] = DEFAULT_DATELINE_TAGS,
+        kernel: str = "auto",
     ):
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if kernel == "auto":
+            kernel = (
+                "calendar"
+                if topology.num_nodes >= AUTO_KERNEL_MIN_NODES
+                else "heap"
+            )
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; known: {sorted(KERNELS) + ['auto']}"
+            )
         self.topology = topology
         self.routing = routing
         self.one_port = one_port
+        self.kernel = kernel
         self.lanes = lanes
         self.dateline_tags = dateline_tags
         self.graph = ChannelGraph(topology, routing, one_port=one_port)
@@ -340,7 +370,8 @@ class NocSimulator:
         config = config or SimConfig()
         n = self.topology.num_nodes
         rng = np.random.default_rng(config.seed)
-        events = EventQueue()
+        queue_cls, engine_cls = KERNELS[self.kernel]
+        events = queue_cls()
         state = _RunState(config.warmup_cycles)
         tracer = _StatsTracer(state)
         util_tracer: Optional[ChannelUtilizationTracer] = None
@@ -349,7 +380,7 @@ class NocSimulator:
                 self._num_engine_channels, start_time=config.warmup_cycles
             )
             tracer = CompositeTracer([tracer, util_tracer])
-        engine = WormEngine(self._num_engine_channels, events, tracer)
+        engine = engine_cls(self._num_engine_channels, events, tracer)
 
         max_in_flight = config.resolved_max_in_flight(n)
         msg_len = spec.message_length

@@ -8,10 +8,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.sim.engine import EV_INJECT, EventQueue
+from repro.sim.engine import EV_INJECT
 from repro.sim.reference import FlitLevelResult, ScriptedWorm
 from repro.sim.worm import Worm, WormClass
-from repro.sim.wormengine import WormEngine
+from repro.sim.wormengine import KERNELS
 
 __all__ = ["run_scripted"]
 
@@ -45,11 +45,19 @@ def run_scripted(
     scripted: Sequence[ScriptedWorm],
     *,
     max_cycles: float = 100_000.0,
+    kernel: str = "calendar",
 ) -> dict[int, FlitLevelResult]:
-    """Replay ``scripted`` worms through :class:`WormEngine`."""
-    events = EventQueue()
+    """Replay ``scripted`` worms through the worm engine.
+
+    ``kernel`` selects the event scheduler (a
+    :data:`repro.sim.wormengine.KERNELS` key); the scripted scenarios are a
+    convenient differential workload because every channel conflict in
+    them is deliberate.
+    """
+    queue_cls, engine_cls = KERNELS[kernel]
+    events = queue_cls()
     tracer = _RecordingTracer()
-    engine = WormEngine(num_channels, events, tracer)
+    engine = engine_cls(num_channels, events, tracer)
     for sw in sorted(scripted, key=lambda s: (s.creation_time, s.uid)):
         worm = Worm(
             uid=sw.uid,

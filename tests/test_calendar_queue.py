@@ -1,0 +1,448 @@
+"""Differential suite for the calendar event kernel (ENGINE_VERSION 3).
+
+The calendar :class:`~repro.sim.engine.EventQueue` must be *observably
+indistinguishable* from the frozen v2 :class:`~repro.sim.engine.
+HeapEventQueue` -- same fire order, same clock trajectory, same results,
+bit for bit.  This file pins that equivalence three ways:
+
+* a randomized queue-level differential: the same pushed event stream
+  must fire in the same order with the same ``now`` trajectory, across
+  same-timestamp ties, nested ``run_until``, ``max_events`` truncation
+  and overflow-heap spill;
+* an engine-level A/B: full simulations (Quarc and mesh, unicast and
+  multicast, light load and saturation) and scripted contention
+  scenarios run on both kernels and are compared field by field;
+* regression tests for the kernel-edge fixes that rode along with the
+  swap (the exact past-event guard, the ``active_worms`` injection leak,
+  the typed-record ``pop`` guard).
+"""
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.core.flows import TrafficSpec
+from repro.routing import MeshRouting, QuarcRouting
+from repro.sim import AUTO_KERNEL_MIN_NODES, KERNELS, NocSimulator, SimConfig
+from repro.sim.engine import (
+    _TRIM,
+    EV_CALL,
+    EV_INJECT,
+    EventQueue,
+    HeapEventQueue,
+)
+from repro.sim.reference import ScriptedWorm
+from repro.sim.scripted import run_scripted
+from repro.sim.worm import Worm, WormClass
+from repro.sim.wormengine import HeapWormEngine, WormEngine
+from repro.topology import MeshTopology, QuarcTopology
+from repro.workloads import random_multicast_sets
+
+
+# --------------------------------------------------------------------- #
+# randomized queue-level differential
+
+
+def _drive(queue_cls, seed: int) -> list:
+    """Apply one deterministic pseudo-random op script to a queue and
+    return the observable trace: every fired label with the queue's
+    clock at firing, plus the per-chunk fired counts and clock probes."""
+    rng = random.Random(seed)
+    q = queue_cls()
+    trace: list = []
+    label = 0
+
+    def fire(tag):
+        trace.append(("fire", tag, q.now))
+
+    def push_some(base_rng, depth=0):
+        nonlocal label
+        for _ in range(base_rng.randrange(1, 5)):
+            roll = base_rng.random()
+            if roll < 0.45:
+                # on-grid: the engine's own pattern, now + small int
+                t = q.now + base_rng.randrange(1, 6)
+            elif roll < 0.70:
+                # off-grid fractional offset
+                t = q.now + base_rng.randrange(0, 4) + base_rng.random()
+            elif roll < 0.85:
+                # same-timestamp tie burst
+                t = q.now + base_rng.randrange(1, 3)
+                tag = label
+                label += 1
+                q.schedule(t, lambda tag=tag: fire(tag))
+                t = t + 0.0  # exact same float again
+            else:
+                # far future: spills into the calendar's overflow heap
+                t = q.now + base_rng.randrange(200, 2000) + base_rng.random()
+            tag = label
+            label += 1
+            if depth < 2 and base_rng.random() < 0.06:
+                # nested consumption: the callback re-enters run_until
+                horizon = t + base_rng.randrange(1, 4)
+
+                def nested(tag=tag, horizon=horizon):
+                    fire(tag)
+                    trace.append(("nested", q.run_until(horizon)))
+
+                q.schedule(t, nested)
+            else:
+                q.schedule(t, lambda tag=tag: fire(tag))
+
+    for _ in range(40):
+        push_some(rng)
+        if rng.random() < 0.7:
+            horizon = q.now + rng.randrange(1, 30)
+            max_events = rng.choice([None, 1, 2, 7])
+            fired = q.run_until(horizon, max_events=max_events)
+            trace.append(("chunk", fired, q.now, q.peek_time(), len(q)))
+    trace.append(("drain", q.run_until(1e9), q.now, len(q)))
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_queue_differential(seed):
+    assert _drive(EventQueue, seed) == _drive(HeapEventQueue, seed)
+
+
+def test_trim_compaction_preserves_order():
+    """Outpacing pops with pushes crosses the segment-compaction
+    threshold; order and count must be unaffected."""
+    q = EventQueue()
+    fired = []
+    n = _TRIM * 3 + 17
+    for i in range(n):
+        q.schedule(1.0 + i * 0.25, lambda i=i: fired.append(i))
+    assert q.run_until(1e9) == n
+    assert fired == list(range(n))
+    assert len(q) == 0 and q.peek_time() is None
+
+
+def test_overflow_spill_and_return():
+    """Far-future records beyond the ring spill to the overflow heap and
+    come back in exact order, interleaved with near events."""
+    q = EventQueue()
+    fired = []
+    q.schedule(5.0, lambda: fired.append("near"))  # anchors the segment
+    q.schedule(10_000.5, lambda: fired.append("far2"))
+    q.schedule(9_000.0, lambda: fired.append("far1"))
+    assert len(q._overflow) == 2  # both beyond the ring span
+    # while consuming the near event, schedule into the gap
+    q.schedule(6.0, lambda: q.schedule(8_999.5, lambda: fired.append("mid")))
+    assert len(q) == 4
+    q.run_until(20_000.0)
+    assert fired == ["near", "mid", "far1", "far2"]
+    assert q.now == 10_000.5 and not q._overflow
+
+
+def test_idle_reanchor_absorbs_next_burst():
+    """A push onto a fully drained queue re-anchors the segment at the
+    new event instead of spilling the following burst to the overflow
+    heap (the light-load steady state)."""
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append("a"))
+    q.run_until(10.0)
+    assert q.peek_time() is None
+    q.schedule(5_000.25, lambda: fired.append("b"))  # idle: re-anchor
+    q.schedule(5_001.25, lambda: fired.append("c"))
+    assert not q._overflow and len(q) == 2
+    q.run_until(1e6)
+    assert fired == ["a", "b", "c"]
+
+
+# --------------------------------------------------------------------- #
+# engine-level A/B: full simulations on both kernels
+
+
+def _quarc(n):
+    topo = QuarcTopology(n)
+    return topo, QuarcRouting(topo)
+
+
+def _mesh(r, c):
+    topo = MeshTopology(r, c)
+    return topo, MeshRouting(topo)
+
+
+def _cfg(**kw):
+    base = dict(seed=11, warmup_cycles=1_000.0, target_unicast_samples=400,
+                target_multicast_samples=80, max_cycles=400_000.0)
+    base.update(kw)
+    return SimConfig(**base)
+
+
+#: the kernel A/B scenarios: Quarc + mesh, unicast + multicast, light
+#: load through saturation, several seeds
+AB_SCENARIOS = {
+    "quarc16-light": (lambda: _quarc(16), lambda r: TrafficSpec(0.004, 0.0, 32), _cfg()),
+    "quarc16-mc": (
+        lambda: _quarc(16),
+        lambda r: TrafficSpec(0.004, 0.1, 32, random_multicast_sets(r, 4, seed=3)),
+        _cfg(seed=7),
+    ),
+    "quarc16-sat": (lambda: _quarc(16), lambda r: TrafficSpec(0.05, 0.0, 32), _cfg(seed=5)),
+    "quarc32-mid": (lambda: _quarc(32), lambda r: TrafficSpec(0.003, 0.0, 32), _cfg(seed=13)),
+    "quarc32-mc": (
+        lambda: _quarc(32),
+        lambda r: TrafficSpec(0.002, 0.2, 16, random_multicast_sets(r, 5, seed=2)),
+        _cfg(seed=17),
+    ),
+    "quarc64-bench": (
+        lambda: _quarc(64),
+        lambda r: TrafficSpec(0.024 / 64, 0.05, 32, random_multicast_sets(r, 8, seed=1)),
+        _cfg(seed=2009, warmup_cycles=1_500.0, target_unicast_samples=300,
+             target_multicast_samples=60),
+    ),
+    "mesh16-light": (lambda: _mesh(4, 4), lambda r: TrafficSpec(0.004, 0.0, 32), _cfg(seed=19)),
+    "mesh16-mc": (
+        lambda: _mesh(4, 4),
+        lambda r: TrafficSpec(
+            0.003, 0.1, 32, random_multicast_sets(r, 4, seed=3, mode="per_node")
+        ),
+        _cfg(seed=23),
+    ),
+    "mesh16-sat": (lambda: _mesh(4, 4), lambda r: TrafficSpec(0.08, 0.0, 32), _cfg(seed=29)),
+    "mesh24-short": (lambda: _mesh(4, 6), lambda r: TrafficSpec(0.005, 0.0, 8), _cfg(seed=31)),
+    "quarc16-long-messages": (
+        lambda: _quarc(16), lambda r: TrafficSpec(0.001, 0.0, 128), _cfg(seed=37)
+    ),
+}
+
+
+def _fingerprint(result):
+    stats = []
+    for s in (result.unicast, result.multicast):
+        stats.append((s.mean, s.variance, s.minimum, s.maximum, s.count))
+    return (
+        stats,
+        result.sim_time,
+        result.events,
+        result.generated_messages,
+        result.completed_messages,
+        result.deadlock_recoveries,
+        result.recovered_samples,
+        result.saturated,
+        result.target_met,
+    )
+
+
+def _eq_fp(a, b):
+    def eq(x, y):
+        if isinstance(x, float) and isinstance(y, float):
+            return x == y or (math.isnan(x) and math.isnan(y))
+        if isinstance(x, (tuple, list)):
+            return len(x) == len(y) and all(eq(i, j) for i, j in zip(x, y))
+        return x == y
+
+    return eq(a, b)
+
+
+@pytest.mark.parametrize("name", sorted(AB_SCENARIOS))
+def test_engine_ab_bitwise(name):
+    build, make_spec, config = AB_SCENARIOS[name]
+    topo, routing = build()
+    spec = make_spec(routing)
+    heap_result = NocSimulator(topo, routing, kernel="heap").run(spec, config)
+    cal_result = NocSimulator(topo, routing, kernel="calendar").run(spec, config)
+    assert _eq_fp(_fingerprint(cal_result), _fingerprint(heap_result)), name
+
+
+def test_scripted_contention_ab():
+    """200 worms through one shared path: maximal FIFO contention, every
+    release wakes a waiter -- flit-level records must match exactly."""
+    worms = [ScriptedWorm(uid, uid * 3, (0, 1, 2, 3, 4), 16) for uid in range(1, 201)]
+    heap_res = run_scripted(6, worms, kernel="heap")
+    cal_res = run_scripted(6, worms, kernel="calendar")
+    assert heap_res.keys() == cal_res.keys()
+    for uid in heap_res:
+        a, b = heap_res[uid], cal_res[uid]
+        assert a.acquisition_times == b.acquisition_times, uid
+        assert a.release_times == b.release_times, uid
+        assert a.completion_time == b.completion_time, uid
+        assert a.clone_absorptions == b.clone_absorptions, uid
+
+
+def test_kernel_selection():
+    topo, routing = _quarc(16)
+    # "auto" resolves by network size: heapq below the measured
+    # crossover (shallow pending queues), calendar at scale
+    assert NocSimulator(topo, routing).kernel == "heap"
+    big = QuarcTopology(AUTO_KERNEL_MIN_NODES)
+    assert NocSimulator(big, QuarcRouting(big)).kernel == "calendar"
+    assert NocSimulator(topo, routing, kernel="calendar").kernel == "calendar"
+    assert set(KERNELS) == {"calendar", "heap"}
+    with pytest.raises(ValueError, match="unknown kernel"):
+        NocSimulator(topo, routing, kernel="wheel")
+    with pytest.raises(TypeError, match="HeapWormEngine"):
+        WormEngine(4, HeapEventQueue())
+    with pytest.raises(TypeError, match="calendar EventQueue"):
+        HeapWormEngine(4, EventQueue())
+
+
+def test_golden_fingerprints_hold_on_calendar_kernel():
+    """The golden-seed suite runs under the auto-selected kernel; this
+    re-asserts its exact frozen fingerprints with the calendar queue
+    forced active, so the v3 kernel is pinned to the very same numbers
+    captured before the PR-2 typed-event swap."""
+    from test_golden_seed import GOLDEN
+
+    for name, (build, make_spec, config, want) in sorted(GOLDEN.items()):
+        topo, routing = build()
+        spec = make_spec(routing)
+        result = NocSimulator(topo, routing, kernel="calendar").run(spec, config)
+        got = _fingerprint(result)
+        stats_want = [want["unicast"], want["multicast"]]
+        frozen = (
+            stats_want,
+            want["sim_time"],
+            want["events"],
+            want["generated"],
+            want["completed"],
+            want["recoveries"],
+            want["recovered_samples"],
+            want["saturated"],
+            want["target_met"],
+        )
+        assert _eq_fp(got, frozen), name
+
+
+# --------------------------------------------------------------------- #
+# kernel-edge regression fixes
+
+
+@pytest.mark.parametrize("queue_cls", [EventQueue, HeapEventQueue])
+class TestPastEventGuard:
+    def test_exact_guard_at_large_sim_time(self, queue_cls):
+        """At t ~ 1e12 one float ulp (~1.2e-4) dwarfs the old 1e-9
+        epsilon; the guard must stay exact at every magnitude."""
+        q = queue_cls()
+        q.schedule(1e12, lambda: None)
+        q.run_until(2e12)
+        assert q.now == 1e12
+        q.schedule(q.now, lambda: None)  # exactly-now is legal
+        before = math.nextafter(1e12, 0.0)
+        with pytest.raises(ValueError, match="behind the clock"):
+            q.schedule(before, lambda: None)
+
+    def test_exact_guard_at_small_sim_time(self, queue_cls):
+        """The old guard accepted times up to 1e-9 *behind* the clock at
+        small magnitudes, letting the clock run backwards."""
+        q = queue_cls()
+        q.schedule(1.0, lambda: None)
+        q.run_until(10.0)
+        assert q.now == 1.0
+        with pytest.raises(ValueError, match="behind the clock"):
+            q.schedule(1.0 - 1e-10, lambda: None)
+
+    def test_rejects_unorderable_times(self, queue_cls):
+        q = queue_cls()
+        with pytest.raises(ValueError):
+            q.schedule(math.nan, lambda: None)
+        with pytest.raises(ValueError):
+            q.schedule(math.inf, lambda: None)
+
+
+@pytest.mark.parametrize("queue_cls", [EventQueue, HeapEventQueue])
+def test_pop_refuses_typed_records(queue_cls):
+    """pop() hands out (time, payload) for EV_CALL records only; typed
+    engine records must fail loudly instead of masquerading as
+    callables."""
+    q = queue_cls()
+    q.push(1.0, EV_INJECT, object())
+    with pytest.raises(RuntimeError, match="typed event"):
+        q.pop()
+    q2 = queue_cls()
+    q2.schedule(1.0, lambda: "ok")
+    t, payload = q2.pop()
+    assert t == 1.0 and payload() == "ok"
+
+
+@pytest.mark.parametrize(
+    "engine_cls,queue_cls",
+    [(WormEngine, EventQueue), (HeapWormEngine, HeapEventQueue)],
+)
+def test_inject_done_worm_does_not_leak_active_count(engine_cls, queue_cls):
+    """Injecting an already-done worm used to bump ``active_worms``
+    before the request path silently dropped the worm, leaking one
+    in-flight slot per occurrence toward the saturation cutoff."""
+    events = queue_cls()
+    engine = engine_cls(4, events)
+    worm = Worm(1, WormClass.UNICAST, 0, 0.0, (0, 1, 2), 4)
+    worm.done = True
+    engine.inject(worm, 0.0)
+    assert engine.active_worms == 0
+    assert len(events) == 0  # nothing scheduled for the dead worm
+
+    # a live worm still counts and completes normally
+    live = Worm(2, WormClass.UNICAST, 0, 0.0, (0, 1, 2), 4)
+    engine.inject(live, 0.0)
+    assert engine.active_worms == 1
+    events.run_until(100.0)
+    assert engine.active_worms == 0 and live.done
+
+
+def test_engine_version_is_three():
+    from repro.sim.engine import ENGINE_VERSION
+
+    assert ENGINE_VERSION == 3
+
+
+# --------------------------------------------------------------------- #
+# ballistic completion: the widened fast-forward window must not change
+# a single float even where it demonstrably triggers
+
+
+class _OrderTracer:
+    """Records hook order, arguments and the engine clock at each call.
+
+    Defines exactly the hook subset that keeps ballistic completion
+    enabled (no per-hop acquire/release observation), so a hook-order or
+    hook-clock divergence between the replay and the stepped kernel
+    cannot hide behind an order-insensitive consumer."""
+
+    def __init__(self, events):
+        self.events = events
+        self.calls = []
+
+    def on_clone_absorbed(self, worm, position, t):
+        self.calls.append(("clone", worm.uid, position, t, self.events.now))
+
+    def on_complete(self, worm, t_done, recovered):
+        self.calls.append(("complete", worm.uid, t_done, recovered, self.events.now))
+
+
+def _hook_trace(engine_cls, queue_cls):
+    events = queue_cls()
+    tracer = _OrderTracer(events)
+    engine = engine_cls(8, events, tracer)
+    worm = Worm(7, WormClass.MULTICAST, 0, 0.0, (0, 1, 2, 3, 4), 16,
+                clone_positions=(2, 4))
+    events.push(1.0, EV_INJECT, worm)
+    events.run_until(1e6)
+    return tracer.calls
+
+
+def test_ballistic_hook_order_matches_stepped_kernel():
+    """An isolated multicast worm takes the ballistic replay on the
+    calendar kernel; its clone/complete hook sequence -- order, args and
+    the engine clock visible at each call -- must equal the stepped
+    heap kernel's exactly."""
+    assert _hook_trace(WormEngine, EventQueue) == _hook_trace(
+        HeapWormEngine, HeapEventQueue
+    )
+
+
+def test_ballistic_triggering_run_matches_heap_kernel():
+    """An isolated-arrival workload (tiny load, big gaps) triggers the
+    whole-worm ballistic replay for most messages; the run must still be
+    bit-identical to the stepped v2 kernel."""
+    topo, routing = _quarc(16)
+    spec = TrafficSpec(0.0004, 0.0, 32)
+    config = _cfg(seed=41, target_unicast_samples=150, max_cycles=2_000_000.0)
+    heap_result = NocSimulator(topo, routing, kernel="heap").run(spec, config)
+    cal_result = NocSimulator(topo, routing, kernel="calendar").run(spec, config)
+    assert _eq_fp(_fingerprint(cal_result), _fingerprint(heap_result))
+    assert cal_result.unicast.count >= 150

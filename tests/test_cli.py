@@ -180,3 +180,44 @@ class TestCommands:
                    "--jobs", "1"])
         assert rc == 0
         assert "M=16" in capsys.readouterr().out
+
+class TestAdaptiveFlagValidation:
+    """Bad adaptive sampling flags must exit like any argparse error:
+    usage + ``repro: error: ...`` on stderr, exit code 2 -- never a raw
+    ValueError traceback out of AdaptiveSettings.__post_init__."""
+
+    @pytest.mark.parametrize(
+        "argv,needle",
+        [
+            (["sweep", "--no-sim", "--ci-rel", "0"], "ci_rel must be > 0"),
+            (["sweep", "--no-sim", "--ci-rel", "0.05", "--min-reps", "1"],
+             "min_reps must be >= 2"),
+            (["sweep", "--no-sim", "--ci-rel", "0.05", "--growth", "1.0"],
+             "growth must be > 1"),
+            (["grid", "--no-sim", "--limit", "1", "--ci-rel", "-0.5"],
+             "ci_rel must be > 0"),
+            (["grid", "--no-sim", "--limit", "1", "--ci-rel", "0.05",
+              "--min-reps", "9", "--max-reps", "3"], "must be >= min_reps"),
+        ],
+    )
+    def test_bad_adaptive_flags_are_argparse_errors(self, argv, needle, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert needle in err
+        assert "usage:" in err            # argparse formatting, not a print
+        assert "Traceback" not in err
+
+    def test_growth_flag_reaches_settings(self):
+        args = build_parser().parse_args(
+            ["sweep", "--no-sim", "--ci-rel", "0.05", "--growth", "2.5"]
+        )
+        assert args.growth == 2.5
+
+    def test_valid_growth_accepted_end_to_end(self, capsys):
+        rc = main(["sweep", "--no-sim", "--points", "2", "--ci-rel", "0.05",
+                   "--growth", "2.0"])
+        assert rc == 0
+        assert "fig6" in capsys.readouterr().out
+
