@@ -86,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--recursion", choices=["paper", "occupancy"], default="occupancy",
             help="service-time recursion variant",
         )
+        p.add_argument(
+            "--arrival-mode", choices=["legacy", "vectorized"],
+            default="legacy",
+            help="simulator arrival generation: 'legacy' replays the "
+                 "frozen scalar draw order bit-exactly; 'vectorized' "
+                 "draws numpy blocks (faster, statistically identical, "
+                 "different sample path for a fixed seed)",
+        )
 
     def jobs_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", "-j", type=int, default=1,
@@ -167,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--samples", type=int, default=400,
                         help="unicast latency samples per point")
     p_grid.add_argument("--seed", type=int, default=2009)
+    p_grid.add_argument("--arrival-mode", choices=["legacy", "vectorized"],
+                        default="legacy",
+                        help="simulator arrival generation (see 'evaluate')")
     p_grid.add_argument("--no-sim", action="store_true", help="model series only")
     p_grid.add_argument("--save-dir", type=str, default=None, metavar="DIR",
                         help="save each panel's series as JSON under DIR")
@@ -198,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--keep-stale-engines", action="store_true",
                          help="prune: keep entries from other engine versions "
                               "(evict by age only)")
+
+    sub.add_parser(
+        "kernels",
+        help="report the registered event kernels and the compiled "
+             "fast path's build status",
+    )
 
     p_worker = sub.add_parser(
         "worker", help="run a task-execution daemon for a remote coordinator"
@@ -301,7 +318,8 @@ def cmd_evaluate(args) -> int:
             message_length=args.msg,
             sim=SimConfig(seed=args.seed, warmup_cycles=2_000,
                           target_unicast_samples=2_000,
-                          target_multicast_samples=300),
+                          target_multicast_samples=300,
+                          arrival_mode=args.arrival_mode),
             one_port=args.one_port,
             label=f"evaluate-N{args.nodes}",
         )
@@ -347,6 +365,7 @@ def cmd_sweep(args) -> int:
                 seed=args.seed,
                 samples=args.samples,
                 multicast_samples=max(100, args.samples // 6),
+                arrival_mode=args.arrival_mode,
             ),
             executor=executor,
             cache=cache,
@@ -423,7 +442,9 @@ def cmd_grid(args) -> int:
     configs = [
         c.scaled(load_fractions=fractions, adaptive=adaptive) for c in configs
     ]
-    sim_config = budget_sim_config(seed=args.seed, samples=args.samples)
+    sim_config = budget_sim_config(
+        seed=args.seed, samples=args.samples, arrival_mode=args.arrival_mode
+    )
     cache = _cache(args)
     lanes = f"workers={args.workers}" if args.workers else f"jobs={args.jobs}"
     n_points = len(configs) * args.points
@@ -545,11 +566,63 @@ def cmd_cache(args) -> int:
         label = f"v{engine}" if engine is not None else "unstamped/corrupt"
         marker = "" if engine == info["current_engine"] else "  [stale: never served]"
         print(f"  engine {label:18s}: {count} entries{marker}")
+    # kernel names are provenance only: all kernels within one engine
+    # version are bit-identical, so a mixed cache is never a problem
+    for kernel, count in sorted(info["by_kernel"].items()):
+        print(f"  kernel {kernel:18s}: {count} entries")
     if info["orphaned_tmp"]:
         print(f"orphaned tmp   : {info['orphaned_tmp']} (removed by 'cache clear')")
     if info["stale_entries"]:
         print(f"{info['stale_entries']} stale entries will be re-simulated on use; "
               "'cache clear' reclaims the space")
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    from repro.sim import (
+        AUTO_KERNEL_DEPTH,
+        AUTO_KERNEL_MIN_NODES,
+        ENGINE_VERSION,
+        KERNELS,
+        c_kernel_status,
+        resolve_auto_kernel,
+    )
+
+    descriptions = {
+        "heap": "frozen v2 heapq reference kernel (pure Python)",
+        "calendar": "calendar-queue kernel (pure Python)",
+        "c": "compiled dispatch fast path (C extension)",
+    }
+    print(f"== event kernels (engine v{ENGINE_VERSION}) ==")
+    for name in sorted(KERNELS):
+        queue_cls, engine_cls = KERNELS[name]
+        desc = descriptions.get(name, "")
+        print(f"  {name:9s}: {desc}  [{queue_cls.__name__} + {engine_cls.__name__}]")
+    built, reason = c_kernel_status()
+    if built:
+        print("compiled fast path: built "
+              "(differentially checked against the pure-Python kernels)")
+    else:
+        print(f"compiled fast path: NOT built -- {reason}")
+        print("  build it with: pip install -e .   (a C compiler is all it needs;"
+              " a failed build degrades to the pure-Python kernels)")
+    if built:
+        print('kernel="auto": always the compiled fast path (fastest in '
+              "every measured regime)")
+        print(f"  without the extension it falls back to: heap below "
+              f"{AUTO_KERNEL_MIN_NODES} nodes on a first run, then "
+              f"heap/calendar by observed pending depth "
+              f"(threshold {AUTO_KERNEL_DEPTH})")
+    else:
+        first = resolve_auto_kernel(16)
+        big = resolve_auto_kernel(AUTO_KERNEL_MIN_NODES)
+        print(f'kernel="auto" first run : {first} (small network) / {big} '
+              f"(>= {AUTO_KERNEL_MIN_NODES} nodes)")
+        shallow = resolve_auto_kernel(16, observed_depth=AUTO_KERNEL_DEPTH - 1)
+        deep = resolve_auto_kernel(16, observed_depth=AUTO_KERNEL_DEPTH)
+        print(f'kernel="auto" repeat run: {shallow} below '
+              f"{AUTO_KERNEL_DEPTH} observed pending events, {deep} at or above")
+    print("all kernels are bit-identical; the choice only affects speed")
     return 0
 
 
@@ -575,6 +648,7 @@ COMMANDS = {
     "saturation": cmd_saturation,
     "explain": cmd_explain,
     "cache": cmd_cache,
+    "kernels": cmd_kernels,
     "worker": cmd_worker,
 }
 

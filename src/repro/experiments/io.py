@@ -294,19 +294,24 @@ class ResultCache:
 
     def info(self) -> dict:
         """Scan the cache directory: entry/byte totals, a per-engine-
-        version entry count (``None`` keys: unreadable entries), and the
-        number of orphaned tmp files."""
+        version entry count (``None`` keys: unreadable entries), a
+        per-kernel provenance count (``"unstamped"``: entries written
+        before kernel stamping), and the number of orphaned tmp files."""
         entries = 0
         total_bytes = 0
         by_engine: dict[Optional[int], int] = {}
+        by_kernel: dict[str, int] = {}
         orphaned_tmp = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.json"):
                 entries += 1
+                kernel = None
                 try:
                     total_bytes += entry.stat().st_size
                     data = json.loads(entry.read_text())
                     engine = data.get("engine") if isinstance(data, dict) else None
+                    if isinstance(data, dict):
+                        kernel = data.get("kernel")
                 except (OSError, ValueError):
                     engine = None
                 if isinstance(engine, (list, dict)):
@@ -314,12 +319,16 @@ class ResultCache:
                     # bucket unhashable ones by their repr
                     engine = repr(engine)
                 by_engine[engine] = by_engine.get(engine, 0) + 1
+                if not isinstance(kernel, str) or not kernel:
+                    kernel = "unstamped"
+                by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
             orphaned_tmp = sum(1 for _ in self.root.glob("*.tmp"))
         return {
             "root": str(self.root),
             "entries": entries,
             "total_bytes": total_bytes,
             "by_engine": by_engine,
+            "by_kernel": by_kernel,
             "current_engine": ENGINE_VERSION,
             "stale_entries": sum(
                 count

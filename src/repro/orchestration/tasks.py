@@ -212,6 +212,9 @@ class TaskResult:
     wall_seconds: float = 0.0
     #: True when this result was served from the disk cache
     cached: bool = False
+    #: resolved kernel that simulated this result (pure provenance: the
+    #: kernels are bit-identical, so payload comparisons ignore it)
+    kernel: str = ""
 
     @classmethod
     def from_sim(
@@ -231,17 +234,19 @@ class TaskResult:
             generated_messages=result.generated_messages,
             completed_messages=result.completed_messages,
             wall_seconds=wall_seconds,
+            kernel=result.kernel,
         )
 
     def payload_equal(self, other: "TaskResult") -> bool:
         """Equality on the simulation outcome, ignoring provenance
-        (wall-clock, cache flag, descriptive label).  NaNs compare
-        equal."""
+        (wall-clock, cache flag, kernel name, descriptive label).  NaNs
+        compare equal."""
         a = task_result_to_dict(self)
         b = task_result_to_dict(other)
         for d in (a, b):
             d.pop("wall_seconds")
             d.pop("label")
+            d.pop("kernel")
         return a == b
 
 
@@ -325,6 +330,11 @@ def execute_task(task: SimTask) -> TaskResult:
 #: provenance, not payload compatibility -- the v2->v3 calendar-kernel
 #: swap was proven bit-identical, yet v2 entries still read as stale,
 #: because "which kernel produced this number" must never be guessed.
+#: The per-entry ``kernel`` key (heap / calendar / c) is finer-grained
+#: provenance still: it names the scheduler that produced the numbers
+#: without gating reads, since all registered kernels are bit-identical
+#: within one engine version (entries written before the key exist read
+#: back with an empty name).
 CACHE_FORMAT_VERSION = 1
 
 
@@ -364,6 +374,7 @@ def task_result_to_dict(result: TaskResult) -> dict:
         "generated_messages": result.generated_messages,
         "completed_messages": result.completed_messages,
         "wall_seconds": result.wall_seconds,
+        "kernel": result.kernel,
     }
 
 
@@ -392,4 +403,5 @@ def task_result_from_dict(data: dict, *, cached: bool = False) -> TaskResult:
         completed_messages=int(data["completed_messages"]),
         wall_seconds=float(data.get("wall_seconds", 0.0)),
         cached=cached,
+        kernel=str(data.get("kernel", "")),
     )

@@ -15,15 +15,22 @@ See ``DESIGN.md`` ("Substitutions") and :mod:`repro.sim.worm` for the
 derivation and :mod:`repro.sim.network` for the simulator facade.
 """
 
-from repro.sim.arrivals import PoissonArrivalStream
+from repro.sim.arrivals import (
+    ARRIVAL_MODES,
+    PoissonArrivalStream,
+    VectorizedPoissonArrivalStream,
+    make_arrival_stream,
+)
 from repro.sim.engine import ENGINE_VERSION, EventQueue, HeapEventQueue
 from repro.sim.worm import Worm, WormClass
 from repro.sim.network import (
+    AUTO_KERNEL_DEPTH,
     AUTO_KERNEL_MIN_NODES,
     KERNELS,
     NocSimulator,
     SimConfig,
     SimResult,
+    resolve_auto_kernel,
 )
 from repro.sim.measurement import LatencyStats
 from repro.sim.adaptive import (
@@ -42,16 +49,26 @@ from repro.sim.replication import (
     summarize_task_results,
 )
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
-from repro.sim.wormengine import HeapWormEngine, WormEngine
+from repro.sim.wormengine import (
+    CWormEngine,
+    HeapWormEngine,
+    WormEngine,
+    c_kernel_status,
+)
 
 __all__ = [
     "ENGINE_VERSION",
     "EventQueue",
+    "AUTO_KERNEL_DEPTH",
     "AUTO_KERNEL_MIN_NODES",
+    "resolve_auto_kernel",
     "HeapEventQueue",
     "HeapWormEngine",
     "KERNELS",
+    "ARRIVAL_MODES",
     "PoissonArrivalStream",
+    "VectorizedPoissonArrivalStream",
+    "make_arrival_stream",
     "Worm",
     "WormClass",
     "NocSimulator",
@@ -71,5 +88,7 @@ __all__ = [
     "pooled_mean_halfwidth",
     "ChannelUtilizationTracer",
     "CompositeTracer",
+    "CWormEngine",
     "WormEngine",
+    "c_kernel_status",
 ]

@@ -77,8 +77,14 @@ __all__ = [
 #: :class:`~repro.sim.wormengine.HeapWormEngine` for differential
 #: testing (bit-identical results to 2: the golden-seed suite passed
 #: unchanged and the randomized calendar/heap differential suite diffs
-#: fire orders exactly).
-ENGINE_VERSION = 3
+#: fire orders exactly); 4 = flat structure-of-arrays channel state
+#: (:mod:`repro.sim.state`) shared by every kernel plus the optional
+#: compiled dispatch fast path (:mod:`repro.sim._cstep`, ``kernel="c"``)
+#: with mid-run bounce to the pure-Python kernel for anything the native
+#: loop does not model (bit-identical results to 3 whether or not the
+#: extension is built: golden-seed suite and the three-way
+#: c/calendar/heap differential suite).
+ENGINE_VERSION = 4
 
 EV_REQUEST = 0
 EV_RELEASE = 1

@@ -35,25 +35,56 @@ import numpy as np
 from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import TrafficSpec
 from repro.routing.base import RoutingAlgorithm
-from repro.sim.arrivals import MULTICAST, PoissonArrivalStream
+from repro.sim.arrivals import MULTICAST, make_arrival_stream
 from repro.sim.measurement import LatencyStats
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.worm import Worm, WormClass
 from repro.sim.wormengine import KERNELS
 from repro.topology.base import Topology
 
-__all__ = ["AUTO_KERNEL_MIN_NODES", "KERNELS", "SimConfig", "SimResult",
+__all__ = ["AUTO_KERNEL_MIN_NODES", "AUTO_KERNEL_DEPTH", "KERNELS",
+           "resolve_auto_kernel", "SimConfig", "SimResult",
            "NocSimulator", "MulticastTransaction"]
 
-#: network size at which ``kernel="auto"`` switches from the heapq
-#: kernel to the calendar kernel.  The measured crossover on the
-#: reference container: with the paper-sized networks the pending-event
-#: population is shallow (1-10 records) and C heapq wins (~0.83x for
-#: the calendar on bench_perf_sim[64]); at N=1024 near saturation the
-#: pending set reaches thousands and the calendar's O(1) scheduling
-#: reaches and crosses parity.  See README "Performance" and
-#: BENCH_perf_sim.json's kernel_speedup entries.
+#: network size at which ``kernel="auto"``'s *prior* (used before any
+#: run has been observed) switches from the heapq kernel to the
+#: calendar kernel.  The measured crossover on the reference container:
+#: with the paper-sized networks the pending-event population is
+#: shallow (1-10 records) and C heapq wins (~0.83x for the calendar on
+#: bench_perf_sim[64]); at N=1024 near saturation the pending set
+#: reaches thousands and the calendar's O(1) scheduling reaches and
+#: crosses parity.  See README "Performance" and BENCH_perf_sim.json's
+#: kernel_speedup entries.
 AUTO_KERNEL_MIN_NODES = 512
+
+#: observed pending-event depth at which ``kernel="auto"`` switches a
+#: *repeat* run from the heapq kernel to the calendar kernel.  Once a
+#: simulator instance has completed a run it knows the peak number of
+#: records the scheduler actually held, which predicts the heap/calendar
+#: crossover far better than the node count (a 1024-node network at low
+#: load still has a shallow queue; a small network near saturation does
+#: not).  The threshold sits between the shallow regime (tens of
+#: records, heapq's home turf) and the deep regime (thousands, where
+#: the calendar's O(1) scheduling wins).
+AUTO_KERNEL_DEPTH = 256
+
+
+def resolve_auto_kernel(num_nodes: int, observed_depth: Optional[int] = None) -> str:
+    """Pick the kernel ``kernel="auto"`` should use for the next run.
+
+    The compiled dispatch fast path wins in every measured regime
+    (shallow and deep), so it is chosen whenever the extension is
+    built.  Between the pure-Python kernels the choice is the observed
+    peak pending-event depth of the previous run when one is available
+    (:data:`AUTO_KERNEL_DEPTH`), falling back to the node-count prior
+    (:data:`AUTO_KERNEL_MIN_NODES`) for a first run.  Every kernel is
+    bit-identical, so re-resolving between runs never changes results.
+    """
+    if "c" in KERNELS:
+        return "c"
+    if observed_depth is not None:
+        return "calendar" if observed_depth >= AUTO_KERNEL_DEPTH else "heap"
+    return "calendar" if num_nodes >= AUTO_KERNEL_MIN_NODES else "heap"
 
 
 @dataclass
@@ -75,6 +106,11 @@ class SimConfig:
     max_in_flight: Optional[int] = None
     #: events between bookkeeping checks
     check_interval: int = 4096
+    #: arrival pre-generation: "legacy" replays the scalar draw order
+    #: bit-exactly (the golden-seed contract); "vectorized" draws
+    #: per-source numpy blocks -- same process, different sample path
+    #: for a fixed seed (see :mod:`repro.sim.arrivals`)
+    arrival_mode: str = "legacy"
 
     def resolved_max_in_flight(self, num_nodes: int) -> int:
         if self.max_in_flight is not None:
@@ -101,6 +137,13 @@ class SimResult:
     #: per-channel utilisation instrument (present when the run was made
     #: with ``measure_utilization=True``)
     utilization: Optional[ChannelUtilizationTracer] = None
+    #: resolved kernel that executed this run (provenance; ``"auto"``
+    #: never appears here)
+    kernel: str = ""
+    #: peak pending-event depth observed at bookkeeping checks -- the
+    #: signal the ``"auto"`` policy uses to pick the kernel for a repeat
+    #: run on the same simulator instance
+    peak_pending: int = 0
 
     @property
     def unicast_latency(self) -> float:
@@ -230,12 +273,14 @@ class NocSimulator:
         model-validation runs.
     kernel:
         Event-scheduler implementation: a :data:`KERNELS` key, or the
-        default ``"auto"``, which resolves to the frozen-v2 heapq
-        kernel below :data:`AUTO_KERNEL_MIN_NODES` nodes (shallow
-        pending queues, C heapq's home turf) and to the v3 calendar
-        kernel at scale (deep pending queues, where its O(1)
-        scheduling wins).  Results are bit-identical for every choice;
-        the resolved name is exposed as ``self.kernel``.
+        default ``"auto"``, which resolves via
+        :func:`resolve_auto_kernel` -- the compiled fast path when the
+        extension is built, otherwise the heapq kernel for shallow
+        pending queues and the calendar kernel for deep ones, judged
+        by the node-count prior on a first run and by the previous
+        run's observed peak pending depth on repeats.  Results are
+        bit-identical for every choice; the resolved name is exposed
+        as ``self.kernel`` and stamped into ``SimResult.kernel``.
     """
 
     def __init__(
@@ -250,12 +295,10 @@ class NocSimulator:
     ):
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.kernel_policy = kernel
+        self._observed_depth: Optional[int] = None
         if kernel == "auto":
-            kernel = (
-                "calendar"
-                if topology.num_nodes >= AUTO_KERNEL_MIN_NODES
-                else "heap"
-            )
+            kernel = resolve_auto_kernel(topology.num_nodes)
         if kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; known: {sorted(KERNELS) + ['auto']}"
@@ -370,6 +413,8 @@ class NocSimulator:
         config = config or SimConfig()
         n = self.topology.num_nodes
         rng = np.random.default_rng(config.seed)
+        if self.kernel_policy == "auto" and self._observed_depth is not None:
+            self.kernel = resolve_auto_kernel(n, self._observed_depth)
         queue_cls, engine_cls = KERNELS[self.kernel]
         events = queue_cls()
         state = _RunState(config.warmup_cycles)
@@ -438,8 +483,9 @@ class NocSimulator:
             for i, worm in enumerate(created):
                 engine.inject(worm, t, fast=i == last)
 
-        arrivals = PoissonArrivalStream(
-            rng, n, lam_u, lam_m, sorted(mtemplates), dest_cdfs, spawn
+        arrivals = make_arrival_stream(
+            config.arrival_mode,
+            rng, n, lam_u, lam_m, sorted(mtemplates), dest_cdfs, spawn,
         )
 
         want_unicast = config.target_unicast_samples if lam_u > 0.0 else 0
@@ -449,11 +495,15 @@ class NocSimulator:
         target_met = want_unicast == 0 and want_multicast == 0
         saturated = False
         fired_total = 0
+        peak_pending = 0
         while (len(events) > 0 or arrivals.pending) and events.now <= config.max_cycles:
             fired = engine.run_events(
                 config.max_cycles, config.check_interval, arrivals
             )
             fired_total += fired
+            depth = len(events)
+            if depth > peak_pending:
+                peak_pending = depth
             if fired == 0:
                 break
             if engine.active_worms > max_in_flight:
@@ -466,7 +516,7 @@ class NocSimulator:
                 target_met = True
                 break
 
-        return SimResult(
+        result = SimResult(
             spec=spec,
             config=config,
             unicast=state.unicast,
@@ -480,4 +530,8 @@ class NocSimulator:
             saturated=saturated,
             target_met=target_met,
             utilization=util_tracer,
+            kernel=self.kernel,
+            peak_pending=peak_pending,
         )
+        self._observed_depth = peak_pending
+        return result

@@ -48,12 +48,13 @@ from __future__ import annotations
 
 import math
 import sys
-from collections import deque
 from bisect import insort
 from heapq import heappop, heappush
 from typing import Callable, Optional, Protocol
 
+from repro.sim import cext
 from repro.sim.deadlock import choose_victim, find_wait_cycle
+from repro.sim.state import ChannelState
 from repro.sim.engine import (
     _TRIM,
     EV_INJECT,
@@ -71,6 +72,8 @@ __all__ = [
     "ArrivalSource",
     "WormEngine",
     "HeapWormEngine",
+    "CWormEngine",
+    "c_kernel_status",
 ]
 
 _NO_LIMIT = sys.maxsize
@@ -153,8 +156,13 @@ class WormEngine:
             )
         self.events = events
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
-        self.holders: list[Optional[Worm]] = [None] * num_channels
-        self.fifos: list[deque[Worm]] = [deque() for _ in range(num_channels)]
+        # flat channel state (see repro.sim.state): one store of truth
+        # shared by the Python hot paths and the compiled stepper
+        self.state = ChannelState(num_channels)
+        self.holders = self.state.holders
+        self.fifos = self.state.fifos
+        self.fifo_heads = self.state.fifo_heads
+        self._fifo_pop = self.state.fifo_pop
         self.deadlock_recoveries = 0
         self.active_worms = 0
         # resolve tracer hooks once; None means "never call" (hot path)
@@ -191,6 +199,7 @@ class WormEngine:
         events = self.events
         holders = self.holders
         fifos = self.fifos
+        fpop = self._fifo_pop
         on_clone = self._on_clone
         on_release = self._on_release
         # hoist module globals into fast locals: the loop below touches
@@ -290,9 +299,8 @@ class WormEngine:
                                     if arr_t < flimit:
                                         flimit = arr_t
                                 holders[ch] = None
-                                fifo = fifos[ch]
-                                if fifo:
-                                    self._grant(fifo.popleft(), ch, t)
+                                if fifos[ch]:
+                                    self._grant(fpop(ch), ch, t)
                                     flimit = events.next_time
                                     if arr_t < flimit:
                                         flimit = arr_t
@@ -614,9 +622,8 @@ class WormEngine:
         if self._on_release is not None:
             self._on_release(worm, pos, t)
         self.holders[ch] = None
-        fifo = self.fifos[ch]
-        if fifo:
-            self._grant(fifo.popleft(), ch, t)
+        if self.fifos[ch]:
+            self._grant(self._fifo_pop(ch), ch, t)
 
     def _finish_routing(self, worm: Worm, t: float) -> None:
         # t == a_H: the header just acquired the ejection channel.  The
@@ -642,9 +649,7 @@ class WormEngine:
         self.deadlock_recoveries += 1
         victim = choose_victim(cycle)
         if victim.blocked_on is not None:
-            q = self.fifos[victim.blocked_on]
-            if victim in q:
-                q.remove(victim)
+            self.state.fifo_remove(victim.blocked_on, victim)
             victim.blocked_on = None
         for pos, ch in victim.held_channels():
             if self.holders[ch] is victim:
@@ -652,7 +657,7 @@ class WormEngine:
                     self._on_release(victim, pos, t)
                 self.holders[ch] = None
                 if self.fifos[ch]:
-                    self._grant(self.fifos[ch].popleft(), ch, t)
+                    self._grant(self._fifo_pop(ch), ch, t)
         victim.done = True
         self.active_worms -= 1
         if self._on_complete is not None:
@@ -684,8 +689,11 @@ class HeapWormEngine(WormEngine):
         # construction wholesale
         self.events = events
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.holders = [None] * num_channels
-        self.fifos = [deque() for _ in range(num_channels)]
+        self.state = ChannelState(num_channels)
+        self.holders = self.state.holders
+        self.fifos = self.state.fifos
+        self.fifo_heads = self.state.fifo_heads
+        self._fifo_pop = self.state.fifo_pop
         self.deadlock_recoveries = 0
         self.active_worms = 0
         hooked = None if isinstance(self.tracer, NullTracer) else self.tracer
@@ -836,5 +844,104 @@ class HeapWormEngine(WormEngine):
             return
 
 
+class CWormEngine(WormEngine):
+    """:class:`WormEngine` with the compiled dispatch fast path.
+
+    When the optional :mod:`repro.sim._cstep` extension is built and the
+    run is one the native loop models -- the stock calendar
+    :class:`EventQueue`, no per-hop acquire/release hooks -- the fused
+    dispatch loop and the injection grant/fast-forward/ballistic path
+    execute in C *over the very same Python objects* (worms, the
+    calendar's segment/ring/overflow, the flat
+    :class:`~repro.sim.state.ChannelState` lists).  Everything else --
+    and anything the native loop declines mid-run, such as overflow
+    timestamps -- takes the inherited pure-Python path, which is the
+    behavioural oracle: results are bit-identical by construction and
+    enforced by the golden-seed and three-way differential suites.
+
+    Because both sides share one store of truth, a *bounce* -- the C
+    loop returning control mid-run -- needs zero state synchronisation:
+    the Python kernel simply continues from the current queue/channel
+    state.  ``c_runs`` / ``c_bounces`` / ``py_fallback_runs`` count how
+    the work actually executed, and ``c_inactive_reason`` says why the
+    fast path is off (None when armed); both feed run provenance.
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        events: EventQueue,
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(num_channels, events, tracer)
+        reason = None
+        if not cext.available():
+            reason = cext.unavailable_reason() or "extension unavailable"
+        elif type(events) is not EventQueue:
+            reason = f"unsupported queue class {type(events).__name__}"
+        elif events._span > 64:
+            reason = (
+                f"calendar span {events._span} exceeds the 64-bit "
+                "occupancy word"
+            )
+        elif self._on_acquire is not None or self._on_release is not None:
+            reason = "per-hop acquire/release hooks attached"
+        self.c_inactive_reason = reason
+        self._c_ok = reason is None
+        self._cstep = cext.module() if self._c_ok else None
+        self.c_runs = 0
+        self.c_bounces = 0
+        self.py_fallback_runs = 0
+
+    # ------------------------------------------------------------------ #
+    def run_events(
+        self,
+        horizon: float,
+        max_events: int | None = None,
+        arrivals: Optional[ArrivalSource] = None,
+    ) -> int:
+        if not self._c_ok:
+            self.py_fallback_runs += 1
+            return super().run_events(horizon, max_events, arrivals)
+        try:
+            h = float(horizon)
+        except (TypeError, OverflowError, ValueError):
+            h = None
+        if h is None or h != horizon:
+            # a horizon that does not round-trip through float exactly
+            # (a huge odd int, say) would silently move the boundary
+            self.py_fallback_runs += 1
+            return super().run_events(horizon, max_events, arrivals)
+        self.c_runs += 1
+        fired, bounced = self._cstep.run_events(self, h, max_events, arrivals)
+        if bounced:
+            # the native loop stopped at a clean iteration boundary in
+            # front of something it does not model; the shared flat
+            # state means the Python kernel just picks up the run
+            self.c_bounces += 1
+            budget = None if max_events is None else max_events - fired
+            fired += super().run_events(horizon, budget, arrivals)
+        return fired
+
+    # ------------------------------------------------------------------ #
+    def inject(self, worm: Worm, t: float, fast: bool = True) -> None:
+        # injection must be native too: under light load whole worms
+        # complete ballistically *inside* the injection call, so leaving
+        # it in Python would leave most of the simulated work there
+        if self._c_ok and type(t) is float:
+            if self._cstep.inject(self, worm, t, fast):
+                return
+        super().inject(worm, t, fast=fast)
+
+
+def c_kernel_status() -> tuple[bool, Optional[str]]:
+    """(available, reason_if_not) for the compiled ``"c"`` kernel."""
+    return cext.available(), cext.unavailable_reason()
+
+
 KERNELS["calendar"] = (EventQueue, WormEngine)
 KERNELS["heap"] = (HeapEventQueue, HeapWormEngine)
+if cext.available():
+    # registered only when the extension imported *and* configured
+    # itself against the live class layouts: "c" is never a lie
+    KERNELS["c"] = (EventQueue, CWormEngine)

@@ -266,14 +266,22 @@ def test_scripted_contention_ab():
 
 
 def test_kernel_selection():
+    from repro.sim import cext
+
     topo, routing = _quarc(16)
-    # "auto" resolves by network size: heapq below the measured
-    # crossover (shallow pending queues), calendar at scale
-    assert NocSimulator(topo, routing).kernel == "heap"
+    # "auto" prefers the compiled fast path whenever the extension is
+    # built; without it the node-count prior picks heapq below the
+    # measured crossover (shallow pending queues) and calendar at scale
+    built = cext.available()
+    assert NocSimulator(topo, routing).kernel == ("c" if built else "heap")
     big = QuarcTopology(AUTO_KERNEL_MIN_NODES)
-    assert NocSimulator(big, QuarcRouting(big)).kernel == "calendar"
+    assert NocSimulator(big, QuarcRouting(big)).kernel == (
+        "c" if built else "calendar"
+    )
     assert NocSimulator(topo, routing, kernel="calendar").kernel == "calendar"
-    assert set(KERNELS) == {"calendar", "heap"}
+    # "c" is registered exactly when the optional extension is built
+    want = {"calendar", "heap"} | ({"c"} if built else set())
+    assert set(KERNELS) == want
     with pytest.raises(ValueError, match="unknown kernel"):
         NocSimulator(topo, routing, kernel="wheel")
     with pytest.raises(TypeError, match="HeapWormEngine"):
@@ -384,10 +392,10 @@ def test_inject_done_worm_does_not_leak_active_count(engine_cls, queue_cls):
     assert engine.active_worms == 0 and live.done
 
 
-def test_engine_version_is_three():
+def test_engine_version_is_four():
     from repro.sim.engine import ENGINE_VERSION
 
-    assert ENGINE_VERSION == 3
+    assert ENGINE_VERSION == 4
 
 
 # --------------------------------------------------------------------- #
