@@ -20,7 +20,14 @@ Commands
     entries stranded by an older engine version.
 ``worker``
     Run a task-execution daemon that serves a remote coordinator
-    (``repro worker tcp://host:port``).
+    (``repro worker tcp://host:port``); ``--reconnect`` makes it
+    survive coordinator crashes and restarts.
+
+Distributed runs are fault-tolerant: ``--journal``/``--resume``
+checkpoint completed tasks so a killed coordinator resumes where it
+stopped, ``--task-timeout``/``--max-task-retries`` bound wedged workers
+and quarantine poison tasks, and ``--cluster-key`` (or
+``$REPRO_CLUSTER_KEY``) HMAC-signs every frame on the wire.
 
 ``sweep`` and ``grid`` accept ``--ci-rel R`` (with ``--min-reps`` /
 ``--max-reps``) to replace the fixed per-point sample budget with
@@ -113,6 +120,42 @@ def build_parser() -> argparse.ArgumentParser:
             help="bind a coordinator at this endpoint and run the simulation "
                  "tasks on 'repro worker' daemons that connect to it "
                  "(overrides --jobs; results are identical either way)",
+        )
+        dist = p.add_argument_group(
+            "distributed fault tolerance (require --workers)"
+        )
+        dist.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-dispatch deadline: a worker holding one task longer "
+                 "is cut loose and the task re-queued (default: none)",
+        )
+        dist.add_argument(
+            "--max-task-retries", type=int, default=None, metavar="N",
+            help="re-dispatches allowed after a task takes a worker down "
+                 "with it, before the task is quarantined as poison "
+                 "(default: 2)",
+        )
+        dist.add_argument(
+            "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+            help="silence window after which a worker is declared lost and "
+                 "its task re-queued (default: 15)",
+        )
+        dist.add_argument(
+            "--cluster-key", type=str, default=None, metavar="KEY",
+            help="HMAC-sign every frame with this shared secret; workers "
+                 "must present the same key (default: $REPRO_CLUSTER_KEY "
+                 "if set, else unsigned)",
+        )
+        dist.add_argument(
+            "--journal", type=str, default=None, metavar="PATH",
+            help="append each completed task to this checkpoint journal "
+                 "(fsync'd), making the run resumable after a crash",
+        )
+        dist.add_argument(
+            "--resume", type=str, default=None, metavar="PATH",
+            help="resume from an existing checkpoint journal: journaled "
+                 "tasks are served from it, only unfinished ones run "
+                 "(implies --journal PATH; the file must exist)",
         )
 
     def adaptive_args(p: argparse.ArgumentParser) -> None:
@@ -232,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="keep retrying the connect this long (the "
                                "daemon may be started before the run that "
                                "feeds it)")
+    p_worker.add_argument("--reconnect", action="store_true",
+                          help="survive coordinator crashes: when the "
+                               "connection is lost, re-dial under "
+                               "exponential backoff instead of exiting "
+                               "(a clean dismissal still exits)")
+    p_worker.add_argument("--max-reconnects", type=int, default=None,
+                          metavar="N",
+                          help="with --reconnect: give up after N re-dials "
+                               "(default: unbounded)")
+    p_worker.add_argument("--cluster-key", type=str, default=None,
+                          metavar="KEY",
+                          help="HMAC-sign every frame with this shared "
+                               "secret; must match the coordinator's "
+                               "(default: $REPRO_CLUSTER_KEY if set)")
 
     return parser
 
@@ -252,11 +309,56 @@ def _sets(args, routing):
 
 def _executor(args):
     workers = getattr(args, "workers", None)
-    executor = make_executor(args.jobs, workers=workers)
-    if workers:  # distributed: announce where daemons should dial in
-        bound = executor.start()
-        print(f"coordinator listening at {bound} -- feed it with: "
-              f"python -m repro worker {executor.dial_address}", flush=True)
+    parser = getattr(args, "_parser", None)
+    journal = getattr(args, "journal", None)
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        if journal is not None and journal != resume:
+            msg = "--journal and --resume name different files; pick one"
+            if parser is not None:
+                parser.error(msg)
+            raise SystemExit(2)
+        from pathlib import Path
+
+        if not Path(resume).exists():
+            msg = (f"--resume: journal {resume!r} does not exist "
+                   f"(use --journal to start a fresh one)")
+            if parser is not None:
+                parser.error(msg)
+            raise SystemExit(2)
+        journal = resume
+    if not workers:
+        dist_flags = [
+            ("--task-timeout", getattr(args, "task_timeout", None)),
+            ("--max-task-retries", getattr(args, "max_task_retries", None)),
+            ("--heartbeat-timeout", getattr(args, "heartbeat_timeout", None)),
+            ("--cluster-key", getattr(args, "cluster_key", None)),
+            ("--journal", journal),
+        ]
+        stray = [flag for flag, value in dist_flags if value is not None]
+        if stray:
+            msg = (f"{', '.join(stray)}: distributed-only flag(s); "
+                   f"add --workers tcp://HOST:PORT")
+            if parser is not None:
+                parser.error(msg)
+            raise SystemExit(2)
+        return make_executor(args.jobs)
+    executor = make_executor(
+        args.jobs,
+        workers=workers,
+        heartbeat_timeout=getattr(args, "heartbeat_timeout", None),
+        task_timeout=getattr(args, "task_timeout", None),
+        max_task_retries=getattr(args, "max_task_retries", None),
+        cluster_key=getattr(args, "cluster_key", None),
+        journal=journal,
+    )
+    bound = executor.start()  # announce where daemons should dial in
+    print(f"coordinator listening at {bound} -- feed it with: "
+          f"python -m repro worker {executor.dial_address}", flush=True)
+    run_journal = getattr(executor, "journal", None)
+    if run_journal is not None and run_journal.resumed:
+        print(f"resuming from journal {run_journal.path} "
+              f"({len(run_journal)} completed task(s) on file)", flush=True)
     return executor
 
 
@@ -520,6 +622,9 @@ def cmd_worker(args) -> int:
         tag=args.tag,
         heartbeat_interval=args.heartbeat,
         connect_timeout=args.connect_timeout,
+        reconnect=args.reconnect,
+        max_reconnects=args.max_reconnects,
+        cluster_key=args.cluster_key,
     )
 
 
@@ -543,6 +648,7 @@ def cmd_cache(args) -> int:
             ("removed_old", f"older than {args.max_age_days} days"),
             ("removed_corrupt", "corrupt/unreadable"),
             ("removed_tmp", "orphaned tmp files"),
+            ("removed_journals", "checkpoint journals (stale or old)"),
         ]:
             if counts[key]:
                 print(f"  {counts[key]:5d} {label}")
@@ -570,6 +676,10 @@ def cmd_cache(args) -> int:
     # version are bit-identical, so a mixed cache is never a problem
     for kernel, count in sorted(info["by_kernel"].items()):
         print(f"  kernel {kernel:18s}: {count} entries")
+    if info["journals"]:
+        print(f"journals       : {info['journals']} checkpoint journal(s), "
+              f"{info['journal_bytes'] / 1024:.1f} KiB "
+              f"('cache prune --max-age-days D' evicts old ones)")
     if info["orphaned_tmp"]:
         print(f"orphaned tmp   : {info['orphaned_tmp']} (removed by 'cache clear')")
     if info["stale_entries"]:

@@ -12,31 +12,52 @@ wraps the pair in the existing ``Executor`` interface so ``sweep``,
 ``grid`` and replication runs span hosts with ``--workers tcp://...`` --
 bitwise-identical to serial execution, re-queueing the in-flight tasks
 of any worker that crashes or goes silent.
+
+The substrate is fault-tolerant end to end: frames can be HMAC-signed
+(``--cluster-key`` / ``REPRO_CLUSTER_KEY``), workers survive
+coordinator crashes (``--reconnect``), a checkpoint journal
+(:mod:`~repro.distributed.journal`) lets a restarted coordinator resume
+with only the unfinished tasks, poison tasks are quarantined after a
+retry budget instead of crash-looping the fleet, and
+:mod:`~repro.distributed.chaos` injects the faults that prove all of it
+continuously.
 """
 
-from repro.distributed.coordinator import Coordinator, WorkerInfo
+from repro.distributed.coordinator import Coordinator, WorkerInfo, WorkerLost
 from repro.distributed.executor import (
     AllWorkersLostError,
     DistributedExecutor,
+    PoisonTaskError,
+    QuarantinedTask,
     RemoteTaskError,
 )
+from repro.distributed.journal import RunJournal, journal_key
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
+    FrameSigner,
     ProtocolError,
     parse_address,
+    resolve_cluster_key,
 )
 from repro.distributed.worker import run_worker
 
 __all__ = [
     "Coordinator",
     "WorkerInfo",
+    "WorkerLost",
     "DistributedExecutor",
     "RemoteTaskError",
     "AllWorkersLostError",
+    "PoisonTaskError",
+    "QuarantinedTask",
+    "RunJournal",
+    "journal_key",
     "ProtocolError",
     "ConnectionClosed",
+    "FrameSigner",
     "PROTOCOL_VERSION",
     "parse_address",
+    "resolve_cluster_key",
     "run_worker",
 ]

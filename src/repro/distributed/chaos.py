@@ -1,0 +1,520 @@
+"""Chaos-injection harness: a frame-mangling TCP proxy and a soak driver.
+
+The fault-tolerance claims of this package are only worth what the
+faults injected against them prove, so this module supplies the faults:
+
+* :class:`ChaosProxy` -- a TCP proxy that sits between workers and the
+  coordinator and mangles traffic *per frame* on a seeded schedule:
+  drop a frame (the stream stays well-formed but a message vanishes),
+  corrupt a byte (an HMAC-signed frame then fails verification before
+  unpickling), truncate mid-frame and cut the connection (a partition
+  at the worst moment), or delay delivery.  Because it understands the
+  framing (but holds no key and never unpickles), every fault lands on
+  a protocol-meaningful boundary.
+
+* :func:`run_soak` -- the end-to-end drill the CI ``chaos-smoke`` job
+  runs: a small grid executed through the proxy by reconnecting
+  workers, with the coordinator SIGKILLed and resumed from its journal
+  and workers killed and replaced mid-run, finishing with a bitwise
+  diff of the completed series against an undisturbed serial run.
+  ``python -m repro.distributed.chaos`` is its CLI.
+
+Every random decision (mangling schedule, kill timing jitter) comes
+from seeded RNGs, so a failing chaos run can be replayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.distributed.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    format_address,
+    parse_address,
+    read_frame_bytes,
+)
+
+__all__ = ["ChaosConfig", "ChaosProxy", "run_soak", "main"]
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Tear a socket down *now*: plain ``close()`` would not send a FIN
+    while another pump thread sits blocked in ``recv`` on the same fd
+    (the in-flight syscall keeps the kernel socket alive), so the peer
+    would hang until its own timeout.  ``shutdown`` both wakes that
+    blocked thread and pushes the FIN out immediately."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-frame fault probabilities for one :class:`ChaosProxy`.
+
+    Rates are evaluated independently per frame in this order: drop,
+    truncate, corrupt, delay -- the first that fires wins (a dropped
+    frame cannot also be corrupted).  All zeros is a faithful relay.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0  #: frame silently discarded
+    truncate_rate: float = 0.0  #: partial frame sent, connection cut
+    corrupt_rate: float = 0.0  #: one byte flipped past the base header
+    delay_rate: float = 0.0  #: frame held back up to ``max_delay``
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "truncate_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass
+class ChaosStats:
+    """What the proxy actually did (for assertions and soak reports)."""
+
+    connections: int = 0
+    frames_forwarded: int = 0
+    frames_dropped: int = 0
+    frames_truncated: int = 0
+    frames_corrupted: int = 0
+    frames_delayed: int = 0
+
+
+class ChaosProxy:
+    """Frame-aware mangling proxy between workers and a coordinator.
+
+    Listens on ``listen`` (port 0 picks an ephemeral port; the resolved
+    endpoint is :attr:`address`) and forwards each accepted connection
+    to ``upstream``, pumping whole protocol frames in both directions
+    through the fault schedule in ``config``.  Each connection direction
+    gets its own RNG seeded from ``(config.seed, connection, direction)``
+    so the schedule is deterministic per stream regardless of thread
+    interleaving.  Workers dial the proxy; the coordinator never knows
+    it is there.  An unreachable upstream (coordinator mid-restart)
+    closes the client connection immediately -- exactly the refusal a
+    dead coordinator would produce.
+    """
+
+    def __init__(
+        self,
+        upstream: str,
+        listen: str = "tcp://127.0.0.1:0",
+        *,
+        config: ChaosConfig = ChaosConfig(),
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.upstream = parse_address(upstream)
+        self.config = config
+        self.stats = ChaosStats()
+        self._log = log or (lambda line: None)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._live: set[socket.socket] = set()
+        host, port = parse_address(listen)
+        self._listener = socket.create_server((host, port))
+        self._host = host
+        self._port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        """The endpoint workers should dial instead of the coordinator."""
+        return format_address(self._host, self._port)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            live = list(self._live)
+        _hard_close(self._listener)  # shutdown wakes the blocked accept
+        for sock in live:
+            _hard_close(sock)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        conn_index = 0
+        while True:
+            try:
+                client, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                server = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                # coordinator down (mid-restart): refuse like it would
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            with self._lock:
+                if self._closed:
+                    client.close()
+                    server.close()
+                    return
+                self.stats.connections += 1
+                self._live.update((client, server))
+            for src, dst, direction in (
+                (client, server, "up"),
+                (server, client, "down"),
+            ):
+                rng = random.Random(f"{self.config.seed}/{conn_index}/{direction}")
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, rng),
+                    name=f"repro-chaos-pump-{conn_index}-{direction}",
+                    daemon=True,
+                ).start()
+            conn_index += 1
+
+    def _pump(self, src: socket.socket, dst: socket.socket, rng: random.Random):
+        cfg = self.config
+        try:
+            while True:
+                frame = read_frame_bytes(src)
+                roll = rng.random()
+                if roll < cfg.drop_rate:
+                    with self._lock:
+                        self.stats.frames_dropped += 1
+                    continue
+                roll -= cfg.drop_rate
+                if roll < cfg.truncate_rate and len(frame) > 1:
+                    cut = rng.randrange(1, len(frame))
+                    with self._lock:
+                        self.stats.frames_truncated += 1
+                    dst.sendall(frame[:cut])
+                    raise ConnectionClosed("chaos: truncated frame")
+                roll -= cfg.truncate_rate
+                if roll < cfg.corrupt_rate and len(frame) > 8:
+                    # flip one byte past the base header so framing still
+                    # parses and the *authentication* layer must catch it
+                    pos = rng.randrange(8, len(frame))
+                    frame = (
+                        frame[:pos]
+                        + bytes([frame[pos] ^ (1 << rng.randrange(8))])
+                        + frame[pos + 1 :]
+                    )
+                    with self._lock:
+                        self.stats.frames_corrupted += 1
+                else:
+                    roll -= cfg.corrupt_rate
+                    if roll < cfg.delay_rate:
+                        with self._lock:
+                            self.stats.frames_delayed += 1
+                        time.sleep(rng.uniform(0.0, cfg.max_delay))
+                dst.sendall(frame)
+                with self._lock:
+                    self.stats.frames_forwarded += 1
+        except (ConnectionClosed, ProtocolError, OSError):
+            pass  # either side gone (or we cut it): tear the pair down
+        finally:
+            for sock in (src, dst):
+                _hard_close(sock)
+            with self._lock:
+                self._live.discard(src)
+                self._live.discard(dst)
+
+
+# ---------------------------------------------------------------------- #
+# the soak drill
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _python_env() -> dict:
+    """Subprocess env with ``src`` importable, mirroring PYTHONPATH=src."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+def _grid_argv(out_dir: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "grid",
+        "--limit",
+        "1",
+        "--points",
+        "4",
+        "--samples",
+        "150",
+        "--no-cache",
+        "--save-dir",
+        str(out_dir),
+        *extra,
+    ]
+
+
+def run_soak(
+    work_dir: str | Path,
+    *,
+    seed: int = 7,
+    corrupt_rate: float = 0.01,
+    workers: int = 2,
+    worker_kills: int = 2,
+    coordinator_restarts: int = 1,
+    cluster_key: str = "chaos-soak-key",
+    heartbeat_timeout: float = 3.0,
+    task_timeout: float = 120.0,
+    timeout: float = 600.0,
+    log: Callable[[str], None] = lambda line: print(line, flush=True),
+) -> int:
+    """The full chaos drill; returns a process exit code (0 = the
+    mangled, killed and resumed run is bitwise identical to serial).
+
+    Sequence: run the reference grid serially; start ``workers``
+    reconnecting daemons dialling a :class:`ChaosProxy` that corrupts
+    ``corrupt_rate`` of frames; run the same grid distributed with a
+    checkpoint journal; SIGKILL the coordinator process
+    ``coordinator_restarts`` times mid-run (resuming each time with
+    ``--resume``), and SIGKILL+replace a worker ``worker_kills`` times;
+    finally diff the saved series JSON against the serial reference.
+    """
+    work = Path(work_dir)
+    work.mkdir(parents=True, exist_ok=True)
+    serial_out = work / "serial-out"
+    chaos_out = work / "chaos-out"
+    journal = work / "journal.jsonl"
+    env = _python_env()
+    env["REPRO_CLUSTER_KEY"] = cluster_key
+
+    log("chaos-soak: serial reference grid ...")
+    subprocess.run(_grid_argv(serial_out), env=env, check=True)
+
+    coord_port = _free_port()
+    coord_addr = f"tcp://127.0.0.1:{coord_port}"
+    proxy = ChaosProxy(
+        coord_addr,
+        config=ChaosConfig(seed=seed, corrupt_rate=corrupt_rate),
+        log=log,
+    )
+    log(f"chaos-soak: proxy {proxy.address} -> {coord_addr} "
+        f"(corrupt_rate={corrupt_rate})")
+
+    def spawn_worker(i: int) -> subprocess.Popen:
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                proxy.address,
+                "--reconnect",
+                "--tag",
+                f"chaos-w{i}",
+                "--heartbeat",
+                "0.5",
+                "--connect-timeout",
+                "60",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def spawn_grid(resume: bool) -> subprocess.Popen:
+        flag = "--resume" if resume else "--journal"
+        return subprocess.Popen(
+            _grid_argv(
+                chaos_out,
+                "--workers",
+                coord_addr,
+                flag,
+                str(journal),
+                "--heartbeat-timeout",
+                str(heartbeat_timeout),
+                "--task-timeout",
+                str(task_timeout),
+            ),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def journal_entries() -> int:
+        try:
+            return sum(
+                1
+                for line in journal.read_text().splitlines()
+                if '"done"' in line
+            )
+        except OSError:
+            return 0
+
+    procs: list[subprocess.Popen] = [spawn_worker(i) for i in range(workers)]
+    rng = random.Random(seed)
+    deadline = time.monotonic() + timeout
+    grid: Optional[subprocess.Popen] = None
+    try:
+        grid = spawn_grid(resume=False)
+        kills_left = worker_kills
+        restarts_left = coordinator_restarts
+        next_worker = workers
+        watermark = 0
+        while True:
+            if time.monotonic() > deadline:
+                raise TimeoutError("chaos soak exceeded its time budget")
+            rc = grid.poll()
+            done = journal_entries()
+            if rc is not None:
+                if rc == 0:
+                    break  # grid completed
+                if restarts_left <= 0:
+                    out = grid.stdout.read() if grid.stdout else ""
+                    raise RuntimeError(
+                        f"grid run failed (rc={rc}) with no restart budget "
+                        f"left:\n{out}"
+                    )
+                # a killed coordinator: resume from the journal
+                restarts_left -= 1
+                log(f"chaos-soak: resuming coordinator "
+                    f"({done} task(s) journaled)")
+                grid = spawn_grid(resume=True)
+                continue
+            if restarts_left > 0 and done > watermark:
+                # progress since the last look: SIGKILL mid-run, exactly
+                # the crash the journal exists for
+                log(f"chaos-soak: SIGKILL coordinator after "
+                    f"{done} journaled task(s)")
+                grid.send_signal(signal.SIGKILL)
+                grid.wait()
+                continue
+            if kills_left > 0 and done > 0 and rng.random() < 0.3:
+                victim = procs[rng.randrange(len(procs))]
+                if victim.poll() is None:
+                    log(f"chaos-soak: SIGKILL worker pid {victim.pid}")
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait()
+                    kills_left -= 1
+                    procs.append(spawn_worker(next_worker))
+                    next_worker += 1
+            watermark = max(watermark, done)
+            time.sleep(0.25)
+        out = grid.stdout.read() if grid.stdout else ""
+        log(out)
+    finally:
+        proxy.close()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        if grid is not None and grid.poll() is None:
+            grid.kill()
+            grid.wait()
+
+    mismatches = diff_series(serial_out, chaos_out)
+    stats = proxy.stats
+    log(
+        f"chaos-soak: {stats.frames_forwarded} frames forwarded, "
+        f"{stats.frames_corrupted} corrupted, {stats.connections} "
+        f"connection(s), {worker_kills - kills_left} worker kill(s), "
+        f"{coordinator_restarts - restarts_left} coordinator restart(s)"
+    )
+    if mismatches:
+        for line in mismatches:
+            log(f"chaos-soak: MISMATCH {line}")
+        return 1
+    log("chaos-soak: chaos run is bitwise identical to serial")
+    return 0
+
+
+def diff_series(serial_dir: Path, chaos_dir: Path) -> list[str]:
+    """Bitwise comparison of saved panel series; returns mismatch
+    descriptions (empty = identical)."""
+    problems: list[str] = []
+    serial_files = sorted(Path(serial_dir).glob("*.json"))
+    if not serial_files:
+        return [f"no serial reference series under {serial_dir}"]
+    for ref in serial_files:
+        other = Path(chaos_dir) / ref.name
+        if not other.exists():
+            problems.append(f"{ref.name}: missing from chaos run")
+            continue
+        a = json.loads(ref.read_text())
+        b = json.loads(other.read_text())
+        if a["points"] != b["points"]:
+            problems.append(f"{ref.name}: points differ")
+        if a["saturation_rate"] != b["saturation_rate"]:
+            problems.append(f"{ref.name}: saturation_rate differs")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distributed.chaos",
+        description="chaos soak: run a grid through injected faults and "
+        "diff against serial (see run_soak)",
+    )
+    parser.add_argument("--work-dir", default="chaos-soak", metavar="DIR")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--corrupt", type=float, default=0.01, metavar="RATE")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--kill-workers", type=int, default=2, metavar="N")
+    parser.add_argument("--restart-coordinator", type=int, default=1, metavar="N")
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS")
+    args = parser.parse_args(argv)
+    return run_soak(
+        args.work_dir,
+        seed=args.seed,
+        corrupt_rate=args.corrupt,
+        workers=args.workers,
+        worker_kills=args.kill_workers,
+        coordinator_restarts=args.restart_coordinator,
+        timeout=args.timeout,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

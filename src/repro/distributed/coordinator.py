@@ -9,23 +9,39 @@ refused up front), registers the worker, and then loops: pop one
 assignment from the shared queue, ship it as a :class:`~repro.distributed.
 protocol.TaskMessage`, and wait for the matching :class:`~repro.
 distributed.protocol.ResultMessage` -- heartbeats in between reset the
-liveness clock.
+liveness clock.  While the queue is dry, the serve thread keepalives its
+worker every third of ``heartbeat_timeout`` so the worker's own recv
+deadline (new in protocol v2) only ever fires on a genuinely lost
+coordinator, never on an idle one.
 
-Fault model: a worker that disconnects, errors, or goes silent for
-longer than ``heartbeat_timeout`` while holding an assignment is
-deregistered, its socket is closed (so a late result from a frozen
-worker has nowhere to land), and the assignment is pushed back on the
-*front* of the queue for the next idle worker.  Task outcomes therefore
-depend only on task content, never on which worker ran them or how many
-times dispatch was attempted -- the property the bitwise-equality
-guarantee rests on.
+Fault model: a worker that disconnects, errors, goes silent for longer
+than ``heartbeat_timeout``, or holds an assignment past ``task_timeout``
+(heartbeating or not -- a wedged worker is indistinguishable from a
+slow one only up to the deadline) is deregistered, its socket is closed
+(so a late result from a frozen worker has nowhere to land), and the
+assignment is pushed back on the *front* of the queue for the next idle
+worker -- unless the assignment has now failed ``max_task_retries + 1``
+dispatches, in which case it is *quarantined*: withdrawn from
+circulation and reported as a structured failure
+(``ResultMessage(ok=False, quarantined=True)``), because a poison task
+re-queued forever would crash-loop the whole fleet.  Task outcomes
+therefore depend only on task content, never on which worker ran them
+or how many times dispatch was attempted -- the property the
+bitwise-equality guarantee rests on.
+
+With a cluster key (:func:`~repro.distributed.protocol.
+resolve_cluster_key`) every frame in both directions is HMAC-signed and
+sequence-checked; a peer without the key cannot get a single byte
+unpickled.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import socket
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -33,6 +49,7 @@ from typing import Any, Callable, Optional
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
+    FrameSigner,
     Heartbeat,
     Hello,
     ProtocolError,
@@ -47,7 +64,12 @@ from repro.distributed.protocol import (
 )
 from repro.sim.engine import ENGINE_VERSION
 
-__all__ = ["Coordinator", "WorkerInfo"]
+__all__ = ["Coordinator", "WorkerInfo", "WorkerLost", "DEFAULT_MAX_TASK_RETRIES"]
+
+#: re-dispatches a task may consume before quarantine (first dispatch
+#: excluded): with the default of 2, a task that takes down three
+#: successive workers is withdrawn instead of being offered a fourth.
+DEFAULT_MAX_TASK_RETRIES = 2
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,7 @@ class _Assignment:
     seq: int
     fn: Callable[[Any], Any]
     item: Any
+    attempts: int = 0  #: failed dispatches so far (crashes + deadlines)
 
 
 @dataclass
@@ -68,12 +91,35 @@ class WorkerInfo:
     tasks_done: int = 0
 
 
+@dataclass(frozen=True)
+class WorkerLost:
+    """Control marker on the results queue: a worker just dropped out.
+
+    Not a result -- it exists so a consumer blocked on
+    :meth:`Coordinator.get_result` wakes immediately to re-evaluate the
+    fleet (is anyone left? start the grace clock?) instead of burning a
+    poll loop.  Consumers should skip it and re-check state.
+    """
+
+    worker_id: str = ""
+
+
+class _TaskDeadlineExceeded(RuntimeError):
+    """Internal: the in-flight assignment outlived ``task_timeout``."""
+
+
+#: sentinel distinguishing "queue closed" from "queue momentarily dry"
+_CLOSED = object()
+
+
 class Coordinator:
     """Task-queue server for :class:`~repro.distributed.executor.
     DistributedExecutor` (see the module docstring for the fault model).
 
     ``bind`` may use port 0 to pick an ephemeral port; the resolved
-    endpoint is :attr:`address`.  All public methods are thread-safe.
+    endpoint is :attr:`address`.  ``task_timeout=None`` disables the
+    per-task deadline; ``cluster_key=None`` speaks unsigned frames.
+    All public methods are thread-safe.
     """
 
     def __init__(
@@ -81,9 +127,19 @@ class Coordinator:
         bind: str = "tcp://127.0.0.1:0",
         *,
         heartbeat_timeout: float = 15.0,
+        task_timeout: Optional[float] = None,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        cluster_key: Optional[bytes] = None,
     ):
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if max_task_retries < 0:
+            raise ValueError(f"max_task_retries must be >= 0, got {max_task_retries}")
         host, port = parse_address(bind)
         self.heartbeat_timeout = heartbeat_timeout
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.cluster_key = cluster_key
         self._listener = socket.create_server((host, port))
         self._host = host
         self._port = self._listener.getsockname()[1]
@@ -91,13 +147,18 @@ class Coordinator:
         self._work_cv = threading.Condition(self._lock)  #: pending/_closed
         self._worker_cv = threading.Condition(self._lock)  #: registry size
         self._pending: deque[_Assignment] = deque()
-        self._results: "queue.Queue[ResultMessage]" = queue.Queue()
+        self._results: "queue.Queue[Any]" = queue.Queue()
         self._workers: dict[str, WorkerInfo] = {}
+        self._conns: dict[int, socket.socket] = {}
         self._serve_threads: list[threading.Thread] = []
         self._next_worker = 0
+        self._next_conn = 0
         self._closed = False
+        self._aborted = False
         self.workers_lost = 0
         self.tasks_requeued = 0
+        self.tasks_quarantined = 0
+        self.frames_refused = 0  #: connections dropped for bad/unsigned frames
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-coordinator-accept", daemon=True
         )
@@ -119,9 +180,10 @@ class Coordinator:
             self._pending.append(_Assignment(seq, fn, item))
             self._work_cv.notify()
 
-    def get_result(self, timeout: Optional[float] = None) -> ResultMessage:
-        """Next completed result (any order); raises ``queue.Empty`` on
-        timeout."""
+    def get_result(self, timeout: Optional[float] = None) -> Any:
+        """Next completed :class:`ResultMessage` -- or a
+        :class:`WorkerLost` control marker, which consumers skip after
+        re-checking fleet state; raises ``queue.Empty`` on timeout."""
         return self._results.get(timeout=timeout)
 
     def workers_alive(self) -> int:
@@ -151,12 +213,55 @@ class Coordinator:
                 return
             self._closed = True
             self._work_cv.notify_all()
+        self._close_listener()
+        # give idle serve threads a moment to deliver the Shutdown frame,
+        # so daemons log a clean dismissal instead of seeing bare EOF
+        for thread in self._serve_threads:
+            thread.join(timeout=2.0)
+
+    def _close_listener(self) -> None:
+        """Shutdown-then-close: with the accept thread blocked in
+        ``accept()``, a bare ``close()`` would leave the kernel's listen
+        socket alive until that syscall returns -- which it never would
+        -- keeping the port bound forever.  ``shutdown`` wakes the
+        accept thread so the port is genuinely released (a restarted
+        coordinator must be able to rebind it)."""
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # some platforms refuse shutdown on a listener: ENOTCONN
         try:
             self._listener.close()
         except OSError:
             pass
-        # give idle serve threads a moment to deliver the Shutdown frame,
-        # so daemons log a clean dismissal instead of seeing bare EOF
+
+    def abort(self) -> None:
+        """Simulate a coordinator crash: drop every connection and the
+        listener *without* dismissal frames, exactly as SIGKILL would.
+
+        Chaos/test hook -- workers see a reset mid-session (and, with
+        ``--reconnect``, dial back in), never a polite ``Shutdown``.
+        """
+        with self._work_cv:
+            self._closed = True
+            self._aborted = True
+            conns = list(self._conns.values())
+            self._work_cv.notify_all()
+        self._close_listener()
+        for conn in conns:
+            # shutdown, not just close: each serve thread is blocked in
+            # recv on its conn, and the in-flight syscall would keep the
+            # kernel socket (and thus the peer's connection) alive --
+            # shutdown wakes the thread and sends the FIN now, which is
+            # what an actual process death looks like from outside
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         for thread in self._serve_threads:
             thread.join(timeout=2.0)
 
@@ -175,8 +280,12 @@ class Coordinator:
                 conn, _peer = self._listener.accept()
             except OSError:  # listener closed by close()
                 return
+            with self._lock:
+                conn_id = self._next_conn
+                self._next_conn += 1
+                self._conns[conn_id] = conn
             thread = threading.Thread(
-                target=self._serve_worker, args=(conn,), daemon=True
+                target=self._serve_worker, args=(conn, conn_id), daemon=True
             )
             self._serve_threads.append(thread)
             thread.start()
@@ -192,34 +301,117 @@ class Coordinator:
         return worker_id
 
     def _deregister(self, worker_id: str, current: Optional[_Assignment]) -> None:
+        """Drop the worker; re-queue or quarantine its in-flight task."""
         with self._work_cv:
             self._workers.pop(worker_id, None)
             if current is not None:
-                # front of the queue: a lost worker's task runs next, so
-                # a crash never starves one index behind fresh work
-                self._pending.appendleft(current)
-                self.tasks_requeued += 1
-                self._work_cv.notify()
+                attempts = current.attempts + 1
+                if attempts > self.max_task_retries:
+                    self.tasks_quarantined += 1
+                    self._results.put(
+                        ResultMessage(
+                            seq=current.seq,
+                            ok=False,
+                            error=(
+                                f"task quarantined: {attempts} successive "
+                                f"dispatch attempts were lost (last worker: "
+                                f"{worker_id}); retry budget "
+                                f"max_task_retries={self.max_task_retries} "
+                                "exhausted"
+                            ),
+                            worker_id=worker_id,
+                            quarantined=True,
+                        )
+                    )
+                else:
+                    # front of the queue: a lost worker's task runs next,
+                    # so a crash never starves one index behind fresh work
+                    self._pending.appendleft(
+                        dataclasses.replace(current, attempts=attempts)
+                    )
+                    self.tasks_requeued += 1
+                    self._work_cv.notify()
+        self._results.put(WorkerLost(worker_id=worker_id))
 
-    def _next_assignment(self) -> Optional[_Assignment]:
-        """Pop the next assignment, or ``None`` once closed."""
+    def _next_assignment(self, timeout: Optional[float] = None):
+        """Pop the next assignment; ``None`` on timeout (idle tick, the
+        caller keepalives its worker), :data:`_CLOSED` once closed."""
         with self._work_cv:
+            deadline = None if timeout is None else time.monotonic() + timeout
             while not self._pending and not self._closed:
-                self._work_cv.wait()
-            if self._pending:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._work_cv.wait(remaining)
+            if self._pending and not self._aborted:
                 return self._pending.popleft()
-            return None  # closed and drained
+            return _CLOSED  # closed and drained (or aborted)
 
-    def _serve_worker(self, conn: socket.socket) -> None:
+    def _await_result(
+        self,
+        conn: socket.socket,
+        signer: Optional[FrameSigner],
+        current: _Assignment,
+        worker_id: str,
+    ) -> ResultMessage:
+        """Receive frames until ``current``'s result arrives, bounding
+        each recv by the heartbeat window and the whole wait by
+        ``task_timeout`` (when set)."""
+        deadline = (
+            time.monotonic() + self.task_timeout
+            if self.task_timeout is not None
+            else None
+        )
+        while True:
+            window = self.heartbeat_timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _TaskDeadlineExceeded(
+                        f"task {current.seq} exceeded its {self.task_timeout:.1f}s "
+                        f"deadline on worker {worker_id}"
+                    )
+                window = min(window, remaining)
+            conn.settimeout(window)
+            try:
+                msg = recv_msg(conn, signer)
+            except TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise _TaskDeadlineExceeded(
+                        f"task {current.seq} exceeded its "
+                        f"{self.task_timeout:.1f}s deadline on worker "
+                        f"{worker_id}"
+                    ) from None
+                raise  # heartbeat window blown: the worker is gone
+            if isinstance(msg, Heartbeat):
+                continue
+            if isinstance(msg, ResultMessage) and msg.seq == current.seq:
+                return msg
+            if isinstance(msg, Shutdown):  # worker bowing out mid-task
+                raise ConnectionClosed(
+                    f"worker {worker_id} shut down holding task {current.seq}"
+                )
+            raise ProtocolError(
+                f"unexpected message {type(msg).__name__} while awaiting "
+                f"result of task {current.seq}"
+            )
+
+    def _serve_worker(self, conn: socket.socket, conn_id: int) -> None:
         conn.settimeout(self.heartbeat_timeout)
+        signer = FrameSigner(self.cluster_key) if self.cluster_key else None
         worker_id: Optional[str] = None
         current: Optional[_Assignment] = None
         graceful = False
         try:
-            hello = recv_msg(conn)
+            try:
+                hello = recv_msg(conn, signer)
+            except ProtocolError:
+                with self._lock:
+                    self.frames_refused += 1
+                raise
             refusal = self._vet(hello)
             if refusal is not None:
-                send_msg(conn, Shutdown(reason=refusal))
+                send_msg(conn, Shutdown(reason=refusal), signer)
                 return
             worker_id = self._register(hello)
             send_msg(
@@ -229,41 +421,46 @@ class Coordinator:
                     protocol=PROTOCOL_VERSION,
                     heartbeat_timeout=self.heartbeat_timeout,
                 ),
+                signer,
             )
+            idle_beat = self.heartbeat_timeout / 3.0
             while True:
-                current = self._next_assignment()
-                if current is None:  # coordinator closed: dismiss politely
-                    graceful = True
-                    send_msg(conn, Shutdown(reason="coordinator closing"))
-                    return
-                send_msg(conn, TaskMessage(current.seq, current.fn, current.item))
-                while True:
-                    msg = recv_msg(conn)  # socket timeout = heartbeat_timeout
-                    if isinstance(msg, Heartbeat):
-                        continue
-                    if isinstance(msg, ResultMessage) and msg.seq == current.seq:
-                        current = None
-                        with self._lock:
-                            info = self._workers.get(worker_id)
-                            if info is not None:
-                                info.tasks_done += 1
-                        self._results.put(msg)
-                        break
-                    if isinstance(msg, Shutdown):  # worker bowing out
-                        graceful = current is None
+                current = self._next_assignment(timeout=idle_beat)
+                if current is _CLOSED:  # coordinator closed: dismiss politely
+                    current = None
+                    if self._aborted:  # crash simulation: vanish, no dismissal
                         return
-                    raise ProtocolError(
-                        f"unexpected message {type(msg).__name__} while awaiting "
-                        f"result of task {current.seq}"
-                    )
-        except (ConnectionClosed, ProtocolError, OSError):
-            pass  # lost worker: the finally block requeues + deregisters
+                    graceful = True
+                    send_msg(conn, Shutdown(reason="coordinator closing"), signer)
+                    return
+                if current is None:  # idle tick: keepalive the worker
+                    send_msg(conn, Heartbeat(worker_id=worker_id), signer)
+                    continue
+                send_msg(
+                    conn, TaskMessage(current.seq, current.fn, current.item), signer
+                )
+                msg = self._await_result(conn, signer, current, worker_id)
+                current = None
+                with self._lock:
+                    info = self._workers.get(worker_id)
+                    if info is not None:
+                        info.tasks_done += 1
+                self._results.put(msg)
+        except ProtocolError:
+            # bad, unsigned or replayed frames: the connection is not
+            # trustworthy, so everything it held goes back in the queue
+            with self._lock:
+                self.frames_refused += 1
+        except (_TaskDeadlineExceeded, ConnectionClosed, OSError):
+            pass  # lost/wedged worker: the finally block requeues + deregisters
         finally:
             if worker_id is not None:
                 if not graceful:
                     with self._lock:
                         self.workers_lost += 1
                 self._deregister(worker_id, current)
+            with self._lock:
+                self._conns.pop(conn_id, None)
             try:
                 conn.close()
             except OSError:

@@ -16,6 +16,17 @@ task layer -- results are paired with their submission index and every
 worker rebuilds from the same pure-data task, so a distributed run is
 bitwise-identical to a serial one no matter how tasks interleave or how
 often a crashed worker forces a re-queue.
+
+Fault surface (PR 7): the result wait *blocks* on the coordinator's
+queue (the coordinator posts a wake-up marker when a worker drops, so
+fleet loss is noticed immediately without polling); a
+:class:`~repro.distributed.journal.RunJournal` checkpoint journal makes
+completed work durable across a coordinator crash (``journal=`` here,
+``--journal``/``--resume`` on the CLI) -- resumed items are served from
+the journal without touching a worker; and a poison task that exhausts
+the coordinator's retry budget surfaces as :class:`PoisonTaskError`
+*after* every healthy item has been yielded, so one bad task cannot
+take the rest of the run down with it.
 """
 
 from __future__ import annotations
@@ -23,13 +34,30 @@ from __future__ import annotations
 import queue
 import socket
 import time
-from typing import Any, Callable, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
-from repro.distributed.coordinator import Coordinator
-from repro.distributed.protocol import format_address, parse_address
+from repro.distributed.coordinator import (
+    DEFAULT_MAX_TASK_RETRIES,
+    Coordinator,
+    WorkerLost,
+)
+from repro.distributed.journal import RunJournal, journal_key
+from repro.distributed.protocol import (
+    ResultMessage,
+    format_address,
+    parse_address,
+)
 from repro.orchestration.executor import Executor
 
-__all__ = ["DistributedExecutor", "RemoteTaskError", "AllWorkersLostError"]
+__all__ = [
+    "DistributedExecutor",
+    "RemoteTaskError",
+    "AllWorkersLostError",
+    "PoisonTaskError",
+    "QuarantinedTask",
+]
 
 
 class RemoteTaskError(RuntimeError):
@@ -47,6 +75,32 @@ class AllWorkersLostError(RuntimeError):
     """Work remains but every worker is gone and none returned in time."""
 
 
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """One poison task the coordinator withdrew from circulation."""
+
+    index: int  #: the item's position in the submitted iterable
+    item: Any
+    error: str  #: the coordinator's structured quarantine report
+
+
+class PoisonTaskError(RuntimeError):
+    """One or more tasks exhausted their retry budget and were
+    quarantined.  Raised only after every *other* item's result has
+    been yielded, so the healthy part of the run is never lost; the
+    quarantined tasks ride on ``.quarantined``."""
+
+    def __init__(self, quarantined: list[QuarantinedTask]):
+        lines = "\n".join(
+            f"  item {q.index}: {q.error}" for q in quarantined
+        )
+        super().__init__(
+            f"{len(quarantined)} task(s) quarantined after exhausting their "
+            f"retry budget:\n{lines}"
+        )
+        self.quarantined = quarantined
+
+
 class DistributedExecutor(Executor):
     """Run work items on ``repro worker`` daemons over TCP.
 
@@ -59,6 +113,12 @@ class DistributedExecutor(Executor):
     :class:`AllWorkersLostError` is raised -- a worker daemon crash is
     otherwise invisible to the caller, because its in-flight task is
     re-queued for the survivors.
+
+    ``task_timeout`` bounds one dispatch of one task (a wedged worker is
+    cut loose and the task re-queued); ``max_task_retries`` is the
+    re-dispatch budget before quarantine; ``cluster_key`` switches the
+    wire to HMAC-signed frames; ``journal`` (a path or a
+    :class:`RunJournal`) makes completions durable for crash-resume.
     """
 
     def __init__(
@@ -69,6 +129,10 @@ class DistributedExecutor(Executor):
         start_timeout: float = 60.0,
         heartbeat_timeout: float = 15.0,
         worker_grace: float = 30.0,
+        task_timeout: Optional[float] = None,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        cluster_key: Optional[bytes] = None,
+        journal: Optional[Union[RunJournal, str, Path]] = None,
     ):
         if min_workers < 1:
             raise ValueError(f"min_workers must be >= 1, got {min_workers}")
@@ -77,6 +141,15 @@ class DistributedExecutor(Executor):
         self.start_timeout = start_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.worker_grace = worker_grace
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.cluster_key = cluster_key
+        self.journal: Optional[RunJournal] = (
+            journal
+            if isinstance(journal, RunJournal) or journal is None
+            else RunJournal(journal)
+        )
+        self.quarantined: list[QuarantinedTask] = []
         self._coordinator: Optional[Coordinator] = None
         self._next_seq = 0
 
@@ -87,7 +160,11 @@ class DistributedExecutor(Executor):
         resolved ``tcp://host:port`` address workers should dial."""
         if self._coordinator is None:
             self._coordinator = Coordinator(
-                self.bind, heartbeat_timeout=self.heartbeat_timeout
+                self.bind,
+                heartbeat_timeout=self.heartbeat_timeout,
+                task_timeout=self.task_timeout,
+                max_task_retries=self.max_task_retries,
+                cluster_key=self.cluster_key,
             )
         return self._coordinator.address
 
@@ -117,6 +194,8 @@ class DistributedExecutor(Executor):
         if self._coordinator is not None:
             self._coordinator.close()
             self._coordinator = None
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "DistributedExecutor":
         self.start()
@@ -132,33 +211,58 @@ class DistributedExecutor(Executor):
     ) -> Iterator[tuple[int, Any]]:
         it = iter(items)
         # draw the first item before demanding workers: an all-cache-hit
-        # run must complete on a machine with no daemons at all
+        # (or all-journal-hit) run must complete on a machine with no
+        # daemons at all
         first = next(it, _EXHAUSTED)
         if first is _EXHAUSTED:
             return
         self.start()
         coord = self._coordinator
         assert coord is not None
-        if not coord.wait_for_workers(self.min_workers, self.start_timeout):
-            raise AllWorkersLostError(
-                f"no {self.min_workers} worker(s) registered with "
-                f"{coord.address} within {self.start_timeout:.0f}s -- start "
-                f"daemons with: python -m repro worker {coord.address}"
-            )
+        journal = self.journal
+        workers_awaited = False
 
         seq_to_index: dict[int, int] = {}
+        seq_to_item: dict[int, Any] = {}
+        seq_to_key: dict[int, str] = {}
+        run_quarantined: list[QuarantinedTask] = []
         exhausted = False
         index = 0
-        starved_since: Optional[float] = None
+        grace_deadline: Optional[float] = None
 
-        def dispatch(item: Any) -> None:
-            nonlocal index
-            coord.submit(self._next_seq, fn, item)
-            seq_to_index[self._next_seq] = index
-            self._next_seq += 1
+        def feed(item: Any) -> Optional[tuple[int, Any]]:
+            """Dispatch ``item`` (or serve it straight from the journal);
+            returns a ready pair for journal hits."""
+            nonlocal index, workers_awaited
+            i = index
             index += 1
+            key = None
+            if journal is not None:
+                key = journal_key(item)
+                hit = journal.lookup(key)
+                if not journal.is_miss(hit):
+                    return i, hit
+            if not workers_awaited:
+                # first real dispatch of the run: now workers matter
+                if not coord.wait_for_workers(self.min_workers, self.start_timeout):
+                    raise AllWorkersLostError(
+                        f"no {self.min_workers} worker(s) registered with "
+                        f"{coord.address} within {self.start_timeout:.0f}s -- "
+                        f"start daemons with: python -m repro worker "
+                        f"{coord.address}"
+                    )
+                workers_awaited = True
+            coord.submit(self._next_seq, fn, item)
+            seq_to_index[self._next_seq] = i
+            seq_to_item[self._next_seq] = item
+            if key is not None:
+                seq_to_key[self._next_seq] = key
+            self._next_seq += 1
+            return None
 
-        dispatch(first)
+        ready = feed(first)
+        if ready is not None:
+            yield ready
         while seq_to_index or not exhausted:
             # keep roughly two assignments per live worker in flight:
             # enough that nobody idles between results, few enough that a
@@ -169,26 +273,36 @@ class DistributedExecutor(Executor):
                 if nxt is _EXHAUSTED:
                     exhausted = True
                     break
-                dispatch(nxt)
+                ready = feed(nxt)
+                if ready is not None:
+                    yield ready
             if not seq_to_index:
                 continue
-            try:
-                msg = coord.get_result(timeout=0.25)
-            except queue.Empty:
-                if coord.workers_alive() > 0:
-                    starved_since = None
-                    continue
+            # block on the results queue -- no poll loop.  While workers
+            # are alive, the only deadline that matters is theirs (the
+            # coordinator detects loss via heartbeats and posts a
+            # WorkerLost marker to wake us); once the fleet is empty the
+            # wait shrinks to whatever remains of the grace window.
+            if coord.workers_alive() > 0:
+                grace_deadline = None
+                wait = self.heartbeat_timeout
+            else:
                 now = time.monotonic()
-                if starved_since is None:
-                    starved_since = now
-                if now - starved_since > self.worker_grace:
+                if grace_deadline is None:
+                    grace_deadline = now + self.worker_grace
+                if now >= grace_deadline:
                     raise AllWorkersLostError(
                         f"{len(seq_to_index)} task(s) outstanding but every "
                         f"worker disconnected and none returned within "
                         f"{self.worker_grace:.0f}s"
-                    ) from None
+                    )
+                wait = grace_deadline - now
+            try:
+                msg = coord.get_result(timeout=wait)
+            except queue.Empty:
                 continue
-            starved_since = None
+            if isinstance(msg, WorkerLost) or not isinstance(msg, ResultMessage):
+                continue  # wake-up marker: re-evaluate fleet state above
             if msg.seq not in seq_to_index:
                 # leftover from an earlier imap call on this executor that
                 # was abandoned mid-run (consumer stopped, or a task error
@@ -196,9 +310,26 @@ class DistributedExecutor(Executor):
                 # their results -- successes and failures alike -- belong
                 # to nobody now
                 continue
+            if msg.quarantined:
+                i = seq_to_index.pop(msg.seq)
+                item = seq_to_item.pop(msg.seq)
+                seq_to_key.pop(msg.seq, None)
+                report = QuarantinedTask(index=i, item=item, error=msg.error or "")
+                run_quarantined.append(report)
+                self.quarantined.append(report)
+                continue  # the rest of the run keeps flowing
             if not msg.ok:
                 raise RemoteTaskError(msg.worker_id, msg.error or "")
-            yield seq_to_index.pop(msg.seq), msg.value
+            i = seq_to_index.pop(msg.seq)
+            seq_to_item.pop(msg.seq, None)
+            key = seq_to_key.pop(msg.seq, None)
+            if journal is not None and key is not None:
+                # durable before the caller sees it: a crash after this
+                # line can only re-serve the result, never recompute it
+                journal.record(key, msg.value)
+            yield i, msg.value
+        if run_quarantined:
+            raise PoisonTaskError(run_quarantined)
 
 
 _EXHAUSTED = object()

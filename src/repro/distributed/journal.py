@@ -1,0 +1,221 @@
+"""Coordinator checkpoint journal: crash-safe completion log for a run.
+
+A :class:`RunJournal` is an append-only JSONL file recording, for every
+completed task of a run, the task's content key and its pickled result.
+Each record is flushed and ``fsync``'d before the coordinator treats
+the task as done, so the journal on disk is never behind what the run
+has acknowledged -- a coordinator killed at *any* instant can be
+restarted with ``--resume <journal>`` and will re-dispatch only the
+tasks whose completion never reached stable storage.  Results replayed
+from the journal are byte-for-byte the pickled originals, so a resumed
+run is bitwise identical to an uninterrupted one.
+
+Keys are the same content addresses the disk cache uses
+(:meth:`~repro.orchestration.tasks.SimTask.task_key` when the work item
+provides it, a SHA-256 over the pickled item otherwise -- see
+:func:`journal_key`), which is what lets the journal compose with
+:class:`~repro.experiments.io.ResultCache`: both address the identical
+computation identically, the cache across runs, the journal within one.
+
+A truncated final line (the crash happened mid-append) is tolerated:
+loading stops at the damage and the file is truncated back to the last
+intact record before appending resumes.  Like the rest of the
+substrate, the journal stores pickles -- resume only journals you (or
+your cluster-key holders) wrote.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.sim.engine import ENGINE_VERSION
+
+__all__ = ["JOURNAL_FORMAT_VERSION", "JOURNAL_SUFFIX", "RunJournal", "journal_key"]
+
+#: bump on any incompatible change to the journal line layout
+JOURNAL_FORMAT_VERSION = 1
+
+#: journals are ``<name>.jsonl`` -- what ``cache info``/``prune`` scan for
+JOURNAL_SUFFIX = ".jsonl"
+
+_MISS = object()
+
+
+def journal_key(item: Any) -> str:
+    """Content address of one work item.
+
+    Items that know their own content hash (``SimTask.task_key``) keep
+    it -- the same address the disk cache files use.  Anything else is
+    addressed by a SHA-256 over its pickle, which is stable for the
+    pure-data items the executors ship.
+    """
+    key_fn = getattr(item, "task_key", None)
+    if callable(key_fn):
+        return str(key_fn())
+    blob = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+class RunJournal:
+    """Append-only, fsync'd completion log (see the module docstring).
+
+    Opening an existing journal *resumes* it: completed entries become
+    immediately servable via :meth:`lookup` and new completions append.
+    ``hits``/``records`` count lookups served and completions written,
+    for run reporting.  Thread-safe: the distributed executor records
+    from its consuming thread while tests poke at counters freely.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._completed: dict[str, bytes] = {}
+        self._fh = None
+        self.hits = 0
+        self.records = 0
+        self.resumed = self.path.exists() and self.path.stat().st_size > 0
+        if self.resumed:
+            self._load_existing()
+
+    # ------------------------------------------------------------------ #
+    # loading
+
+    def _load_existing(self) -> None:
+        raw = self.path.read_bytes()
+        good_end = 0
+        offset = 0
+        saw_header = False
+        for line in raw.split(b"\n"):
+            end = offset + len(line) + 1  # +1: the newline itself
+            offset = end
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail from a crash mid-append: stop here
+            if not isinstance(record, dict):
+                break
+            kind = record.get("kind")
+            if kind == "header":
+                engine = record.get("engine")
+                if engine != ENGINE_VERSION:
+                    raise ValueError(
+                        f"journal {self.path} was written by engine version "
+                        f"{engine!r}, current is {ENGINE_VERSION} -- its "
+                        "results are not comparable; start a fresh journal"
+                    )
+                if record.get("format") != JOURNAL_FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported journal format "
+                        f"{record.get('format')!r} in {self.path}"
+                    )
+                saw_header = True
+            elif kind == "done":
+                try:
+                    key = record["key"]
+                    value = base64.b64decode(record["result"])
+                except (KeyError, ValueError):
+                    break  # torn or tampered record: trust nothing after it
+                self._completed[str(key)] = value
+            # unknown kinds: forward-compatible skip
+            good_end = min(end, len(raw))
+        if not saw_header and self._completed:
+            raise ValueError(f"journal {self.path} has records but no header")
+        if good_end < len(raw):
+            # drop the torn tail so appends continue from an intact record
+            with self.path.open("r+b") as fh:
+                fh.truncate(good_end)
+
+    # ------------------------------------------------------------------ #
+    # writing
+
+    def _append(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = self.path.open("ab")
+            if fresh:
+                self._write_line(
+                    {
+                        "kind": "header",
+                        "format": JOURNAL_FORMAT_VERSION,
+                        "engine": ENGINE_VERSION,
+                        "created_unix": time.time(),
+                        "pid": os.getpid(),
+                    }
+                )
+        self._write_line(record)
+
+    def _write_line(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True).encode() + b"\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def record(self, key: str, result: Any) -> None:
+        """Journal one completion; durable on return (fsync'd)."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            if key in self._completed:
+                return  # already durable (e.g. a straggler's duplicate)
+            self._append(
+                {
+                    "kind": "done",
+                    "key": key,
+                    "result": base64.b64encode(payload).decode("ascii"),
+                }
+            )
+            self._completed[key] = payload
+            self.records += 1
+
+    def lookup(self, key: str) -> Any:
+        """The journaled result for ``key``, or :data:`_MISS` (compare
+        with :meth:`is_miss`)."""
+        with self._lock:
+            payload = self._completed.get(key)
+            if payload is None:
+                return _MISS
+            self.hits += 1
+        return pickle.loads(payload)
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._completed
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._completed))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                finally:
+                    self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,9 +1,16 @@
-"""Wire protocol of the distributed executor: length-prefixed pickles.
+"""Wire protocol of the distributed executor: length-prefixed pickles,
+optionally authenticated with HMAC-SHA256.
 
-Every message is one *frame*: an 8-byte header -- the 4-byte magic
-``b"rpd1"`` followed by the payload length as a big-endian ``u32`` --
-then the pickled message object.  Framing is the only thing this module
-knows about sockets; the message *types* are small frozen dataclasses
+Every message is one *frame*.  Unsigned frames are an 8-byte header --
+the 4-byte magic ``b"rpd1"`` followed by the payload length as a
+big-endian ``u32`` -- then the pickled message object.  Signed frames
+use the magic ``b"rps1"`` and extend the header with a ``u64`` frame
+sequence number and a 32-byte HMAC-SHA256 tag over (magic, length,
+sequence, payload); the tag is verified and the sequence checked for
+strict per-connection monotonicity *before* the payload is unpickled,
+so an unsigned, garbled, truncated or replayed frame is refused while
+it is still inert bytes.  Framing is the only thing this module knows
+about sockets; the message *types* are small frozen dataclasses
 (:class:`Hello` .. :class:`Shutdown`) so the coordinator and worker can
 dispatch on ``isinstance`` and a captured frame is self-describing.
 
@@ -12,13 +19,21 @@ loudly as :class:`ProtocolError` instead of unpickling garbage, and the
 :data:`MAX_FRAME` cap bounds what a corrupt length field can make us
 allocate.  A cleanly closed peer surfaces as :class:`ConnectionClosed`.
 
-Pickle over TCP means a worker will execute what the coordinator sends
-(and vice versa): run the pair only across machines you trust -- the
-same boundary as ``multiprocessing``'s own socket transports.
+Trust model: the HMAC key (``REPRO_CLUSTER_KEY`` or ``--cluster-key``,
+see :func:`resolve_cluster_key`) authenticates *peers* -- only a key
+holder can produce frames the other side will unpickle.  It does not
+make the payload safe against a hostile key holder: pickle over TCP
+means a worker will execute what the coordinator sends (and vice
+versa), so share the key only with machines you would also hand a
+shell -- the same boundary as ``multiprocessing``'s own socket
+transports, now enforced cryptographically instead of by network
+topology alone.
 """
 
 from __future__ import annotations
 
+import hmac
+import os
 import pickle
 import socket
 import struct
@@ -28,11 +43,16 @@ from typing import Any, Callable, Optional
 __all__ = [
     "PROTOCOL_VERSION",
     "MAGIC",
+    "SIGNED_MAGIC",
     "MAX_FRAME",
+    "CLUSTER_KEY_ENV",
     "ProtocolError",
     "ConnectionClosed",
+    "FrameSigner",
+    "resolve_cluster_key",
     "send_msg",
     "recv_msg",
+    "read_frame_bytes",
     "parse_address",
     "format_address",
     "Hello",
@@ -45,11 +65,20 @@ __all__ = [
 
 #: bump on any incompatible change to framing or message layout; the
 #: handshake rejects a peer speaking another version before any task
-#: or result crosses the wire.
-PROTOCOL_VERSION = 1
+#: or result crosses the wire.  v2: the coordinator sends keepalive
+#: :class:`Heartbeat` frames to idle workers (a v1 worker would treat
+#: them as a protocol error) and quarantined tasks surface as
+#: :class:`ResultMessage` frames with ``quarantined=True``.
+PROTOCOL_VERSION = 2
 
 MAGIC = b"rpd1"
+SIGNED_MAGIC = b"rps1"
 _HEADER = struct.Struct("!4sI")
+#: signed-frame extension after the base header: frame seq + HMAC tag
+_SIG_EXT = struct.Struct("!Q32s")
+
+#: environment variable consulted for the cluster's shared HMAC key
+CLUSTER_KEY_ENV = "REPRO_CLUSTER_KEY"
 
 #: largest payload a peer may announce (64 MiB); a real frame is a few
 #: KiB, so anything near this is corruption or a hostile length field.
@@ -57,7 +86,7 @@ MAX_FRAME = 64 * 1024 * 1024
 
 
 class ProtocolError(RuntimeError):
-    """The peer sent bytes that are not a valid protocol frame."""
+    """The peer sent bytes that are not a valid (authenticated) frame."""
 
 
 class ConnectionClosed(ConnectionError):
@@ -65,17 +94,88 @@ class ConnectionClosed(ConnectionError):
 
 
 # ---------------------------------------------------------------------- #
+# authentication
+
+
+def resolve_cluster_key(explicit: Optional[str] = None) -> Optional[bytes]:
+    """The cluster HMAC key: ``explicit`` (e.g. ``--cluster-key``) wins,
+    else the :data:`CLUSTER_KEY_ENV` environment variable, else ``None``
+    (unsigned frames -- the pre-PR-7 trusted-LAN mode)."""
+    raw = explicit if explicit is not None else os.environ.get(CLUSTER_KEY_ENV)
+    if raw is None or raw == "":
+        return None
+    return raw.encode("utf-8")
+
+
+class FrameSigner:
+    """Per-connection frame authenticator.
+
+    Holds the shared key plus one counter per direction: every signed
+    frame carries the sender's next sequence number, and the receiver
+    accepts only the exact sequence it expects -- so a captured frame
+    replayed into the stream (or one silently dropped by a middlebox)
+    breaks the connection instead of smuggling a stale message in.
+
+    One instance guards exactly one socket.  Sends from multiple
+    threads must already be serialised by the caller (both daemons hold
+    a send lock around :func:`send_msg`), which also serialises the
+    counter.
+    """
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("cluster key must be non-empty")
+        self._key = key
+        self.send_seq = 0
+        self.recv_seq = 0
+
+    def _tag(self, seq: int, payload: bytes) -> bytes:
+        msg = _HEADER.pack(SIGNED_MAGIC, len(payload))
+        msg += seq.to_bytes(8, "big") + payload
+        return hmac.new(self._key, msg, "sha256").digest()
+
+    def frame(self, payload: bytes) -> bytes:
+        """The full signed frame for ``payload``; advances ``send_seq``."""
+        seq = self.send_seq
+        self.send_seq += 1
+        return (
+            _HEADER.pack(SIGNED_MAGIC, len(payload))
+            + _SIG_EXT.pack(seq, self._tag(seq, payload))
+        ) + payload
+
+    def verify(self, seq: int, tag: bytes, payload: bytes) -> None:
+        """Raise :class:`ProtocolError` unless ``tag`` authenticates
+        ``payload`` as the exact next frame of this connection."""
+        if not hmac.compare_digest(self._tag(seq, payload), tag):
+            raise ProtocolError(
+                "frame signature mismatch (wrong cluster key, or the frame "
+                "was corrupted in transit); payload refused unread"
+            )
+        if seq != self.recv_seq:
+            raise ProtocolError(
+                f"replayed or reordered frame: got sequence {seq}, expected "
+                f"{self.recv_seq}; payload refused unread"
+            )
+        self.recv_seq += 1
+
+
+# ---------------------------------------------------------------------- #
 # framing
 
 
-def send_msg(sock: socket.socket, obj: Any) -> None:
-    """Pickle ``obj`` and write it as one frame (header + payload)."""
+def send_msg(
+    sock: socket.socket, obj: Any, signer: Optional[FrameSigner] = None
+) -> None:
+    """Pickle ``obj`` and write it as one frame (signed iff ``signer``)."""
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME:
         raise ProtocolError(
             f"message of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
         )
-    sock.sendall(_HEADER.pack(MAGIC, len(payload)) + payload)
+    if signer is not None:
+        sock.sendall(signer.frame(payload))
+    else:
+        sock.sendall(_HEADER.pack(MAGIC, len(payload)) + payload)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -93,22 +193,68 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_msg(sock: socket.socket) -> Any:
-    """Read one frame and unpickle its payload.
-
-    Raises :class:`ConnectionClosed` on EOF, :class:`ProtocolError` on a
-    bad magic, an oversized length field, or an unpicklable payload.
-    """
-    magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+def _check_length(length: int) -> None:
     if length > MAX_FRAME:
         raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME ({MAX_FRAME})")
-    payload = _recv_exact(sock, length)
+
+
+def recv_msg(sock: socket.socket, signer: Optional[FrameSigner] = None) -> Any:
+    """Read one frame and unpickle its payload.
+
+    With a ``signer``, only signed frames bearing a valid HMAC and the
+    expected sequence number are unpickled; an unsigned frame from the
+    peer is refused outright (and vice versa: a signed frame arriving
+    where no key is configured is refused, since it cannot be
+    verified).  Raises :class:`ConnectionClosed` on EOF,
+    :class:`ProtocolError` on a bad magic, an oversized length field, a
+    failed signature/sequence check, or an unpicklable payload.
+    """
+    magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if signer is not None:
+        if magic == MAGIC:
+            raise ProtocolError(
+                "unsigned frame refused: this endpoint requires HMAC-signed "
+                "frames (is the peer missing the cluster key?)"
+            )
+        if magic != SIGNED_MAGIC:
+            raise ProtocolError(
+                f"bad frame magic {magic!r} (expected {SIGNED_MAGIC!r})"
+            )
+        _check_length(length)
+        seq, tag = _SIG_EXT.unpack(_recv_exact(sock, _SIG_EXT.size))
+        payload = _recv_exact(sock, length)
+        signer.verify(seq, tag, payload)  # before any unpickling
+    else:
+        if magic == SIGNED_MAGIC:
+            raise ProtocolError(
+                "signed frame received but no cluster key is configured "
+                f"here; set {CLUSTER_KEY_ENV} (or --cluster-key) to match "
+                "the peer"
+            )
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+        _check_length(length)
+        payload = _recv_exact(sock, length)
     try:
         return pickle.loads(payload)
     except Exception as exc:  # pickle raises a zoo of types
         raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def read_frame_bytes(sock: socket.socket) -> bytes:
+    """Read one raw frame (header + body) without interpreting it.
+
+    The chaos proxy's frame pump: it must find frame boundaries in
+    either protocol flavour to mangle whole frames, but has no key and
+    never unpickles.  Raises like :func:`recv_msg` on framing damage.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if magic not in (MAGIC, SIGNED_MAGIC):
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    _check_length(length)
+    ext = _recv_exact(sock, _SIG_EXT.size) if magic == SIGNED_MAGIC else b""
+    return header + ext + _recv_exact(sock, length)
 
 
 # ---------------------------------------------------------------------- #
@@ -170,7 +316,10 @@ class Welcome:
 
     worker_id: str
     protocol: int
-    heartbeat_timeout: float  #: worker must beat well inside this
+    heartbeat_timeout: float  #: worker must beat well inside this; it is
+    #: also the worker's recv deadline -- the coordinator keepalives an
+    #: idle worker every third of it, so a silent partition surfaces as
+    #: a recv timeout on the worker side instead of an eternal block
 
 
 @dataclass(frozen=True)
@@ -184,18 +333,27 @@ class TaskMessage:
 
 @dataclass(frozen=True)
 class ResultMessage:
-    """Worker -> coordinator: the outcome of one :class:`TaskMessage`."""
+    """Worker -> coordinator: the outcome of one :class:`TaskMessage`.
+
+    Also synthesised *by* the coordinator when a task exhausts its retry
+    budget: ``quarantined=True`` marks a poison task that was withdrawn
+    from circulation instead of being re-queued forever.
+    """
 
     seq: int
     ok: bool
     value: Any = None  #: ``fn(item)`` when ok
     error: Optional[str] = None  #: remote traceback text when not ok
     worker_id: str = ""
+    quarantined: bool = False  #: retry budget exhausted; never re-queued
 
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Worker -> coordinator while executing, proving liveness."""
+    """Worker -> coordinator while executing, proving liveness; and
+    coordinator -> worker while idle, proving the queue side is alive
+    through work droughts (so the worker's recv deadline only fires on
+    a genuinely lost coordinator)."""
 
     worker_id: str = ""
 

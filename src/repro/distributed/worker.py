@@ -12,6 +12,19 @@ sends heartbeats so the coordinator can tell *slow* from *dead*; a task
 that raises is reported with its traceback instead of killing the
 daemon.
 
+Liveness is symmetric since protocol v2: the worker bounds every recv
+by the negotiated ``heartbeat_timeout`` (the coordinator keepalives an
+idle session every third of it), so a coordinator that vanishes without
+a FIN -- network partition, hard power-off -- surfaces as a recv
+timeout instead of blocking the daemon in ``recv`` forever.
+
+With ``reconnect=True`` (``--reconnect``) a lost coordinator is not the
+end: the worker re-dials with exponential backoff and deterministic
+jitter (seeded per process, so a restarted fleet does not stampede in
+lockstep yet every run of one daemon behaves identically), surviving
+any number of coordinator crashes and restarts.  A *clean* dismissal
+(``Shutdown`` frame) still exits: that is the operator saying done.
+
 Start-up races are absorbed on this side: the worker retries the TCP
 connect until ``connect_timeout`` elapses, so daemons can be launched
 before the run that will feed them (the shape the CI smoke job uses).
@@ -20,6 +33,7 @@ before the run that will feed them (the shape the CI smoke job uses).
 from __future__ import annotations
 
 import os
+import random
 import socket
 import threading
 import time
@@ -29,6 +43,7 @@ from typing import Callable, Optional
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
+    FrameSigner,
     Heartbeat,
     Hello,
     ProtocolError,
@@ -36,12 +51,16 @@ from repro.distributed.protocol import (
     Shutdown,
     TaskMessage,
     parse_address,
+    resolve_cluster_key,
     send_msg,
     recv_msg,
 )
 from repro.sim.engine import ENGINE_VERSION
 
 __all__ = ["run_worker"]
+
+#: handshake must complete within this once the TCP connect succeeded
+_HANDSHAKE_TIMEOUT = 30.0
 
 
 def _connect(host: str, port: int, timeout: float) -> socket.socket:
@@ -62,7 +81,8 @@ class _HeartbeatPump(threading.Thread):
     """Sends a heartbeat every ``interval`` seconds while ``busy`` is set.
 
     Sharing the socket with the main thread is safe because every send
-    goes through ``send_lock`` -- frames never interleave."""
+    goes through ``send_lock`` -- frames never interleave (and the frame
+    signer's sequence counter advances under the same lock)."""
 
     def __init__(
         self,
@@ -70,12 +90,14 @@ class _HeartbeatPump(threading.Thread):
         send_lock: threading.Lock,
         worker_id: str,
         interval: float,
+        signer: Optional[FrameSigner],
     ):
         super().__init__(name="repro-worker-heartbeat", daemon=True)
         self._sock = sock
         self._send_lock = send_lock
         self._worker_id = worker_id
         self._interval = interval
+        self._signer = signer
         self.busy = threading.Event()
         self._stop = threading.Event()
 
@@ -86,7 +108,11 @@ class _HeartbeatPump(threading.Thread):
             while self.busy.is_set() and not self._stop.is_set():
                 try:
                     with self._send_lock:
-                        send_msg(self._sock, Heartbeat(worker_id=self._worker_id))
+                        send_msg(
+                            self._sock,
+                            Heartbeat(worker_id=self._worker_id),
+                            self._signer,
+                        )
                 except OSError:
                     return  # main loop will observe the dead socket
                 self._stop.wait(self._interval)
@@ -96,34 +122,31 @@ class _HeartbeatPump(threading.Thread):
         self.busy.set()  # unblock the outer wait
 
 
-def run_worker(
-    address: str,
+# session verdicts: how one coordinator connection ended
+_DISMISSED = "dismissed"  #: clean Shutdown frame: operator says done
+_REFUSED = "refused"  #: handshake rejection: retrying cannot help
+_LOST = "lost"  #: connection broke / recv deadline while idle
+_LOST_MIDTASK = "lost-midtask"  #: connection broke holding a task
+
+
+def _run_session(
+    host: str,
+    port: int,
     *,
-    tag: Optional[str] = None,
-    heartbeat_interval: float = 2.0,
-    connect_timeout: float = 30.0,
-    log: Callable[[str], None] = lambda line: print(line, flush=True),
-) -> int:
-    """Serve one coordinator session; returns a process exit code.
-
-    ``0``: dismissed cleanly (coordinator sent Shutdown or closed after a
-    completed session).  ``1``: could not connect, was refused at the
-    handshake, or the connection broke mid-task.
-    """
-    host, port = parse_address(address)
-    try:
-        sock = _connect(host, port, connect_timeout)
-    except OSError as exc:
-        log(f"worker: cannot reach coordinator at {address}: {exc}")
-        return 1
-    # the connect timeout must not linger: an idle worker blocks in recv
-    # indefinitely until the coordinator has work or dismisses it
-    sock.settimeout(None)
-
+    tag: Optional[str],
+    heartbeat_interval: float,
+    connect_timeout: float,
+    key: Optional[bytes],
+    log: Callable[[str], None],
+) -> str:
+    """Serve one coordinator connection to its end; returns a verdict."""
+    sock = _connect(host, port, connect_timeout)
+    signer = FrameSigner(key) if key else None
     send_lock = threading.Lock()
     pump: Optional[_HeartbeatPump] = None
     mid_task = False
     try:
+        sock.settimeout(_HANDSHAKE_TIMEOUT)
         send_msg(
             sock,
             Hello(
@@ -133,30 +156,47 @@ def run_worker(
                 host=socket.gethostname(),
                 tag=tag,
             ),
+            signer,
         )
-        welcome = recv_msg(sock)
+        welcome = recv_msg(sock, signer)
         if isinstance(welcome, Shutdown):
             log(f"worker: refused by coordinator: {welcome.reason}")
-            return 1
+            return _REFUSED
         worker_id = welcome.worker_id
+        # bound every recv by the negotiated patience window: the
+        # coordinator keepalives an idle session every third of it, so
+        # a full window of silence means it is gone -- never block
+        # forever on a partitioned or power-cycled peer
+        sock.settimeout(welcome.heartbeat_timeout)
         # beat several times inside the coordinator's patience window
         interval = min(heartbeat_interval, welcome.heartbeat_timeout / 3.0)
         log(
-            f"worker {worker_id}: registered with {address} "
-            f"(engine v{ENGINE_VERSION}, heartbeat {interval:.1f}s)"
+            f"worker {worker_id}: registered with tcp://{host}:{port} "
+            f"(engine v{ENGINE_VERSION}, heartbeat {interval:.1f}s"
+            f"{', signed frames' if signer else ''})"
         )
-        pump = _HeartbeatPump(sock, send_lock, worker_id, interval)
+        pump = _HeartbeatPump(sock, send_lock, worker_id, interval, signer)
         pump.start()
 
         tasks_done = 0
         while True:
-            msg = recv_msg(sock)
+            try:
+                msg = recv_msg(sock, signer)
+            except TimeoutError:
+                log(
+                    f"worker {worker_id}: no frame within "
+                    f"{welcome.heartbeat_timeout:.1f}s; presuming the "
+                    "coordinator lost"
+                )
+                return _LOST
+            if isinstance(msg, Heartbeat):
+                continue  # idle keepalive from the coordinator
             if isinstance(msg, Shutdown):
                 log(
                     f"worker {worker_id}: dismissed after {tasks_done} task(s)"
                     + (f" ({msg.reason})" if msg.reason else "")
                 )
-                return 0
+                return _DISMISSED
             if not isinstance(msg, TaskMessage):
                 raise ProtocolError(f"unexpected message {type(msg).__name__}")
             mid_task = True
@@ -176,18 +216,18 @@ def run_worker(
             finally:
                 pump.busy.clear()
             with send_lock:
-                send_msg(sock, result)
+                send_msg(sock, result, signer)
             mid_task = False
             tasks_done += 1
     except (ConnectionClosed, OSError) as exc:
         if mid_task:
             log(f"worker: connection lost mid-task: {exc}")
-            return 1
-        log("worker: coordinator went away; exiting")
-        return 0
+            return _LOST_MIDTASK
+        log("worker: coordinator went away")
+        return _LOST
     except ProtocolError as exc:
         log(f"worker: protocol error: {exc}")
-        return 1
+        return _LOST  # garbled/unauthenticated stream: drop and (maybe) redial
     finally:
         if pump is not None:
             pump.stop()
@@ -195,3 +235,81 @@ def run_worker(
             sock.close()
         except OSError:
             pass
+
+
+def run_worker(
+    address: str,
+    *,
+    tag: Optional[str] = None,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+    reconnect: bool = False,
+    reconnect_backoff: float = 0.5,
+    reconnect_max_backoff: float = 15.0,
+    max_reconnects: Optional[int] = None,
+    cluster_key: Optional[str] = None,
+    log: Callable[[str], None] = lambda line: print(line, flush=True),
+) -> int:
+    """Serve a coordinator (or, with ``reconnect``, a succession of
+    them); returns a process exit code.
+
+    ``0``: dismissed cleanly (coordinator sent Shutdown), or the
+    coordinator went away while the worker was idle and ``reconnect``
+    is off (the historical semantics).  ``1``: could not connect, was
+    refused at the handshake, the connection broke mid-task without
+    ``reconnect``, or the reconnect budget ran out.
+
+    With ``reconnect``, a lost coordinator triggers re-dialling under
+    exponential backoff (``reconnect_backoff`` doubling per consecutive
+    failure up to ``reconnect_max_backoff``, resetting after any session
+    that registered) with deterministic per-process jitter;
+    ``max_reconnects`` bounds the total re-dials (``None``: unbounded).
+    A handshake *refusal* is never retried -- a version or key mismatch
+    does not heal by waiting.
+    """
+    host, port = parse_address(address)
+    key = resolve_cluster_key(cluster_key)
+    # deterministic jitter: every run of this pid produces the same
+    # backoff schedule (reproducible chaos runs), while distinct daemons
+    # de-synchronise instead of stampeding a restarted coordinator
+    jitter = random.Random(os.getpid())
+    reconnects = 0
+    failures = 0  # consecutive, for the backoff exponent
+    while True:
+        try:
+            verdict = _run_session(
+                host,
+                port,
+                tag=tag,
+                heartbeat_interval=heartbeat_interval,
+                connect_timeout=connect_timeout,
+                key=key,
+                log=log,
+            )
+            if verdict in (_LOST, _LOST_MIDTASK):
+                failures = 0  # the session was up; back off from scratch
+        except OSError as exc:
+            log(f"worker: cannot reach coordinator at {address}: {exc}")
+            verdict = None  # connect failure: retry only under reconnect
+        if verdict == _DISMISSED:
+            return 0
+        if verdict == _REFUSED:
+            return 1
+        if not reconnect:
+            # historical semantics: a vanished coordinator after a
+            # completed session is a clean end; mid-task loss is not
+            return 0 if verdict == _LOST else 1
+        reconnects += 1
+        failures += 1
+        if max_reconnects is not None and reconnects > max_reconnects:
+            log(f"worker: reconnect budget ({max_reconnects}) exhausted")
+            return 1
+        delay = min(
+            reconnect_max_backoff, reconnect_backoff * (2.0 ** (failures - 1))
+        )
+        delay *= 0.5 + 0.5 * jitter.random()
+        log(
+            f"worker: reconnecting to {address} in {delay:.1f}s "
+            f"(attempt {reconnects})"
+        )
+        time.sleep(delay)

@@ -130,6 +130,21 @@ def load_experiment_json(path: str | Path) -> ExperimentResult:
     return experiment_from_dict(json.loads(Path(path).read_text()))
 
 
+def _journal_engine(path: Path) -> Optional[int]:
+    """The engine version a checkpoint journal's header records, or
+    ``None`` if there is no readable header (empty/foreign file)."""
+    try:
+        with path.open("rb") as fh:
+            first = fh.readline(65_536)
+        record = json.loads(first)
+        if isinstance(record, dict) and record.get("kind") == "header":
+            engine = record.get("engine")
+            return engine if isinstance(engine, int) else None
+    except (OSError, ValueError):
+        pass
+    return None
+
+
 class ResultCache:
     """Disk-backed task-result cache: ``<root>/<task_key>.json``.
 
@@ -208,7 +223,9 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cached entry (including tmp files orphaned by a
-        crashed writer); returns the number of entries removed."""
+        crashed writer); returns the number of entries removed.  Journal
+        files are left alone -- they belong to runs, not the cache; evict
+        them by age with :meth:`prune`."""
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.json"):
@@ -217,6 +234,18 @@ class ResultCache:
             for orphan in self.root.glob("*.tmp"):
                 orphan.unlink()
         return removed
+
+    def _journal_files(self):
+        """Checkpoint journals the cache tree knows about: ``*.jsonl``
+        in the root and under ``<root>/journals/`` (the conventional
+        home for ``--journal`` files that should ride the cache's
+        eviction policy)."""
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("*.jsonl")
+        journals = self.root / "journals"
+        if journals.is_dir():
+            yield from journals.glob("*.jsonl")
 
     #: a tmp file this old is certainly a crashed writer's, not a live one
     TMP_GRACE_SECONDS = 3_600.0
@@ -240,15 +269,24 @@ class ResultCache:
         live writer's tmp between its write and its atomic rename.
         Current-engine entries younger than ``max_age`` always survive.
 
+        Checkpoint journals (``*.jsonl`` in the root or under
+        ``<root>/journals/``) are evicted by the same rules -- older
+        than ``max_age``, or written by a non-current engine version
+        (their header records it) -- and counted as
+        ``removed_journals``.  A journal with no age limit and a
+        current-engine header always survives: it may be the resume
+        point of a crashed run.
+
         Returns a breakdown: ``removed`` (total) plus
         ``removed_stale_engine`` / ``removed_old`` / ``removed_corrupt``
-        / ``removed_tmp`` and ``kept``.
+        / ``removed_tmp`` / ``removed_journals`` and ``kept``.
         """
         counts = {
             "removed_stale_engine": 0,
             "removed_old": 0,
             "removed_corrupt": 0,
             "removed_tmp": 0,
+            "removed_journals": 0,
             "kept": 0,
         }
         now = time.time()
@@ -284,11 +322,29 @@ class ResultCache:
                     counts["removed_tmp"] += 1
                 except OSError:
                     pass
+            for journal in self._journal_files():
+                try:
+                    age = now - journal.stat().st_mtime
+                    engine = _journal_engine(journal)
+                except OSError:
+                    continue
+                evict = (keep_engine and engine is not None
+                         and engine != ENGINE_VERSION)
+                evict = evict or (max_age is not None and age > max_age)
+                if not evict:
+                    counts["kept"] += 1
+                    continue
+                try:
+                    journal.unlink()
+                    counts["removed_journals"] += 1
+                except OSError:
+                    counts["kept"] += 1
         counts["removed"] = (
             counts["removed_stale_engine"]
             + counts["removed_old"]
             + counts["removed_corrupt"]
             + counts["removed_tmp"]
+            + counts["removed_journals"]
         )
         return counts
 
@@ -296,7 +352,8 @@ class ResultCache:
         """Scan the cache directory: entry/byte totals, a per-engine-
         version entry count (``None`` keys: unreadable entries), a
         per-kernel provenance count (``"unstamped"``: entries written
-        before kernel stamping), and the number of orphaned tmp files."""
+        before kernel stamping), the number of orphaned tmp files, and
+        any checkpoint journals living in the tree (count + bytes)."""
         entries = 0
         total_bytes = 0
         by_engine: dict[Optional[int], int] = {}
@@ -323,10 +380,20 @@ class ResultCache:
                     kernel = "unstamped"
                 by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
             orphaned_tmp = sum(1 for _ in self.root.glob("*.tmp"))
+        journals = 0
+        journal_bytes = 0
+        for journal in self._journal_files():
+            try:
+                journal_bytes += journal.stat().st_size
+                journals += 1
+            except OSError:
+                pass
         return {
             "root": str(self.root),
             "entries": entries,
             "total_bytes": total_bytes,
+            "journals": journals,
+            "journal_bytes": journal_bytes,
             "by_engine": by_engine,
             "by_kernel": by_kernel,
             "current_engine": ENGINE_VERSION,

@@ -121,21 +121,43 @@ class ParallelExecutor(Executor):
 _EXHAUSTED = object()
 
 
-def make_executor(jobs: int, *, workers: Optional[str] = None) -> Executor:
+def make_executor(
+    jobs: int,
+    *,
+    workers: Optional[str] = None,
+    heartbeat_timeout: Optional[float] = None,
+    task_timeout: Optional[float] = None,
+    max_task_retries: Optional[int] = None,
+    cluster_key: Optional[str] = None,
+    journal: Optional[str] = None,
+) -> Executor:
     """``jobs <= 1`` -> serial, else a ``jobs``-worker process pool.
 
     ``workers="tcp://host:port"`` selects the distributed executor
     instead: the returned executor binds that endpoint as the
     coordinator and farms items out to ``python -m repro worker``
     daemons that dial in (``jobs`` is ignored -- cluster width is
-    however many daemons register).  Call ``close()`` on the returned
-    executor when done; for the in-process executors it is a no-op.
+    however many daemons register).  The remaining keyword arguments
+    tune the distributed fault surface (per-task deadline, quarantine
+    retry budget, HMAC cluster key, checkpoint journal path) and apply
+    only with ``workers``.  Call ``close()`` on the returned executor
+    when done; for the in-process executors it is a no-op.
     """
     if workers:
         # local import: repro.distributed depends on this module
         from repro.distributed.executor import DistributedExecutor
+        from repro.distributed.protocol import resolve_cluster_key
 
-        return DistributedExecutor(bind=workers)
+        kwargs: dict = {
+            "task_timeout": task_timeout,
+            "cluster_key": resolve_cluster_key(cluster_key),
+            "journal": journal,
+        }
+        if heartbeat_timeout is not None:
+            kwargs["heartbeat_timeout"] = heartbeat_timeout
+        if max_task_retries is not None:
+            kwargs["max_task_retries"] = max_task_retries
+        return DistributedExecutor(bind=workers, **kwargs)
     return SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs=jobs)
 
 

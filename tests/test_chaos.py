@@ -1,0 +1,417 @@
+"""Fault-injection tests: the substrate's tolerance claims under fire.
+
+Everything here drives *injected* faults through the real deployment
+shape -- worker subprocesses, TCP sockets, an in-test coordinator --
+and asserts the contract that matters: the surviving run's results are
+bitwise identical to an undisturbed serial run.  The fault matrix:
+
+* frames corrupted in transit by a :class:`~repro.distributed.chaos.
+  ChaosProxy` (HMAC-signed frames refuse them; reconnecting workers
+  recover);
+* the coordinator killed mid-run and restarted, twice, with one
+  ``--reconnect`` worker serving every incarnation;
+* the coordinator killed mid-*grid* (SIGKILL on the whole process) and
+  resumed from its checkpoint journal via ``--resume``;
+* a poison task that kills every worker it touches, quarantined while
+  the rest of the grid completes;
+* torn journal tails, journal engine-version vetting, duplicate
+  completions.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.distributed import (
+    DistributedExecutor,
+    PoisonTaskError,
+    RunJournal,
+    journal_key,
+)
+from repro.distributed.chaos import ChaosConfig, ChaosProxy, diff_series
+from repro.orchestration import run_tasks
+from repro.orchestration.tasks import execute_task
+from repro.sim.engine import ENGINE_VERSION
+
+from test_distributed import small_task, spawn_worker, worker_env
+
+CLUSTER_KEY = "chaos-test-key"
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+# top-level task functions: workers unpickle them by module reference
+def _square(x):
+    return x * x
+
+
+def _die_if_poison(item):
+    if item == "poison":
+        os._exit(13)  # kill the whole worker process, no cleanup
+    return item
+
+
+def _drain(procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+class TestChaosProxyUnit:
+    def test_faithful_passthrough_is_bitwise_identical(self):
+        tasks = [small_task(seed) for seed in (21, 22)]
+        serial = run_tasks(tasks)
+        with DistributedExecutor(
+            "tcp://127.0.0.1:0", heartbeat_timeout=5.0, worker_grace=10.0
+        ) as ex:
+            with ChaosProxy(ex.address) as proxy:
+                procs = [spawn_worker(proxy.address)]
+                try:
+                    results = dict(ex.imap_unordered(execute_task, tasks))
+                finally:
+                    ex.close()
+                    _drain(procs)
+                assert proxy.stats.frames_forwarded > 0
+                assert proxy.stats.frames_corrupted == 0
+        for i, reference in enumerate(serial):
+            assert results[i].payload_equal(reference)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            ChaosConfig(drop_rate=1.5)
+
+    def test_unreachable_upstream_refuses_clients(self):
+        dead_port = _free_port()
+        with ChaosProxy(f"tcp://127.0.0.1:{dead_port}") as proxy:
+            host, port = proxy.address.replace("tcp://", "").rsplit(":", 1)
+            client = socket.create_connection((host, int(port)), timeout=5.0)
+            try:
+                client.settimeout(5.0)
+                assert client.recv(1) == b""  # closed, like a dead coordinator
+            finally:
+                client.close()
+
+    def test_truncation_schedule_cuts_connections(self):
+        # the retry budget is sized for fault-free dispatches failing
+        # only on poison tasks; under a 20% truncation schedule a healthy
+        # task can legitimately lose several dispatches, so widen it
+        with DistributedExecutor(
+            "tcp://127.0.0.1:0", heartbeat_timeout=3.0, worker_grace=15.0,
+            max_task_retries=20,
+        ) as ex:
+            proxy = ChaosProxy(
+                ex.address, config=ChaosConfig(seed=5, truncate_rate=0.2)
+            )
+            procs = [spawn_worker(proxy.address, "--reconnect")]
+            try:
+                results = dict(ex.imap_unordered(_square, range(10)))
+            finally:
+                ex.close()
+                proxy.close()
+                _drain(procs)
+        assert results == {i: i * i for i in range(10)}
+
+
+class TestCorruptionRecovery:
+    def test_signed_run_survives_frame_corruption(self, monkeypatch):
+        """1-in-7 frames corrupted: HMAC refuses each one before
+        unpickling, sessions break, reconnecting workers redial, and
+        the final result set is exactly the uncorrupted one."""
+        monkeypatch.setenv("REPRO_CLUSTER_KEY", CLUSTER_KEY)
+        ex = DistributedExecutor(
+            "tcp://127.0.0.1:0",
+            heartbeat_timeout=4.0,
+            worker_grace=30.0,
+            cluster_key=CLUSTER_KEY.encode(),
+            max_task_retries=10,
+        )
+        ex.start()
+        proxy = ChaosProxy(
+            ex.address, config=ChaosConfig(seed=11, corrupt_rate=0.15)
+        )
+        procs = [
+            spawn_worker(proxy.address, "--reconnect", "--connect-timeout", "60")
+            for _ in range(2)
+        ]
+        try:
+            results = dict(ex.imap_unordered(_square, range(30)))
+            refused = ex._coordinator.frames_refused
+        finally:
+            ex.close()
+            proxy.close()
+            _drain(procs)
+        assert results == {i: i * i for i in range(30)}
+        # the schedule is seeded, so corruption provably happened
+        assert proxy.stats.frames_corrupted > 0
+        assert refused + proxy.stats.frames_corrupted > 0
+
+
+class TestWorkerReconnect:
+    def test_worker_survives_two_coordinator_crashes(self):
+        """One ``--reconnect`` worker serves three coordinator
+        incarnations on the same port; each incarnation's run completes
+        and the final dismissal exits the worker cleanly with code 0."""
+        port = _free_port()
+        bind = f"tcp://127.0.0.1:{port}"
+        proc = spawn_worker(bind, "--reconnect")
+        try:
+            for generation in range(3):
+                ex = DistributedExecutor(
+                    bind, heartbeat_timeout=4.0, start_timeout=30.0
+                )
+                items = list(range(4 * generation, 4 * generation + 4))
+                results = dict(ex.imap_unordered(_square, items))
+                assert results == {i: item * item for i, item in enumerate(items)}
+                if generation < 2:
+                    # crash: connections dropped with no dismissal frame
+                    ex._coordinator.abort()
+                else:
+                    ex.close()  # polite shutdown: worker should exit 0
+            out, _ = proc.communicate(timeout=20)
+        finally:
+            _drain([proc])
+        assert proc.returncode == 0
+        assert out.count("registered") == 3
+        assert "reconnecting" in out
+        assert "dismissed" in out
+
+
+class TestJournal:
+    def test_record_lookup_and_dedup(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"answer": 42})
+        journal.record("k1", {"answer": 42})  # straggler duplicate
+        journal.record("k2", [1, 2])
+        assert journal.records == 2
+        assert journal.lookup("k1") == {"answer": 42}
+        assert RunJournal.is_miss(journal.lookup("missing"))
+        journal.close()
+        # a fresh open resumes: completed entries servable immediately
+        resumed = RunJournal(path)
+        assert resumed.resumed
+        assert len(resumed) == 2
+        assert resumed.lookup("k2") == [1, 2]
+        resumed.close()
+
+    def test_torn_tail_is_truncated_and_appends_continue(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", "one")
+        journal.record("k2", "two")
+        journal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"kind": "done", "key": "k3", "res')
+        resumed = RunJournal(path)
+        assert len(resumed) == 2  # the torn record is gone ...
+        assert path.read_bytes() == intact  # ... from the file too
+        resumed.record("k3", "three")  # and appending works again
+        resumed.close()
+        assert len(RunJournal(path)) == 3
+
+    def test_engine_version_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        header = {
+            "kind": "header",
+            "format": 1,
+            "engine": ENGINE_VERSION + 1,
+            "created_unix": 0,
+            "pid": 1,
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="engine version"):
+            RunJournal(path)
+
+    def test_records_without_header_are_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "done", "key": "k", "result": "gA=="}\n')
+        with pytest.raises(ValueError, match="no header"):
+            RunJournal(path)
+
+    def test_journal_key_uses_task_key_when_available(self):
+        task = small_task(31)
+        assert journal_key(task) == task.task_key()
+        assert journal_key(("plain", "tuple")) != journal_key(("other", "tuple"))
+        assert journal_key(("plain", "tuple")) == journal_key(("plain", "tuple"))
+
+
+class TestJournalResume:
+    def test_resumed_run_serves_journal_hits_without_recompute(self, tmp_path):
+        """First incarnation journals 4 of 8 items; the resumed one
+        re-dispatches only the other 4 and is bitwise identical."""
+        path = tmp_path / "run.jsonl"
+        items = list(range(8))
+        ex1 = DistributedExecutor(
+            "tcp://127.0.0.1:0", heartbeat_timeout=5.0, journal=path
+        )
+        ex1.start()
+        procs = [spawn_worker(ex1.address)]
+        try:
+            first = dict(ex1.imap_unordered(_square, items[:4]))
+        finally:
+            ex1._coordinator.abort()  # crash, not a polite close
+            ex1.journal.close()
+            _drain(procs)
+        assert first == {i: i * i for i in range(4)}
+
+        ex2 = DistributedExecutor(
+            "tcp://127.0.0.1:0", heartbeat_timeout=5.0, journal=path
+        )
+        ex2.start()
+        assert ex2.journal.resumed and len(ex2.journal) == 4
+        procs = [spawn_worker(ex2.address)]
+        try:
+            results = dict(ex2.imap_unordered(_square, items))
+        finally:
+            ex2.close()
+            _drain(procs)
+        assert results == {i: i * i for i in items}
+        assert ex2.journal.hits == 4  # the journaled half never re-ran
+
+    def test_all_journal_hits_need_no_workers(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        for i in range(5):
+            journal.record(journal_key(i), i * i)
+        journal.close()
+        ex = DistributedExecutor(
+            "tcp://127.0.0.1:0", start_timeout=0.5, journal=path
+        )
+        try:
+            results = dict(ex.imap_unordered(_square, range(5)))
+        finally:
+            ex.close()
+        assert results == {i: i * i for i in range(5)}
+
+
+class TestPoisonQuarantine:
+    def test_poison_task_is_quarantined_and_rest_completes(self):
+        """A task that SIGKILLs every worker it touches is withdrawn
+        after the retry budget; every healthy item still completes."""
+        ex = DistributedExecutor(
+            "tcp://127.0.0.1:0",
+            min_workers=2,
+            heartbeat_timeout=3.0,
+            worker_grace=60.0,
+            max_task_retries=2,
+        )
+        ex.start()
+        items = ["a", "b", "poison", "c", "d", "e", "f", "g"]
+        # the poison task costs one worker per dispatch and is allowed
+        # three dispatches, so a fleet of four leaves one survivor to
+        # finish the healthy items
+        procs = [
+            spawn_worker(ex.address, "--connect-timeout", "60")
+            for _ in range(4)
+        ]
+        results = {}
+        try:
+            with pytest.raises(PoisonTaskError) as excinfo:
+                for i, value in ex.imap_unordered(_die_if_poison, items):
+                    results[i] = value
+        finally:
+            ex.close()
+            _drain(procs)
+        healthy = {i: item for i, item in enumerate(items) if item != "poison"}
+        assert results == healthy  # every non-poison item was yielded
+        [quarantined] = excinfo.value.quarantined
+        assert quarantined.index == items.index("poison")
+        assert quarantined.item == "poison"
+        assert "quarantined" in quarantined.error
+        assert ex.quarantined == [quarantined]
+
+
+class TestCoordinatorCrashResume:
+    def test_sigkilled_grid_resumes_bitwise_identical(self, tmp_path):
+        """The headline drill: a real ``repro grid`` process is
+        SIGKILLed mid-run, restarted with ``--resume``, and the saved
+        series is bitwise identical to an undisturbed serial run."""
+        env = worker_env()
+        env["REPRO_CLUSTER_KEY"] = CLUSTER_KEY
+        serial_out = tmp_path / "serial"
+        chaos_out = tmp_path / "resumed"
+        journal = tmp_path / "grid.jsonl"
+
+        def grid_argv(out_dir, *extra):
+            return [
+                sys.executable, "-m", "repro", "grid",
+                "--limit", "1", "--points", "3", "--samples", "120",
+                "--no-cache", "--save-dir", str(out_dir), *extra,
+            ]
+
+        subprocess.run(
+            grid_argv(serial_out), env=env, check=True,
+            stdout=subprocess.PIPE, timeout=300,
+        )
+
+        port = _free_port()
+        bind = f"tcp://127.0.0.1:{port}"
+        # spawned by hand, not spawn_worker: the worker must inherit the
+        # cluster key or the signed coordinator will refuse it
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker", bind,
+                    "--reconnect", "--heartbeat", "0.5",
+                    "--connect-timeout", "120",
+                ],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            )
+        ]
+        dist_flags = ("--workers", bind, "--heartbeat-timeout", "5")
+        try:
+            grid = subprocess.Popen(
+                grid_argv(chaos_out, *dist_flags, "--journal", str(journal)),
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            )
+            # SIGKILL as soon as at least one completion is durable
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                done = (
+                    journal.read_text().count('"done"')
+                    if journal.exists()
+                    else 0
+                )
+                if done >= 1:
+                    break
+                if grid.poll() is not None:
+                    pytest.fail(
+                        f"grid finished before it could be killed:\n"
+                        f"{grid.communicate()[0]}"
+                    )
+                time.sleep(0.2)
+            else:
+                pytest.fail("no journal entry appeared in time")
+            grid.send_signal(signal.SIGKILL)
+            grid.wait()
+
+            resumed = subprocess.run(
+                grid_argv(chaos_out, *dist_flags, "--resume", str(journal)),
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, timeout=300,
+            )
+            assert resumed.returncode == 0, resumed.stdout
+            assert "resuming from journal" in resumed.stdout
+        finally:
+            _drain(workers)
+        assert diff_series(serial_out, chaos_out) == []

@@ -357,6 +357,42 @@ class TestFailureModes:
         assert any("cannot reach coordinator" in line for line in lines)
 
 
+def _wedge_once(item):
+    """First dispatch wedges (sleeps far past any deadline); every
+    later dispatch -- the latch file exists by then -- returns at once."""
+    latch, value = item
+    latch_path = Path(latch)
+    if not latch_path.exists():
+        latch_path.write_text("wedged")
+        time.sleep(8.0)
+    return value
+
+
+class TestFaultTolerance:
+    def test_task_deadline_cuts_wedged_worker_loose(self, executor, tmp_path):
+        """With ``task_timeout`` set, a worker that keeps heartbeating
+        but never finishes is deregistered at the deadline and its task
+        re-queued -- heartbeats prove liveness, not progress."""
+        executor.task_timeout = 2.0
+        executor.min_workers = 2
+        executor.add_workers(2)
+        items = [(str(tmp_path / "latch"), 7)]
+        results = dict(executor.imap_unordered(_wedge_once, items))
+        assert results == {0: 7}
+        assert executor._coordinator.tasks_requeued >= 1
+        assert executor.workers_alive() == 1  # the wedged one was cut loose
+
+    def test_idle_worker_survives_past_heartbeat_timeout(self, executor):
+        """An idle worker bounds its recv by the negotiated heartbeat
+        timeout; the coordinator's keepalives must hold the session up
+        through a work drought longer than that window."""
+        executor.add_workers(1)
+        assert executor._coordinator.wait_for_workers(1, 30.0)
+        time.sleep(7.0)  # > heartbeat_timeout=5: only keepalives span it
+        assert executor.workers_alive() == 1
+        assert dict(executor.imap_unordered(_slow_echo, [5])) == {0: 5}
+
+
 class TestWorkerDaemonLifecycle:
     def test_clean_dismissal_exits_zero_with_task_tally(self, executor):
         [proc] = executor.add_workers(1)

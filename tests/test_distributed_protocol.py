@@ -17,9 +17,12 @@ import threading
 import pytest
 
 from repro.distributed.protocol import (
+    CLUSTER_KEY_ENV,
     MAGIC,
     MAX_FRAME,
+    SIGNED_MAGIC,
     ConnectionClosed,
+    FrameSigner,
     Heartbeat,
     Hello,
     ProtocolError,
@@ -29,6 +32,7 @@ from repro.distributed.protocol import (
     format_address,
     parse_address,
     recv_msg,
+    resolve_cluster_key,
     send_msg,
 )
 
@@ -162,6 +166,131 @@ class TestMalformedStreams:
         finally:
             a.close()
             b.close()
+
+
+class TestSignedFrames:
+    """HMAC-authenticated framing: every hostile byte stream must be
+    refused *before* any payload is unpickled."""
+
+    KEY = b"test-cluster-key"
+
+    def signed_roundtrip(self, obj, *, send_key=KEY, recv_key=KEY):
+        a, b = socket.socketpair()
+        try:
+            sender = FrameSigner(send_key) if send_key else None
+            receiver = FrameSigner(recv_key) if recv_key else None
+            error = []
+
+            def write():
+                try:
+                    send_msg(a, obj, sender)
+                except Exception as exc:
+                    error.append(exc)
+
+            t = threading.Thread(target=write)
+            t.start()
+            try:
+                return recv_msg(b, receiver)
+            finally:
+                t.join()
+                if error:
+                    raise error[0]
+        finally:
+            a.close()
+            b.close()
+
+    def feed(self, raw: bytes, *, key=KEY):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(raw)
+            a.close()
+            return recv_msg(b, FrameSigner(key) if key else None)
+        finally:
+            b.close()
+
+    def test_signed_roundtrip_exact(self):
+        msg = ResultMessage(seq=3, ok=True, value={"deep": (1, 2.5)})
+        assert self.signed_roundtrip(msg) == msg
+
+    def test_sequence_advances_across_frames(self):
+        a, b = socket.socketpair()
+        try:
+            sender, receiver = FrameSigner(self.KEY), FrameSigner(self.KEY)
+            for i in range(5):
+                send_msg(a, i, sender)
+            assert [recv_msg(b, receiver) for _ in range(5)] == list(range(5))
+            assert sender.send_seq == receiver.recv_seq == 5
+        finally:
+            a.close()
+            b.close()
+
+    def test_unsigned_frame_refused_by_keyed_endpoint(self):
+        with pytest.raises(ProtocolError, match="unsigned frame refused"):
+            self.signed_roundtrip(Heartbeat(), send_key=None)
+
+    def test_signed_frame_refused_by_keyless_endpoint(self):
+        with pytest.raises(ProtocolError, match="no cluster key"):
+            self.signed_roundtrip(Heartbeat(), recv_key=None)
+
+    def test_wrong_key_refused(self):
+        with pytest.raises(ProtocolError, match="signature mismatch"):
+            self.signed_roundtrip(Heartbeat(), recv_key=b"a different key")
+
+    def test_corrupted_byte_refused_before_unpickling(self):
+        # a payload that would EXPLODE if unpickled proves verification
+        # happens first: corrupt one byte so the tag cannot match
+        frame = bytearray(FrameSigner(self.KEY).frame(b"arbitrary payload"))
+        frame[-1] ^= 0x01
+        with pytest.raises(ProtocolError, match="signature mismatch"):
+            self.feed(bytes(frame))
+
+    def test_replayed_frame_refused(self):
+        sender = FrameSigner(self.KEY)
+        frame = sender.frame(
+            __import__("pickle").dumps(Heartbeat(worker_id="w1"))
+        )
+        a, b = socket.socketpair()
+        try:
+            receiver = FrameSigner(self.KEY)
+            a.sendall(frame + frame)  # the same signed frame twice
+            assert recv_msg(b, receiver) == Heartbeat(worker_id="w1")
+            with pytest.raises(ProtocolError, match="replayed or reordered"):
+                recv_msg(b, receiver)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_signed_frame(self):
+        frame = FrameSigner(self.KEY).frame(b"x" * 64)
+        with pytest.raises(ConnectionClosed):
+            self.feed(frame[: len(frame) - 10])
+
+    def test_oversized_signed_length_rejected_before_allocation(self):
+        raw = SIGNED_MAGIC + struct.pack("!I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            self.feed(raw)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FrameSigner(b"")
+
+
+class TestClusterKeyResolution:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_KEY_ENV, "from-env")
+        assert resolve_cluster_key("explicit") == b"explicit"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_KEY_ENV, "from-env")
+        assert resolve_cluster_key(None) == b"from-env"
+
+    def test_unset_means_unsigned(self, monkeypatch):
+        monkeypatch.delenv(CLUSTER_KEY_ENV, raising=False)
+        assert resolve_cluster_key(None) is None
+
+    def test_empty_string_means_unsigned(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_KEY_ENV, "")
+        assert resolve_cluster_key(None) is None
 
 
 class TestAddresses:
