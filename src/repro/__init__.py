@@ -14,7 +14,10 @@ Public API overview
 * :mod:`repro.experiments` -- the Figure 6/7 reproduction harness,
 * :mod:`repro.orchestration` -- picklable sim tasks + executors,
 * :mod:`repro.distributed` -- TCP coordinator/worker execution across
-  hosts (``python -m repro worker``, ``--workers tcp://...``).
+  hosts (``python -m repro worker``, ``--workers tcp://...``),
+* :mod:`repro.traffic` -- pluggable injection processes (Poisson, CBR,
+  ON/OFF bursts, hotspot skew, trace replay) and the declarative
+  scenario registry (``python -m repro scenario ...``).
 
 Quickstart::
 
@@ -31,6 +34,7 @@ from repro.core import AnalyticalModel, ModelResult, TrafficSpec
 from repro.routing import QuarcRouting, SpidergonRouting
 from repro.sim import NocSimulator, SimConfig, SimResult
 from repro.topology import QuarcTopology, SpidergonTopology
+from repro.traffic import SourceSpec
 
 __version__ = "1.0.0"
 
@@ -38,6 +42,7 @@ __all__ = [
     "AnalyticalModel",
     "ModelResult",
     "TrafficSpec",
+    "SourceSpec",
     "NocSimulator",
     "SimConfig",
     "SimResult",

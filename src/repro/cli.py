@@ -18,6 +18,13 @@ Commands
     Inspect (``cache info``), selectively evict (``cache prune``) or
     empty (``cache clear``) the simulation result cache, including
     entries stranded by an older engine version.
+``scenario``
+    Traffic scenarios: ``scenario list`` the registry, ``scenario
+    describe NAME`` one spec as JSON, ``scenario run NAME...`` the
+    model-vs-sim divergence study under non-Poisson injection (CBR,
+    ON/OFF bursts, hotspots, trace replay) through the same
+    executor/cache stack as ``sweep``/``grid``, and ``scenario record``
+    a replayable arrival trace.
 ``worker``
     Run a task-execution daemon that serves a remote coordinator
     (``repro worker tcp://host:port``); ``--reconnect`` makes it
@@ -224,6 +231,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--no-sim", action="store_true", help="model series only")
     p_grid.add_argument("--save-dir", type=str, default=None, metavar="DIR",
                         help="save each panel's series as JSON under DIR")
+
+    p_scen = sub.add_parser(
+        "scenario",
+        help="traffic scenarios: list/describe the registry, run the "
+             "model-vs-sim divergence study, record arrival traces",
+    )
+    p_scen.add_argument(
+        "verb", choices=["list", "describe", "run", "record"],
+        help="list: registry table; describe: one scenario as JSON; "
+             "run: simulate scenario sweeps and score model divergence; "
+             "record: capture one run's arrivals as a replayable trace",
+    )
+    p_scen.add_argument(
+        "names", nargs="*", metavar="SCENARIO",
+        help="registered scenario names or paths to scenario JSON files "
+             "(run: default = every registered scenario)",
+    )
+    orchestration(p_scen)
+    adaptive_args(p_scen)
+    p_scen.add_argument("--samples", type=int, default=600,
+                        help="unicast latency samples per point")
+    p_scen.add_argument("--seed", type=int, default=None,
+                        help="override each scenario's baked-in seed")
+    p_scen.add_argument("--points", type=int, default=None, metavar="K",
+                        help="re-grid each scenario to K load fractions "
+                             "spread up to 0.8 of saturation")
+    p_scen.add_argument("--arrival-mode", choices=["legacy", "vectorized"],
+                        default="legacy",
+                        help="arrival generation (Poisson sources only; "
+                             "non-Poisson sources require 'legacy')")
+    p_scen.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                        help="divergence verdict threshold (%% mean "
+                             "unicast error, occupancy recursion)")
+    p_scen.add_argument("--save-dir", type=str, default=None, metavar="DIR",
+                        help="run: save each scenario's sweep as JSON "
+                             "under DIR")
+    p_scen.add_argument("--rate", type=float, default=None,
+                        help="record: injection rate (msgs/node/cycle) "
+                             "of the captured run")
+    p_scen.add_argument("--out", type=str, default=None, metavar="PATH",
+                        help="record: trace file to write")
 
     p_hops = sub.add_parser("hops", help="broadcast hop table (T-hops)")
     p_hops.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
@@ -606,6 +654,113 @@ def cmd_grid(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    import dataclasses
+
+    from repro.experiments.compare import render_divergence_summary
+    from repro.experiments.report import render_scenario_series
+    from repro.traffic.scenarios import (
+        SCENARIOS,
+        record_trace,
+        resolve_scenario,
+        run_scenario,
+        save_scenario_json,
+    )
+
+    if args.verb == "list":
+        print(f"{'name':18s} {'source':16s} {'network':12s} "
+              f"{'alpha':>6s}  {'key':32s}")
+        for name in sorted(SCENARIOS):
+            s = SCENARIOS[name]
+            net = f"{s.network}{tuple(s.network_args)!r}"
+            print(f"{name:18s} {s.source.label:16s} {net:12s} "
+                  f"{s.multicast_fraction:6.0%}  {s.scenario_key()}")
+        return 0
+
+    if not args.names:
+        if args.verb != "run":
+            args._parser.error(f"scenario {args.verb}: name a scenario")
+        args.names = sorted(SCENARIOS)
+
+    try:
+        scenarios = [resolve_scenario(name) for name in args.names]
+    except ValueError as exc:
+        args._parser.error(str(exc))
+
+    def adjust(s):
+        if args.seed is not None:
+            s = dataclasses.replace(s, seed=args.seed)
+        if args.points is not None:
+            fractions = tuple(
+                (k + 1) * 0.8 / args.points for k in range(args.points)
+            )
+            s = dataclasses.replace(s, load_fractions=fractions, rates=())
+        return s
+
+    scenarios = [adjust(s) for s in scenarios]
+
+    if args.verb == "describe":
+        for s in scenarios:
+            print(s.to_json())
+        return 0
+
+    if args.verb == "record":
+        if len(scenarios) != 1 or args.rate is None or args.out is None:
+            args._parser.error(
+                "scenario record: exactly one scenario plus --rate R --out PATH"
+            )
+        spec = record_trace(
+            scenarios[0], args.rate, args.out, samples=args.samples
+        )
+        print(f"recorded trace: {args.out} (digest {spec.trace_digest})")
+        print("replay with a scenario JSON whose source is:")
+        import json as _json
+
+        print(_json.dumps(spec.as_dict(), indent=2))
+        return 0
+
+    # run
+    adaptive = _adaptive(args)
+    cache = _cache(args)
+    lanes = f"workers={args.workers}" if args.workers else f"jobs={args.jobs}"
+    print(f"== traffic scenarios: {len(scenarios)} sweep(s), {lanes}, "
+          f"cache={'off' if cache is None else args.cache_dir} ==")
+    t0 = time.perf_counter()
+    executor = _executor(args)
+    results = []
+    try:
+        for s in scenarios:
+            results.append(
+                run_scenario(
+                    s,
+                    samples=args.samples,
+                    executor=executor,
+                    cache=cache,
+                    adaptive=adaptive,
+                    arrival_mode=args.arrival_mode,
+                )
+            )
+    finally:
+        executor.close()  # dismisses remote workers; no-op in-process
+    elapsed = time.perf_counter() - t0
+    for res in results:
+        print(render_scenario_series(res))
+        print()
+    print(render_divergence_summary(results, threshold=args.threshold))
+    print(f"elapsed: {elapsed:.1f}s ({lanes})")
+    if cache is not None:
+        print(_render_cache_line(cache))
+    if args.save_dir:
+        from pathlib import Path
+
+        out = Path(args.save_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for res in results:
+            save_scenario_json(res, out / f"{res.scenario.name}.json")
+        print(f"saved {len(results)} scenario sweeps under {out}")
+    return 0
+
+
 def _render_cache_line(cache: ResultCache) -> str:
     """The per-command cache summary line (hits/misses/stale)."""
     line = f"cache: {cache.hits} hits, {cache.misses} misses"
@@ -676,6 +831,11 @@ def cmd_cache(args) -> int:
     # version are bit-identical, so a mixed cache is never a problem
     for kernel, count in sorted(info["by_kernel"].items()):
         print(f"  kernel {kernel:18s}: {count} entries")
+    # likewise provenance: which injection process produced each entry
+    # ("unstamped" = entries predating the traffic-source subsystem,
+    # which are all Poisson by construction)
+    for source, count in sorted(info["by_source"].items()):
+        print(f"  source {source:18s}: {count} entries")
     if info["journals"]:
         print(f"journals       : {info['journals']} checkpoint journal(s), "
               f"{info['journal_bytes'] / 1024:.1f} KiB "
@@ -756,6 +916,7 @@ COMMANDS = {
     "grid": cmd_grid,
     "hops": cmd_hops,
     "saturation": cmd_saturation,
+    "scenario": cmd_scenario,
     "explain": cmd_explain,
     "cache": cmd_cache,
     "kernels": cmd_kernels,

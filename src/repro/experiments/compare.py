@@ -35,6 +35,9 @@ __all__ = [
     "GridPanel",
     "run_grid",
     "render_grid_summary",
+    "DivergencePanel",
+    "divergence_panels",
+    "render_divergence_summary",
 ]
 
 
@@ -239,6 +242,104 @@ def run_grid(
         panel.occupancy = agreement_metrics(panel.result, "occupancy")
         panel.paper = agreement_metrics(panel.result, "paper")
     return panels
+
+
+# ---------------------------------------------------------------------- #
+# traffic-scenario divergence study
+
+
+@dataclass
+class DivergencePanel:
+    """One traffic scenario scored against both model recursions.
+
+    ``result`` is a :class:`repro.traffic.scenarios.ScenarioResult`
+    (duck-typed here: :func:`agreement_metrics` only needs
+    ``finite_points()``, so scenario sweeps reuse the scoring machinery
+    the paper panels use).  ``bias`` resolves the *sign* of the
+    disagreement that MAPE hides: positive means the occupancy model
+    over-predicts latency (CBR's sub-Poisson variance), negative means
+    it under-predicts (bursty super-Poisson load) -- the direction is
+    the physics of the divergence, not just its size.
+    """
+
+    result: object  #: ScenarioResult (duck-typed via finite_points())
+    occupancy: AgreementMetrics
+    paper: AgreementMetrics
+    #: mean signed (model_occ - sim)/sim over finite points (%)
+    bias: float
+
+    @property
+    def scenario(self):
+        return self.result.scenario
+
+    def verdict(self, threshold: float) -> str:
+        """"agrees" / "over-predicts" / "under-predicts" at
+        ``threshold`` percent mean error (occupancy recursion)."""
+        mape = self.occupancy.unicast_mape
+        if not math.isfinite(mape):
+            return "no data"
+        if mape <= threshold:
+            return "agrees"
+        return "over-predicts" if self.bias > 0.0 else "under-predicts"
+
+
+def divergence_panels(results: Sequence) -> list[DivergencePanel]:
+    """Score each scenario sweep against both model recursions."""
+    panels: list[DivergencePanel] = []
+    for result in results:
+        signed: list[float] = []
+        for p in result.finite_points():
+            if math.isfinite(p.model_occupancy_unicast) and p.sim_unicast > 0.0:
+                signed.append(
+                    (p.model_occupancy_unicast - p.sim_unicast)
+                    / p.sim_unicast
+                    * 100.0
+                )
+        panels.append(
+            DivergencePanel(
+                result=result,
+                occupancy=agreement_metrics(result, "occupancy"),
+                paper=agreement_metrics(result, "paper"),
+                bias=sum(signed) / len(signed) if signed else math.nan,
+            )
+        )
+    return panels
+
+
+def render_divergence_summary(
+    results: Sequence, *, threshold: float = 10.0
+) -> str:
+    """The divergence study's headline table: one row per scenario, the
+    M/G/1 model's error and its sign under each injection process.
+
+    The Poisson control row is the calibration: its error is the noise
+    floor of the comparison, and every non-Poisson row's excess over it
+    is attributable to the broken timing assumption alone (destination
+    skew is modelled, so hotspot rows isolate burstiness too).
+    """
+    panels = divergence_panels(results)
+    lines = [
+        f"{'scenario':18s} {'source':16s} {'sat.rate':>10s} {'pts':>4s} "
+        f"{'occ.uni':>7s} {'occ.mc':>7s} {'pap.uni':>7s} {'bias':>8s}  verdict"
+    ]
+    for panel in panels:
+        r = panel.result
+        occ, pap = panel.occupancy, panel.paper
+        bias = (
+            f"{panel.bias:+7.1f}%" if math.isfinite(panel.bias) else "      --"
+        )
+        lines.append(
+            f"{r.scenario.name:18s} {r.scenario.source.label:16s} "
+            f"{r.saturation_rate:10.6f} {occ.points_used:4d} "
+            f"{_fmt_pct(occ.unicast_mape)} {_fmt_pct(occ.multicast_mape)} "
+            f"{_fmt_pct(pap.unicast_mape)} {bias}  "
+            f"{panel.verdict(threshold)}"
+        )
+    lines.append(
+        f"(verdict threshold: {threshold:.0f}% mean unicast error, "
+        f"occupancy recursion)"
+    )
+    return "\n".join(lines)
 
 
 def _fmt_pct(x: float) -> str:

@@ -350,25 +350,29 @@ class ResultCache:
 
     def info(self) -> dict:
         """Scan the cache directory: entry/byte totals, a per-engine-
-        version entry count (``None`` keys: unreadable entries), a
-        per-kernel provenance count (``"unstamped"``: entries written
-        before kernel stamping), the number of orphaned tmp files, and
-        any checkpoint journals living in the tree (count + bytes)."""
+        version entry count (``None`` keys: unreadable entries),
+        per-kernel and per-traffic-source provenance counts
+        (``"unstamped"``: entries written before the respective stamp
+        existed), the number of orphaned tmp files, and any checkpoint
+        journals living in the tree (count + bytes)."""
         entries = 0
         total_bytes = 0
         by_engine: dict[Optional[int], int] = {}
         by_kernel: dict[str, int] = {}
+        by_source: dict[str, int] = {}
         orphaned_tmp = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.json"):
                 entries += 1
                 kernel = None
+                source = None
                 try:
                     total_bytes += entry.stat().st_size
                     data = json.loads(entry.read_text())
                     engine = data.get("engine") if isinstance(data, dict) else None
                     if isinstance(data, dict):
                         kernel = data.get("kernel")
+                        source = data.get("source")
                 except (OSError, ValueError):
                     engine = None
                 if isinstance(engine, (list, dict)):
@@ -379,6 +383,9 @@ class ResultCache:
                 if not isinstance(kernel, str) or not kernel:
                     kernel = "unstamped"
                 by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
+                if not isinstance(source, str) or not source:
+                    source = "unstamped"
+                by_source[source] = by_source.get(source, 0) + 1
             orphaned_tmp = sum(1 for _ in self.root.glob("*.tmp"))
         journals = 0
         journal_bytes = 0
@@ -396,6 +403,7 @@ class ResultCache:
             "journal_bytes": journal_bytes,
             "by_engine": by_engine,
             "by_kernel": by_kernel,
+            "by_source": by_source,
             "current_engine": ENGINE_VERSION,
             "stale_entries": sum(
                 count

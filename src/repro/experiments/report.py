@@ -12,7 +12,11 @@ from repro.routing.spidergon import SpidergonRouting
 from repro.topology.quarc import QuarcTopology
 from repro.topology.spidergon import SpidergonTopology
 
-__all__ = ["render_series", "render_broadcast_hops_table"]
+__all__ = [
+    "render_series",
+    "render_scenario_series",
+    "render_broadcast_hops_table",
+]
 
 
 def _fmt(x: float, width: int = 9) -> str:
@@ -21,6 +25,56 @@ def _fmt(x: float, width: int = 9) -> str:
     if math.isinf(x):
         return "sat".rjust(width)
     return f"{x:{width}.2f}"
+
+
+#: shared column header of the per-point latency table
+_POINT_HEADER = (
+    "      rate | mc model(6) mc model(occ)   mc sim(+-95%) |"
+    " uni model(6) uni(occ)   uni sim | dl sat"
+)
+
+
+def _point_rows(points) -> list[str]:
+    """The per-point latency table body shared by the paper panels and
+    the traffic-scenario series."""
+    return [
+        f"{p.rate:10.6f} |"
+        f" {_fmt(p.model_paper_multicast, 11)}{_fmt(p.model_occupancy_multicast, 12)} "
+        f"{_fmt(p.sim_multicast, 9)}+-{p.sim_multicast_ci95:5.1f} |"
+        f" {_fmt(p.model_paper_unicast, 11)}{_fmt(p.model_occupancy_unicast, 9)} "
+        f"{_fmt(p.sim_unicast, 9)} |"
+        f" {p.sim_deadlock_recoveries:3d} {'Y' if p.sim_saturated else 'n'}"
+        for p in points
+    ]
+
+
+def _adaptive_lines(points) -> list[str]:
+    if not any(p.sim_replications > 1 for p in points):
+        return []
+    reps = "/".join(str(p.sim_replications) for p in points)
+    halves = "/".join(
+        f"{p.sim_rel_halfwidth * 100:.1f}%"
+        if math.isfinite(p.sim_rel_halfwidth)
+        else "-"
+        for p in points
+    )
+    stops = "/".join(p.sim_stop_reason or "-" for p in points)
+    return [
+        f"   adaptive sampling: replications per point {reps}",
+        f"   achieved unicast rel. 95% half-width {halves} ({stops})",
+    ]
+
+
+def _agreement_lines(result) -> list[str]:
+    lines = []
+    for variant in ("paper", "occupancy"):
+        m = agreement_metrics(result, variant)
+        lines.append(
+            f"   agreement[{variant:9s}]: unicast MAPE {_fmt(m.unicast_mape, 6)}%"
+            f" (max {_fmt(m.unicast_max_ape, 6)}%), multicast MAPE {_fmt(m.multicast_mape, 6)}%"
+            f" (max {_fmt(m.multicast_max_ape, 6)}%) over {m.points_used} points"
+        )
+    return lines
 
 
 def render_series(result: ExperimentResult) -> str:
@@ -37,35 +91,52 @@ def render_series(result: ExperimentResult) -> str:
         + (f" rim={c.rim}" if c.rim else "")
         + f" group={c.group_size} ==",
         f"   model saturation rate (occupancy): {result.saturation_rate:.6f} msg/node/cycle",
-        "      rate | mc model(6) mc model(occ)   mc sim(+-95%) | uni model(6) uni(occ)   uni sim | dl sat",
+        _POINT_HEADER,
     ]
-    for p in result.points:
-        lines.append(
-            f"{p.rate:10.6f} |"
-            f" {_fmt(p.model_paper_multicast, 11)}{_fmt(p.model_occupancy_multicast, 12)} "
-            f"{_fmt(p.sim_multicast, 9)}+-{p.sim_multicast_ci95:5.1f} |"
-            f" {_fmt(p.model_paper_unicast, 11)}{_fmt(p.model_occupancy_unicast, 9)} "
-            f"{_fmt(p.sim_unicast, 9)} |"
-            f" {p.sim_deadlock_recoveries:3d} {'Y' if p.sim_saturated else 'n'}"
-        )
-    if any(p.sim_replications > 1 for p in result.points):
-        reps = "/".join(str(p.sim_replications) for p in result.points)
-        halves = "/".join(
-            f"{p.sim_rel_halfwidth * 100:.1f}%"
-            if math.isfinite(p.sim_rel_halfwidth)
+    lines.extend(_point_rows(result.points))
+    lines.extend(_adaptive_lines(result.points))
+    lines.extend(_agreement_lines(result))
+    return "\n".join(lines)
+
+
+def render_scenario_series(result) -> str:
+    """One traffic scenario's sweep as a table (the divergence study's
+    per-scenario panel).
+
+    Same point-table body as the paper panels -- the model columns are
+    the paper's Poisson-assuming predictions, which for a non-Poisson
+    source are *deliberately wrong*; the agreement lines quantify by how
+    much.  The offered-load line reports the measured injection rate per
+    point so drift in a bursty/trace source is visible next to the
+    latencies it distorts.  ``result`` is a
+    :class:`repro.traffic.scenarios.ScenarioResult`.
+    """
+    s = result.scenario
+    net = f"{s.network}{tuple(s.network_args)!r}"
+    lines = [
+        f"== scenario {s.name}: {net} workload={s.workload} "
+        f"source={s.source.label} alpha={s.multicast_fraction:.0%} "
+        f"M={s.message_length} ==",
+    ]
+    if s.description:
+        lines.append(f"   {s.description}")
+    lines.append(f"   source: {s.source.describe()}")
+    lines.append(
+        f"   model saturation rate (occupancy): "
+        f"{result.saturation_rate:.6f} msg/node/cycle"
+    )
+    lines.append(_POINT_HEADER)
+    lines.extend(_point_rows(result.points))
+    if any(math.isfinite(p.offered_load) for p in result.points):
+        drifts = "/".join(
+            f"{p.offered_load_drift * 100:+.1f}%"
+            if math.isfinite(p.offered_load_drift)
             else "-"
             for p in result.points
         )
-        stops = "/".join(p.sim_stop_reason or "-" for p in result.points)
-        lines.append(f"   adaptive sampling: replications per point {reps}")
-        lines.append(f"   achieved unicast rel. 95% half-width {halves} ({stops})")
-    for variant in ("paper", "occupancy"):
-        m = agreement_metrics(result, variant)
-        lines.append(
-            f"   agreement[{variant:9s}]: unicast MAPE {_fmt(m.unicast_mape, 6)}%"
-            f" (max {_fmt(m.unicast_max_ape, 6)}%), multicast MAPE {_fmt(m.multicast_mape, 6)}%"
-            f" (max {_fmt(m.multicast_max_ape, 6)}%) over {m.points_used} points"
-        )
+        lines.append(f"   offered load drift vs nominal per point: {drifts}")
+    lines.extend(_adaptive_lines(result.points))
+    lines.extend(_agreement_lines(result))
     return "\n".join(lines)
 
 

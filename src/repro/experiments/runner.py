@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,6 +32,7 @@ from repro.sim.network import SimConfig
 __all__ = [
     "SweepPoint",
     "ExperimentResult",
+    "RateDriftWarning",
     "run_experiment",
     "sweep_tasks",
     "model_series",
@@ -40,6 +42,12 @@ __all__ = [
     "apply_adaptive_point",
     "ADAPTIVE_SAMPLES_PER_REPLICATION",
 ]
+
+
+class RateDriftWarning(UserWarning):
+    """The measured injection rate drifted from the nominal offered load
+    beyond statistical noise -- a bursty/trace source is not delivering
+    the rate the sweep thinks it is."""
 
 
 @dataclass
@@ -64,10 +72,21 @@ class SweepPoint:
     sim_replications: int = 0
     #: why adaptive sampling stopped ("" for fixed-budget runs)
     sim_stop_reason: str = ""
+    #: measured injection rate (generated msgs/node/cycle) -- NaN for
+    #: results predating the offered-load stamp
+    offered_load: float = math.nan
 
     @property
     def has_sim(self) -> bool:
         return not math.isnan(self.sim_unicast)
+
+    @property
+    def offered_load_drift(self) -> float:
+        """Relative deviation of the measured injection rate from the
+        nominal sweep rate (NaN when unmeasured)."""
+        if math.isnan(self.offered_load) or self.rate <= 0.0:
+            return math.nan
+        return (self.offered_load - self.rate) / self.rate
 
     @property
     def sim_rel_halfwidth(self) -> float:
@@ -214,6 +233,33 @@ def sweep_tasks(
     ]
 
 
+def _check_rate_drift(
+    nominal: float, measured: float, generated: int, saturated: bool, label: str
+) -> None:
+    """Warn when the measured injection rate is off the nominal one.
+
+    The 1% floor is the contract; below ~160k generated messages the
+    Poisson counting noise alone exceeds it, so the threshold widens to
+    ``4 / sqrt(generated)`` (4 standard deviations of the count for a
+    memoryless source -- burstier sources are noisier still, which makes
+    a triggered warning *more* meaningful, not less).  Saturated runs
+    are skipped: they end mid-backlog by design.
+    """
+    if saturated or generated <= 0 or not nominal > 0.0 or math.isnan(measured):
+        return
+    drift = (measured - nominal) / nominal
+    tolerance = max(0.01, 4.0 / math.sqrt(generated))
+    if abs(drift) > tolerance:
+        warnings.warn(
+            f"{label or 'sweep point'}: measured injection rate "
+            f"{measured:.6g} deviates {drift:+.1%} from the nominal "
+            f"{nominal:.6g} (tolerance {tolerance:.1%}) -- the source is "
+            f"not delivering the configured load",
+            RateDriftWarning,
+            stacklevel=3,
+        )
+
+
 def apply_task_result(point: SweepPoint, result: TaskResult) -> SweepPoint:
     """Fill a sweep point's sim fields from a task result (in place)."""
     point.sim_unicast = result.unicast.mean
@@ -226,6 +272,14 @@ def apply_task_result(point: SweepPoint, result: TaskResult) -> SweepPoint:
     point.sim_samples_multicast = result.multicast.count
     point.sim_replications = 1
     point.sim_stop_reason = ""
+    point.offered_load = result.offered_load
+    _check_rate_drift(
+        result.nominal_load,
+        result.offered_load,
+        result.generated_messages,
+        result.saturated,
+        result.label,
+    )
     return point
 
 
@@ -243,6 +297,29 @@ def apply_adaptive_point(point: SweepPoint, adaptive: AdaptivePoint) -> SweepPoi
     point.sim_samples_multicast = sum(r.multicast.count for r in adaptive.results)
     point.sim_replications = adaptive.replications
     point.sim_stop_reason = adaptive.decision.reason
+    # pool the measured rate over replications, sim-time weighted; skip
+    # results predating the stamp (NaN) and degenerate zero-time runs
+    total_time = sum(
+        r.sim_time for r in adaptive.results if not math.isnan(r.offered_load)
+    )
+    if total_time > 0.0:
+        point.offered_load = (
+            sum(
+                r.offered_load * r.sim_time
+                for r in adaptive.results
+                if not math.isnan(r.offered_load)
+            )
+            / total_time
+        )
+        generated = sum(r.generated_messages for r in adaptive.results)
+        first = adaptive.results[0]
+        _check_rate_drift(
+            first.nominal_load,
+            point.offered_load,
+            generated,
+            point.sim_saturated,
+            first.label,
+        )
     return point
 
 

@@ -39,6 +39,7 @@ from repro.sim.measurement import LatencyStats
 from repro.sim.network import NocSimulator, SimConfig, SimResult
 from repro.topology import MeshTopology, QuarcTopology, SpidergonTopology, TorusTopology
 from repro.topology.base import Topology
+from repro.traffic.sources import SourceSpec, source_from_dict
 from repro.workloads import localized_multicast_sets, random_multicast_sets
 
 __all__ = [
@@ -113,6 +114,15 @@ class SimTask:
     # run control (carries the per-task derived seed)
     sim: SimConfig = field(default_factory=SimConfig)
     one_port: bool = False
+    #: injection process; None means the default Poisson source and is
+    #: *omitted* from the content hash, so every pre-existing task key
+    #: (and with it the disk cache and journals) is unchanged, while any
+    #: non-default source perturbs the key
+    source: Optional[SourceSpec] = None
+    #: owning scenario name -- descriptive provenance like ``label``,
+    #: excluded from the content hash (two scenarios describing the same
+    #: physical run must share cache entries)
+    scenario: str = ""
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -129,6 +139,8 @@ class SimTask:
         # normalise list -> tuple so hashing and pickling are canonical
         if not isinstance(self.network_args, tuple):
             object.__setattr__(self, "network_args", tuple(self.network_args))
+        if self.source is not None and not isinstance(self.source, SourceSpec):
+            object.__setattr__(self, "source", source_from_dict(self.source))
 
     # ------------------------------------------------------------------ #
     # the single construction path: the per-process memos below delegate
@@ -148,19 +160,32 @@ class SimTask:
     ) -> TrafficSpec:
         if sets is None:
             sets = self.build_sets(routing)
+        # a skewing source's destination weights go into the spec here so
+        # the analytical model and the simulator read the same vector
+        weights = None
+        if self.source is not None:
+            weights = self.source.unicast_weights(routing.topology.num_nodes)
         return TrafficSpec(
             message_rate=self.message_rate,
             multicast_fraction=self.multicast_fraction,
             message_length=self.message_length,
             multicast_sets=sets,
+            unicast_weights=weights,
         )
 
     # ------------------------------------------------------------------ #
     def canonical(self) -> dict:
         """Content dictionary: every field that determines the outcome
-        (``label`` excluded), with deterministic key order."""
+        (descriptive ``label``/``scenario`` excluded), with deterministic
+        key order.  A ``source`` of None (the default Poisson process) is
+        omitted entirely, keeping every pre-subsystem task key stable."""
         d = dataclasses.asdict(self)
         d.pop("label")
+        d.pop("scenario")
+        if d["source"] is None:
+            d.pop("source")
+        else:
+            d["source"] = self.source.as_dict()
         d["network_args"] = list(self.network_args)
         return d
 
@@ -215,6 +240,17 @@ class TaskResult:
     #: resolved kernel that simulated this result (pure provenance: the
     #: kernels are bit-identical, so payload comparisons ignore it)
     kernel: str = ""
+    #: traffic-source label that drove this result (provenance,
+    #: mirroring ``kernel``; ``"poisson"`` for the default process)
+    source: str = ""
+    #: owning scenario name (descriptive provenance, like ``label``)
+    scenario: str = ""
+    #: offered-load accounting: nominal per-node injection rate vs the
+    #: measured one (generated msgs / node / cycle).  Derived from the
+    #: payload fields, so payload comparisons skip them -- entries
+    #: written before the stamp existed read back as NaN
+    nominal_load: float = math.nan
+    offered_load: float = math.nan
 
     @classmethod
     def from_sim(
@@ -235,11 +271,17 @@ class TaskResult:
             completed_messages=result.completed_messages,
             wall_seconds=wall_seconds,
             kernel=result.kernel,
+            source=result.source,
+            scenario=task.scenario,
+            nominal_load=result.nominal_load,
+            offered_load=result.offered_load,
         )
 
     def payload_equal(self, other: "TaskResult") -> bool:
         """Equality on the simulation outcome, ignoring provenance
-        (wall-clock, cache flag, kernel name, descriptive label).  NaNs
+        (wall-clock, cache flag, kernel/source names, descriptive
+        label/scenario) and the derived load-accounting floats (pure
+        functions of payload fields; absent in older entries).  NaNs
         compare equal."""
         a = task_result_to_dict(self)
         b = task_result_to_dict(other)
@@ -247,6 +289,10 @@ class TaskResult:
             d.pop("wall_seconds")
             d.pop("label")
             d.pop("kernel")
+            d.pop("source")
+            d.pop("scenario")
+            d.pop("nominal_load")
+            d.pop("offered_load")
         return a == b
 
 
@@ -314,7 +360,7 @@ def execute_task(task: SimTask) -> TaskResult:
         task.rim,
     )
     spec = task.build_spec(simulator.routing, sets=sets)
-    result = simulator.run(spec, task.sim)
+    result = simulator.run(spec, task.sim, source=task.source)
     return TaskResult.from_sim(task, result, time.perf_counter() - start)
 
 
@@ -375,6 +421,10 @@ def task_result_to_dict(result: TaskResult) -> dict:
         "completed_messages": result.completed_messages,
         "wall_seconds": result.wall_seconds,
         "kernel": result.kernel,
+        "source": result.source,
+        "scenario": result.scenario,
+        "nominal_load": _enc(result.nominal_load),
+        "offered_load": _enc(result.offered_load),
     }
 
 
@@ -404,4 +454,8 @@ def task_result_from_dict(data: dict, *, cached: bool = False) -> TaskResult:
         wall_seconds=float(data.get("wall_seconds", 0.0)),
         cached=cached,
         kernel=str(data.get("kernel", "")),
+        source=str(data.get("source", "")),
+        scenario=str(data.get("scenario", "")),
+        nominal_load=float(data.get("nominal_load", math.nan)),
+        offered_load=float(data.get("offered_load", math.nan)),
     )

@@ -59,7 +59,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 __all__ = ["PoissonArrivalStream", "VectorizedPoissonArrivalStream",
-           "ARRIVAL_MODES", "make_arrival_stream"]
+           "MergedArrivalStream", "ARRIVAL_MODES", "make_arrival_stream"]
 
 #: destination placeholder marking a multicast arrival
 MULTICAST = -1
@@ -139,12 +139,12 @@ class PoissonArrivalStream:
         if unicast_rate > 0.0:
             scale = 1.0 / unicast_rate
             for node in range(num_nodes):
-                heads.append((rng.exponential(scale), order, node, scale))
+                heads.append((self._initial_time(node, scale), order, node, scale))
                 order += 1
         if multicast_rate > 0.0:
             scale = 1.0 / multicast_rate
             for node in multicast_nodes:
-                heads.append((rng.exponential(scale), order, ~node, scale))
+                heads.append((self._initial_time(~node, scale), order, ~node, scale))
                 order += 1
         heapify(heads)
         self._heads = heads
@@ -160,6 +160,13 @@ class PoissonArrivalStream:
     def pending(self) -> bool:
         """True while the stream can still produce arrivals."""
         return bool(self._heads)
+
+    def _initial_time(self, source: int, scale: float) -> float:
+        """First arrival time of ``source`` (a tagged node id: ``node``
+        for unicast, ``~node`` for multicast).  Runs once per source at
+        setup, never in the refill hot path, so overriding it cannot
+        perturb the legacy draw sequence for the Poisson default."""
+        return self._rng.exponential(scale)
 
     # ------------------------------------------------------------------ #
     def _refill(self) -> None:
@@ -313,6 +320,82 @@ class VectorizedPoissonArrivalStream(PoissonArrivalStream):
                 for pos, node, r in zip(uni_pos, uni_nodes, draws):
                     dest = int(np.searchsorted(cdfs[node], r, side="right"))
                     dests[pos] = min(dest, n - 1)
+        self._order = order
+        self._times = times
+        self._nodes = nodes
+        self._dests = dests
+        self._idx = 0
+        self._count = len(times)
+        self.next_time = times[0]
+
+
+class MergedArrivalStream(PoissonArrivalStream):
+    """Merged arrivals with a pluggable per-source gap process.
+
+    Base class for the non-Poisson sources in :mod:`repro.traffic`:
+    subclasses override :meth:`_initial_time` (absolute first arrival of
+    one source) and :meth:`_next_gap` (inter-arrival gap following the
+    arrival a source just produced), and this base replays exactly the
+    block-pregenerated merge machinery the Poisson stream uses -- the
+    per-source head-heap with generation-order tie-breaks, destination
+    draws preceding gap draws in arrival-time order, and doubling refill
+    blocks consumed by the engine's fused loop.
+
+    The draw-order convention matters here for *determinism*, not legacy
+    bit-compatibility (a non-Poisson process has no legacy realisation
+    to match): all randomness is consumed from the run's seeded
+    generator in merge order, so a fixed seed yields one fixed arrival
+    realisation on every kernel (heapq, calendar, c) and every executor.
+    The Poisson classes keep their own specialised ``_refill`` bodies,
+    so this subclass cannot perturb the golden-pinned hot path.
+    """
+
+    __slots__ = ()
+
+    def _next_gap(self, source: int, scale: float, t: float) -> float:
+        """Gap between the arrival ``source`` produced at ``t`` and its
+        next one.  ``source`` is the tagged node id (``node`` unicast,
+        ``~node`` multicast); ``scale`` is ``1/rate`` for its class."""
+        raise NotImplementedError
+
+    def _refill(self) -> None:
+        heads = self._heads
+        if not heads:
+            self.next_time = math.inf
+            self._count = 0
+            self._idx = 0
+            return
+        rng = self._rng
+        integers = rng.integers
+        next_gap = self._next_gap
+        n = self._num_nodes
+        cdfs = self._dest_cdfs
+        order = self._order
+        size = self._next_block
+        self._next_block = min(size * 2, self._block)
+        times: list[float] = []
+        nodes: list[int] = []
+        dests: list[int] = []
+        for _ in range(size):
+            t, _o, node, scale = heads[0]
+            if node >= 0:
+                # destination draw precedes the gap draw, matching the
+                # Poisson stream's convention
+                if cdfs is None:
+                    dest = int(integers(0, n - 1))
+                    if dest >= node:
+                        dest += 1
+                else:
+                    dest = int(np.searchsorted(cdfs[node], rng.random(), side="right"))
+                    dest = min(dest, n - 1)
+                dests.append(dest)
+                nodes.append(node)
+            else:
+                dests.append(MULTICAST)
+                nodes.append(~node)
+            times.append(t)
+            heapreplace(heads, (t + next_gap(node, scale, t), order, node, scale))
+            order += 1
         self._order = order
         self._times = times
         self._nodes = nodes

@@ -45,6 +45,19 @@ A queue *bound* to a :class:`~repro.sim.wormengine.WormEngine` delegates
 :meth:`run_until` to the engine's fused dispatch loop (which also merges
 externally generated arrivals and performs free-path fast-forwarding); an
 unbound queue can only fire ``EV_CALL`` events.
+
+Arrival generation is deliberately *outside* every kernel, including the
+compiled one: each kernel merges the arrival stream through the same
+narrow protocol (``arrivals.next_time`` + ``arrivals.fire(t)``), and the
+C fast path (``kernel="c"``) calls ``fire`` back into Python per
+arrival.  That boundary is what makes the traffic-source subsystem
+(:mod:`repro.traffic.sources`) kernel-agnostic: CBR, ON/OFF, hotspot and
+trace-replay streams are plain Python objects, yet every kernel --
+heapq, calendar, compiled -- consumes them bit-identically (covered by
+``tests/test_c_kernel.py`` and the traffic differential suite).  A new
+source therefore never requires touching kernel code; the cost is one
+Python call per *message*, which is amortised across the ~hundreds of
+flit events each message generates.
 """
 
 from __future__ import annotations

@@ -27,20 +27,21 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
-from typing import Mapping, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
 from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import TrafficSpec
 from repro.routing.base import RoutingAlgorithm
-from repro.sim.arrivals import MULTICAST, make_arrival_stream
+from repro.sim.arrivals import MULTICAST
 from repro.sim.measurement import LatencyStats
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.worm import Worm, WormClass
 from repro.sim.wormengine import KERNELS
 from repro.topology.base import Topology
+from repro.traffic.sources import DEFAULT_SOURCE, SourceSpec
 
 __all__ = ["AUTO_KERNEL_MIN_NODES", "AUTO_KERNEL_DEPTH", "KERNELS",
            "resolve_auto_kernel", "SimConfig", "SimResult",
@@ -144,6 +145,18 @@ class SimResult:
     #: signal the ``"auto"`` policy uses to pick the kernel for a repeat
     #: run on the same simulator instance
     peak_pending: int = 0
+    #: label of the traffic source that drove this run (provenance,
+    #: mirroring the ``kernel`` stamp; ``"poisson"`` for the default)
+    source: str = "poisson"
+    #: nominal per-node injection rate actually *offered* to the network:
+    #: the unicast rate plus the multicast rate scaled by the fraction of
+    #: nodes holding a non-empty destination set (the others' multicast
+    #: share is simply not generated)
+    nominal_load: float = math.nan
+    #: measured injection rate (generated messages per node per cycle) --
+    #: compare against :attr:`nominal_load` to catch silent rate drift in
+    #: bursty or trace-driven sources
+    offered_load: float = math.nan
 
     @property
     def unicast_latency(self) -> float:
@@ -408,9 +421,34 @@ class NocSimulator:
         spec: TrafficSpec,
         config: SimConfig | None = None,
         *,
+        source: Optional[SourceSpec] = None,
         measure_utilization: bool = False,
+        arrival_log: Optional[list] = None,
     ) -> SimResult:
+        """Run one simulation.
+
+        Parameters
+        ----------
+        source:
+            The injection process (:class:`~repro.traffic.sources.SourceSpec`);
+            None means the default Poisson source, which routes through
+            the identical arrivals-layer call as always -- bitwise-equal
+            to the pre-traffic-subsystem behaviour.
+        arrival_log:
+            When given, every arrival the stream produces is appended as
+            ``(t, node, dest)`` -- the recording tap for
+            :mod:`repro.traffic.trace`.
+        """
         config = config or SimConfig()
+        source = source if source is not None else DEFAULT_SOURCE
+        # a skewing source (hotspot) contributes destination weights
+        # unless the spec already pins its own; folding them into the
+        # spec keeps model and simulator reading the same vector and
+        # stamps the skew into SimResult.spec provenance
+        if spec.unicast_weights is None:
+            weights = source.unicast_weights(self.topology.num_nodes)
+            if weights is not None:
+                spec = replace(spec, unicast_weights=weights)
         n = self.topology.num_nodes
         rng = np.random.default_rng(config.seed)
         if self.kernel_policy == "auto" and self._observed_depth is not None:
@@ -483,9 +521,15 @@ class NocSimulator:
             for i, worm in enumerate(created):
                 engine.inject(worm, t, fast=i == last)
 
-        arrivals = make_arrival_stream(
-            config.arrival_mode,
-            rng, n, lam_u, lam_m, sorted(mtemplates), dest_cdfs, spawn,
+        emit: Callable[[float, int, int], None] = spawn
+        if arrival_log is not None:
+            def emit(t: float, node: int, dest: int) -> None:
+                arrival_log.append((t, node, dest))
+                spawn(t, node, dest)
+
+        arrivals = source.make_stream(
+            rng, n, lam_u, lam_m, sorted(mtemplates), dest_cdfs, emit,
+            arrival_mode=config.arrival_mode,
         )
 
         want_unicast = config.target_unicast_samples if lam_u > 0.0 else 0
@@ -516,6 +560,10 @@ class NocSimulator:
                 target_met = True
                 break
 
+        nominal = lam_u + lam_m * (len(mtemplates) / n)
+        measured = (
+            state.generated / (events.now * n) if events.now > 0.0 else math.nan
+        )
         result = SimResult(
             spec=spec,
             config=config,
@@ -532,6 +580,9 @@ class NocSimulator:
             utilization=util_tracer,
             kernel=self.kernel,
             peak_pending=peak_pending,
+            source=source.label,
+            nominal_load=nominal,
+            offered_load=measured,
         )
         self._observed_depth = peak_pending
         return result

@@ -1,0 +1,42 @@
+"""Pluggable traffic sources and the declarative scenario registry.
+
+* :mod:`repro.traffic.sources` -- ``SourceSpec`` + the ``SOURCE_KINDS``
+  registry (poisson / cbr / onoff / hotspot / trace).
+* :mod:`repro.traffic.trace` -- JSONL arrival-trace record/replay.
+* :mod:`repro.traffic.scenarios` -- named, JSON-serialisable
+  ``Scenario`` specs binding topology + workload + source + load grid,
+  driven by ``python -m repro scenario``.
+
+``scenarios`` is imported lazily: :mod:`repro.sim.network` imports
+``repro.traffic.sources`` (which would execute this package init), and
+``scenarios`` imports the orchestration layer, which imports the
+simulator -- eager re-export here would close that cycle.
+"""
+
+from repro.traffic.sources import (  # noqa: F401
+    DEFAULT_SOURCE,
+    SOURCE_KINDS,
+    SourceSpec,
+    TrafficSource,
+    source_from_dict,
+)
+
+__all__ = [
+    "DEFAULT_SOURCE",
+    "SOURCE_KINDS",
+    "SourceSpec",
+    "TrafficSource",
+    "source_from_dict",
+    "Scenario",
+    "SCENARIOS",
+]
+
+_LAZY = {"Scenario", "ScenarioResult", "SCENARIOS"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.traffic import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

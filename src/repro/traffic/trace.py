@@ -1,0 +1,201 @@
+"""Arrival-trace recording and replay (the ``trace`` source kind).
+
+Format: JSONL.  The first line is a header object::
+
+    {"format": 1, "num_nodes": 16, "arrivals": 1234, ...metadata...}
+
+followed by one compact JSON array per arrival, ``[t, node, dest]``,
+in non-decreasing time order; ``dest`` is ``-1`` for a multicast
+arrival (whose destination set comes from the workload spec, exactly as
+for generated traffic).
+
+Recording taps :meth:`NocSimulator.run(..., arrival_log=...)
+<repro.sim.network.NocSimulator.run>`, which sees every arrival the
+stream produced -- so a replay drives the engine with the identical
+``(t, node, dest)`` sequence and, for the same workload/config, the
+identical :class:`~repro.sim.network.SimResult`.  Traces are
+content-addressed: ``SourceSpec(kind="trace")`` stamps the file's
+digest into the spec (and hence into ``SimTask.task_key()``), and
+replay refuses a file whose digest no longer matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from typing import Callable, Optional, Sequence
+
+from repro.sim.arrivals import MULTICAST
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "trace_digest",
+    "try_trace_digest",
+    "write_trace",
+    "read_trace",
+    "TraceArrivalStream",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def trace_digest(path: str | os.PathLike) -> str:
+    """Content digest of a trace file (sha256, truncated like task keys)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()[:32]
+
+
+def try_trace_digest(path: str | os.PathLike) -> Optional[str]:
+    """``trace_digest`` if the file is readable, else None (the spec may
+    be constructed on a host that does not hold the trace, e.g. when a
+    coordinator deserialises a task bound for the recording host)."""
+    try:
+        return trace_digest(path)
+    except OSError:
+        return None
+
+
+def write_trace(
+    path: str | os.PathLike,
+    num_nodes: int,
+    arrivals: Sequence[tuple[float, int, int]],
+    metadata: Optional[dict] = None,
+) -> str:
+    """Write a trace file; returns its content digest."""
+    header = dict(metadata or {})
+    header["format"] = TRACE_FORMAT_VERSION
+    header["num_nodes"] = num_nodes
+    header["arrivals"] = len(arrivals)
+    tmp = f"{os.fspath(path)}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for t, node, dest in arrivals:
+            fh.write(f"[{t!r}, {node}, {dest}]\n")
+    os.replace(tmp, path)
+    return trace_digest(path)
+
+
+def read_trace(
+    path: str | os.PathLike,
+) -> tuple[dict, list[float], list[int], list[int]]:
+    """Parse and validate a trace file -> (header, times, nodes, dests)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if not isinstance(header, dict):
+            raise ValueError(f"{path}: first line must be a header object")
+        if header.get("format") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format {header.get('format')!r} "
+                f"(this build reads {TRACE_FORMAT_VERSION})"
+            )
+        n = header.get("num_nodes")
+        if not isinstance(n, int) or n < 2:
+            raise ValueError(f"{path}: bad num_nodes in header: {n!r}")
+        times: list[float] = []
+        nodes: list[int] = []
+        dests: list[int] = []
+        prev = -math.inf
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            if not (isinstance(rec, list) and len(rec) == 3):
+                raise ValueError(f"{path}:{lineno}: expected [t, node, dest]")
+            t, node, dest = float(rec[0]), int(rec[1]), int(rec[2])
+            if t < prev:
+                raise ValueError(
+                    f"{path}:{lineno}: arrival times must be non-decreasing"
+                )
+            if not 0 <= node < n:
+                raise ValueError(f"{path}:{lineno}: node {node} out of range")
+            if dest != MULTICAST and not 0 <= dest < n:
+                raise ValueError(f"{path}:{lineno}: dest {dest} out of range")
+            prev = t
+            times.append(t)
+            nodes.append(node)
+            dests.append(dest)
+    declared = header.get("arrivals")
+    if declared is not None and declared != len(times):
+        raise ValueError(
+            f"{path}: header declares {declared} arrivals, file holds "
+            f"{len(times)} (truncated or corrupt)"
+        )
+    return header, times, nodes, dests
+
+
+class TraceArrivalStream:
+    """Replay of a recorded arrival sequence.
+
+    Implements the engine's ``ArrivalSource`` protocol (``next_time``,
+    ``fire``, ``pending``) without touching the run's generator: a trace
+    replay consumes no randomness, so the rest of the run (deadlock
+    recovery aside) is a pure function of the trace.
+    """
+
+    __slots__ = ("next_time", "_times", "_nodes", "_dests", "_idx",
+                 "_count", "_spawn")
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        nodes: Sequence[int],
+        dests: Sequence[int],
+        spawn: Callable[[float, int, int], None],
+    ) -> None:
+        if not (len(times) == len(nodes) == len(dests)):
+            raise ValueError("times/nodes/dests lengths differ")
+        self._times = list(times)
+        self._nodes = list(nodes)
+        self._dests = list(dests)
+        self._spawn = spawn
+        self._idx = 0
+        self._count = len(self._times)
+        self.next_time = self._times[0] if self._count else math.inf
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str | os.PathLike,
+        num_nodes: int,
+        spawn: Callable[[float, int, int], None],
+        *,
+        expected_digest: Optional[str] = None,
+    ) -> "TraceArrivalStream":
+        if expected_digest:
+            actual = trace_digest(path)
+            if actual != expected_digest:
+                raise ValueError(
+                    f"{path}: trace digest {actual} != spec digest "
+                    f"{expected_digest} -- the file changed since the "
+                    f"task was keyed; re-create the SourceSpec"
+                )
+        header, times, nodes, dests = read_trace(path)
+        if header["num_nodes"] != num_nodes:
+            raise ValueError(
+                f"{path}: trace was recorded on {header['num_nodes']} "
+                f"nodes, replay network has {num_nodes}"
+            )
+        return cls(times, nodes, dests, spawn)
+
+    @property
+    def pending(self) -> bool:
+        return self._idx < self._count
+
+    def fire(self, t: float) -> float:
+        i = self._idx
+        node = self._nodes[i]
+        dest = self._dests[i]
+        i += 1
+        self._idx = i
+        self.next_time = self._times[i] if i < self._count else math.inf
+        # spawn after advancing, same contract as PoissonArrivalStream
+        self._spawn(t, node, dest)
+        return self.next_time

@@ -451,3 +451,92 @@ def test_unknown_arrival_mode_rejected():
         NocSimulator(topo, routing).run(
             TrafficSpec(0.004, 0.0, 32), SimConfig(arrival_mode="turbo")
         )
+
+
+# --------------------------------------------------------------------- #
+# non-Poisson traffic sources through the kernel boundary
+
+
+def _traffic_source_specs():
+    from repro.traffic.sources import SourceSpec
+
+    return {
+        "cbr": SourceSpec(kind="cbr", cbr_jitter=1.0),
+        "onoff": SourceSpec(kind="onoff", on_mean=150.0, off_mean=450.0),
+        "onoff-pareto": SourceSpec(
+            kind="onoff", on_mean=150.0, off_mean=450.0,
+            on_tail="pareto", pareto_alpha=1.5,
+        ),
+        "hotspot": SourceSpec(
+            kind="hotspot",
+            base=SourceSpec(kind="onoff", on_mean=150.0, off_mean=450.0),
+            hotspots=(0,), hotspot_factor=8.0,
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_traffic_source_specs()))
+def test_non_poisson_sources_bitwise_across_python_kernels(name):
+    """Arrival generation lives outside the kernels: any Python-side
+    traffic source must produce bit-identical runs on heap and calendar."""
+    source = _traffic_source_specs()[name]
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    spec = TrafficSpec(0.004, 0.1, 32, random_multicast_sets(routing, 4, seed=3))
+    config = SimConfig(seed=7, warmup_cycles=1_000.0,
+                       target_unicast_samples=400,
+                       target_multicast_samples=80, max_cycles=400_000.0)
+    heap = NocSimulator(topo, routing, kernel="heap").run(
+        spec, config, source=source
+    )
+    cal = NocSimulator(topo, routing, kernel="calendar").run(
+        spec, config, source=source
+    )
+    assert _eq_fp(_fingerprint(cal), _fingerprint(heap)), name
+    assert heap.source == cal.source == source.label
+
+
+@requires_c
+@pytest.mark.parametrize("name", sorted(_traffic_source_specs()))
+def test_non_poisson_sources_bitwise_on_c_kernel(name):
+    """The explicit interop contract of the traffic subsystem: the C
+    fast path calls ``arrivals.fire`` back into Python per arrival, so
+    CBR/ON-OFF/hotspot streams run under ``kernel="c"`` and match the
+    pure-Python kernels bit for bit."""
+    source = _traffic_source_specs()[name]
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    spec = TrafficSpec(0.004, 0.1, 32, random_multicast_sets(routing, 4, seed=3))
+    config = SimConfig(seed=7, warmup_cycles=1_000.0,
+                       target_unicast_samples=400,
+                       target_multicast_samples=80, max_cycles=400_000.0)
+    heap = NocSimulator(topo, routing, kernel="heap").run(
+        spec, config, source=source
+    )
+    c = NocSimulator(topo, routing, kernel="c").run(spec, config, source=source)
+    assert _eq_fp(_fingerprint(c), _fingerprint(heap)), name
+
+
+@requires_c
+def test_trace_replay_bitwise_on_c_kernel(tmp_path):
+    from repro.traffic.sources import SourceSpec
+    from repro.traffic.trace import write_trace
+
+    path = tmp_path / "c.jsonl"
+    write_trace(
+        path, 16,
+        [(float(100 + 40 * i), i % 16, (i % 16 + 1 + i % 15) % 16)
+         for i in range(400)],
+    )
+    source = SourceSpec(kind="trace", trace_path=str(path))
+    topo = QuarcTopology(16)
+    routing = QuarcRouting(topo)
+    spec = TrafficSpec(0.004, 0.0, 32)
+    config = SimConfig(seed=7, warmup_cycles=500.0,
+                       target_unicast_samples=300,
+                       target_multicast_samples=0, max_cycles=400_000.0)
+    heap = NocSimulator(topo, routing, kernel="heap").run(
+        spec, config, source=source
+    )
+    c = NocSimulator(topo, routing, kernel="c").run(spec, config, source=source)
+    assert _eq_fp(_fingerprint(c), _fingerprint(heap))

@@ -221,3 +221,79 @@ class TestAdaptiveFlagValidation:
         assert rc == 0
         assert "fig6" in capsys.readouterr().out
 
+
+
+class TestScenarioCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["scenario", "list"])
+        assert args.verb == "list" and args.names == []
+        args = build_parser().parse_args(
+            ["scenario", "run", "cbr-uniform", "--points", "2",
+             "--samples", "100", "--threshold", "15"]
+        )
+        assert args.verb == "run" and args.names == ["cbr-uniform"]
+        assert args.points == 2 and args.threshold == 15.0
+
+    def test_orchestration_flags_available(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "onoff-bursty", "--jobs", "2", "--no-cache",
+             "--workers", "tcp://127.0.0.1:0"]
+        )
+        assert args.jobs == 2 and args.workers == "tcp://127.0.0.1:0"
+
+    def test_list(self, capsys):
+        rc = main(["scenario", "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("poisson-uniform", "cbr-uniform", "onoff-pareto",
+                     "hotspot-onoff", "mesh-onoff"):
+            assert name in out
+
+    def test_describe(self, capsys):
+        rc = main(["scenario", "describe", "onoff-pareto"])
+        assert rc == 0
+        import json as _json
+
+        data = _json.loads(capsys.readouterr().out)
+        assert data["name"] == "onoff-pareto"
+        assert data["source"]["on_tail"] == "pareto"
+
+    def test_describe_unknown_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "describe", "no-such"])
+        assert exc.value.code == 2
+
+    def test_run_smoke(self, capsys, tmp_path):
+        rc = main(
+            ["scenario", "run", "cbr-uniform", "--points", "2",
+             "--samples", "60", "--no-cache",
+             "--save-dir", str(tmp_path / "out")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario cbr-uniform" in out
+        assert "verdict" in out
+        assert (tmp_path / "out" / "cbr-uniform.json").exists()
+
+    def test_record_then_run_replay(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        rc = main(
+            ["scenario", "record", "cbr-uniform", "--rate", "0.002",
+             "--out", str(trace), "--samples", "60"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recorded trace" in out and trace.exists()
+
+    def test_cache_info_reports_sources(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        rc = main(
+            ["scenario", "run", "onoff-bursty", "--points", "1",
+             "--samples", "60", "--cache-dir", cache_dir]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["cache", "info", "--cache-dir", cache_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "source onoff" in out

@@ -96,6 +96,14 @@ class TestJsonRoundTrip:
         text = render_series(load_experiment_json(path))
         assert "io-test" in text
 
+    def test_offered_load_roundtrips(self, result, tmp_path):
+        result.points[0].offered_load = 0.00098
+        path = save_experiment_json(result, tmp_path / "p.json")
+        back = load_experiment_json(path)
+        assert back.points[0].offered_load == 0.00098
+        assert back.points[0].offered_load_drift == pytest.approx(-0.02)
+        assert math.isnan(back.points[1].offered_load)
+
 
 class TestCsv:
     def test_csv_rows(self, result, tmp_path):
