@@ -669,12 +669,16 @@ def cmd_scenario(args) -> int:
 
     if args.verb == "list":
         print(f"{'name':18s} {'source':16s} {'network':12s} "
-              f"{'alpha':>6s}  {'key':32s}")
+              f"{'alpha':>6s} {'faults':>6s} {'qos':>3s} {'mon':>3s}  "
+              f"{'key':32s}")
         for name in sorted(SCENARIOS):
             s = SCENARIOS[name]
             net = f"{s.network}{tuple(s.network_args)!r}"
+            n_faults = len(s.faults.events) if s.faults is not None else 0
+            n_qos = len(s.qos.classes) if s.qos is not None else 0
             print(f"{name:18s} {s.source.label:16s} {net:12s} "
-                  f"{s.multicast_fraction:6.0%}  {s.scenario_key()}")
+                  f"{s.multicast_fraction:6.0%} {n_faults:6d} {n_qos:3d} "
+                  f"{len(s.monitors):3d}  {s.scenario_key()}")
         return 0
 
     if not args.names:

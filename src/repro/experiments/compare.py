@@ -267,6 +267,11 @@ class DivergencePanel:
     paper: AgreementMetrics
     #: mean signed (model_occ - sim)/sim over finite points (%)
     bias: float
+    #: points whose run recovered >= 1 deadlock -- past the M/G/1
+    #: model's validity range (the model assumes no cyclic blocking;
+    #: see :mod:`repro.sim.deadlock`), so their agreement numbers are
+    #: flagged, not trusted
+    recovered_points: int = 0
 
     @property
     def scenario(self):
@@ -301,6 +306,11 @@ def divergence_panels(results: Sequence) -> list[DivergencePanel]:
                 occupancy=agreement_metrics(result, "occupancy"),
                 paper=agreement_metrics(result, "paper"),
                 bias=sum(signed) / len(signed) if signed else math.nan,
+                recovered_points=sum(
+                    1
+                    for p in result.points
+                    if p.has_sim and p.sim_deadlock_recoveries > 0
+                ),
             )
         )
     return panels
@@ -322,23 +332,34 @@ def render_divergence_summary(
         f"{'scenario':18s} {'source':16s} {'sat.rate':>10s} {'pts':>4s} "
         f"{'occ.uni':>7s} {'occ.mc':>7s} {'pap.uni':>7s} {'bias':>8s}  verdict"
     ]
+    flagged = False
     for panel in panels:
         r = panel.result
         occ, pap = panel.occupancy, panel.paper
         bias = (
             f"{panel.bias:+7.1f}%" if math.isfinite(panel.bias) else "      --"
         )
+        mark = ""
+        if panel.recovered_points:
+            mark = f" †{panel.recovered_points}"
+            flagged = True
         lines.append(
             f"{r.scenario.name:18s} {r.scenario.source.label:16s} "
             f"{r.saturation_rate:10.6f} {occ.points_used:4d} "
             f"{_fmt_pct(occ.unicast_mape)} {_fmt_pct(occ.multicast_mape)} "
             f"{_fmt_pct(pap.unicast_mape)} {bias}  "
-            f"{panel.verdict(threshold)}"
+            f"{panel.verdict(threshold)}{mark}"
         )
     lines.append(
         f"(verdict threshold: {threshold:.0f}% mean unicast error, "
         f"occupancy recursion)"
     )
+    if flagged:
+        lines.append(
+            "(†N: N points recovered deadlocks -- past the model's "
+            "validity range; their agreement numbers are reported but "
+            "not trusted)"
+        )
     return "\n".join(lines)
 
 

@@ -48,6 +48,68 @@ def _point_rows(points) -> list[str]:
     ]
 
 
+def _monitor_lines(points) -> list[str]:
+    """Per-point monitor summaries (faulted/QoS scenario panels).
+
+    One line per monitor that appears at any point, values joined
+    ``/`` across points in sweep order -- the same compact shape the
+    adaptive and drift lines use."""
+    if not any(p.sim_monitors for p in points):
+        return []
+
+    def cell(p, name: str, render) -> str:
+        m = (p.sim_monitors or {}).get(name)
+        return render(m) if m else "-"
+
+    names: list[str] = []
+    for p in points:
+        for name in p.sim_monitors or {}:
+            if name not in names:
+                names.append(name)
+    renderers = {
+        "pdr": lambda m: f"{m['pdr']:.3f}" if m["pdr"] is not None else "-",
+        "hop-stretch": lambda m: (
+            f"{m['mean']:.3f}" if m["mean"] is not None else "-"
+        ),
+        "deadlock": lambda m: str(m["recoveries"]),
+    }
+    lines = []
+    if any(p.sim_fault_drops for p in points):
+        drops = "/".join(str(p.sim_fault_drops) for p in points)
+        lines.append(f"   fault drops per point: {drops}")
+    for name in sorted(names):
+        if name == "class-latency":
+            # one line per traffic class, mean latency across points
+            classes: list[str] = []
+            for p in points:
+                for cls in (p.sim_monitors or {}).get(name, {}):
+                    if cls not in classes:
+                        classes.append(cls)
+            for cls in sorted(classes):
+                vals = "/".join(
+                    cell(
+                        p,
+                        name,
+                        lambda m, c=cls: (
+                            f"{m[c]['mean']:.1f}"
+                            if c in m and m[c]["mean"] is not None
+                            else "-"
+                        ),
+                    )
+                    for p in points
+                )
+                lines.append(f"   monitor[class-latency] {cls} mean: {vals}")
+        elif name in renderers:
+            vals = "/".join(cell(p, name, renderers[name]) for p in points)
+            lines.append(f"   monitor[{name}]: {vals}")
+        else:
+            counts = "/".join(
+                str(len((p.sim_monitors or {}).get(name, {}))) for p in points
+            )
+            lines.append(f"   monitor[{name}]: {counts} keys")
+    return lines
+
+
 def _adaptive_lines(points) -> list[str]:
     if not any(p.sim_replications > 1 for p in points):
         return []
@@ -121,6 +183,18 @@ def render_scenario_series(result) -> str:
     if s.description:
         lines.append(f"   {s.description}")
     lines.append(f"   source: {s.source.describe()}")
+    if s.faults is not None:
+        kills = sum(1 for e in s.faults.events if e.action == "kill")
+        heals = sum(1 for e in s.faults.events if e.action == "heal")
+        lines.append(
+            f"   faults: {kills} kill / {heals} heal events, "
+            f"reroute={'on' if s.faults.reroute else 'off'}"
+        )
+    if s.qos is not None:
+        parts = ", ".join(
+            f"{c.name}={c.share:.0%}(p{c.priority})" for c in s.qos.classes
+        )
+        lines.append(f"   qos classes: {parts}")
     lines.append(
         f"   model saturation rate (occupancy): "
         f"{result.saturation_rate:.6f} msg/node/cycle"
@@ -135,6 +209,7 @@ def render_scenario_series(result) -> str:
             for p in result.points
         )
         lines.append(f"   offered load drift vs nominal per point: {drifts}")
+    lines.extend(_monitor_lines(result.points))
     lines.extend(_adaptive_lines(result.points))
     lines.extend(_agreement_lines(result))
     return "\n".join(lines)

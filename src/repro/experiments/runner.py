@@ -75,6 +75,15 @@ class SweepPoint:
     #: measured injection rate (generated msgs/node/cycle) -- NaN for
     #: results predating the offered-load stamp
     offered_load: float = math.nan
+    #: messages lost to injected faults (0 for fault-free runs; summed
+    #: over replications under adaptive sampling)
+    sim_fault_drops: int = 0
+    #: finalised monitor payloads keyed by monitor name, None when the
+    #: point ran without monitors.  Adaptive points stay None: each
+    #: replication finalises its own monitors and no pooling rule is
+    #: defined for, e.g., per-class CI halfwidths -- summing them would
+    #: fabricate a statistic
+    sim_monitors: Optional[dict] = None
 
     @property
     def has_sim(self) -> bool:
@@ -273,6 +282,8 @@ def apply_task_result(point: SweepPoint, result: TaskResult) -> SweepPoint:
     point.sim_replications = 1
     point.sim_stop_reason = ""
     point.offered_load = result.offered_load
+    point.sim_fault_drops = result.fault_drops
+    point.sim_monitors = result.monitors
     _check_rate_drift(
         result.nominal_load,
         result.offered_load,
@@ -297,6 +308,9 @@ def apply_adaptive_point(point: SweepPoint, adaptive: AdaptivePoint) -> SweepPoi
     point.sim_samples_multicast = sum(r.multicast.count for r in adaptive.results)
     point.sim_replications = adaptive.replications
     point.sim_stop_reason = adaptive.decision.reason
+    point.sim_fault_drops = sum(r.fault_drops for r in adaptive.results)
+    # sim_monitors stays None: see the SweepPoint field note -- monitor
+    # payloads are per-replication and have no defined pooling
     # pool the measured rate over replications, sim-time weighted; skip
     # results predating the stamp (NaN) and degenerate zero-time runs
     total_time = sum(

@@ -1,0 +1,259 @@
+"""Declarative fault schedules and QoS class specs.
+
+:class:`FaultSpec` is the chaos analogue of PR 8's ``SourceSpec``: a
+picklable, JSON-round-trippable description of *when* links and nodes
+die and heal, carried on :class:`~repro.traffic.scenarios.Scenario` and
+:class:`~repro.orchestration.tasks.SimTask` and hashed into
+``scenario_key()``/``task_key()`` so a chaos sweep is as reproducible
+and cacheable as a traffic sweep.  The simulator turns each
+:class:`FaultEvent` into a scheduled engine event (EV_CALL) at exactly
+``event.time``; see :meth:`repro.sim.network.NocSimulator.run`.
+
+Semantics (documented here because they are part of the cache key's
+meaning):
+
+* ``kill link src dst`` removes **every** link from ``src`` to ``dst``
+  (all tags, all virtual lanes).  In-flight worms holding or heading
+  for a dead channel are torn down at kill time (counted in
+  ``fault_drops``); their multicast siblings are dropped with them so
+  accounting stays message-granular.
+* ``kill node n`` removes all links adjacent to ``n`` plus ``n``'s
+  injection and ejection channels: traffic from, to, or through the
+  node dies.
+* New unicasts whose baseline route crosses a dead channel are
+  rerouted over the surviving links (deterministic BFS,
+  :meth:`repro.routing.base.RoutingAlgorithm.reroute_unicast`) unless
+  ``reroute=False``; unreachable destinations drop at spawn.
+  Multicasts are **not** rerouted: the paper's path-based BRCP scheme
+  has no alternative path, so a multicast whose template crosses a
+  dead channel drops at spawn — the PDR monitor is where that honesty
+  shows up.
+* ``heal`` restores the link/node; routing returns to the baseline
+  routes.
+
+:class:`QoSSpec` adds a per-class prioritised-traffic knob: each
+message draws a class from a dedicated deterministic stream, and
+channel arbitration grants the highest-priority waiter first (FIFO
+within a priority level).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "FaultEvent",
+    "FaultSpec",
+    "QoSClass",
+    "QoSSpec",
+    "link_kill",
+    "link_heal",
+    "node_kill",
+    "node_heal",
+]
+
+FAULT_ACTIONS = ("kill", "heal")
+FAULT_KINDS = ("link", "node")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault transition.
+
+    ``kind="link"`` uses ``src``/``dst`` (directed: kill both
+    directions explicitly for a bidirectional cut); ``kind="node"``
+    uses ``node``.  The unused coordinates stay at -1 so the canonical
+    dict form is unambiguous.
+    """
+
+    time: float
+    action: str  # "kill" | "heal"
+    kind: str  # "link" | "node"
+    node: int = -1
+    src: int = -1
+    dst: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "time", float(self.time))
+        if not (self.time >= 0.0 and self.time == self.time):
+            raise ValueError(f"fault time must be finite and >= 0, got {self.time}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(f"action must be one of {FAULT_ACTIONS}, got {self.action!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.kind == "link":
+            if self.src < 0 or self.dst < 0 or self.src == self.dst:
+                raise ValueError(
+                    f"link fault needs src >= 0, dst >= 0, src != dst; "
+                    f"got src={self.src} dst={self.dst}"
+                )
+            if self.node != -1:
+                raise ValueError("link fault must leave node at -1")
+        else:
+            if self.node < 0:
+                raise ValueError(f"node fault needs node >= 0, got {self.node}")
+            if self.src != -1 or self.dst != -1:
+                raise ValueError("node fault must leave src/dst at -1")
+
+    @property
+    def sort_key(self) -> tuple:
+        # heal-before-kill at identical timestamps is arbitrary but must
+        # be *the same* everywhere: "heal" < "kill" lexicographically
+        return (self.time, self.action, self.kind, self.node, self.src, self.dst)
+
+    def as_dict(self) -> dict:
+        d = {"time": self.time, "action": self.action, "kind": self.kind}
+        if self.kind == "link":
+            d["src"] = self.src
+            d["dst"] = self.dst
+        else:
+            d["node"] = self.node
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultEvent fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def link_kill(time: float, src: int, dst: int) -> FaultEvent:
+    return FaultEvent(time=time, action="kill", kind="link", src=src, dst=dst)
+
+
+def link_heal(time: float, src: int, dst: int) -> FaultEvent:
+    return FaultEvent(time=time, action="heal", kind="link", src=src, dst=dst)
+
+
+def node_kill(time: float, node: int) -> FaultEvent:
+    return FaultEvent(time=time, action="kill", kind="node", node=node)
+
+
+def node_heal(time: float, node: int) -> FaultEvent:
+    return FaultEvent(time=time, action="heal", kind="node", node=node)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A deterministic fault schedule plus the reroute policy.
+
+    Events are normalised to a sorted tuple at construction, so two
+    specs listing the same events in different orders hash identically.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    #: recompute unicast routes around dead channels (BFS over the
+    #: surviving links); False drops every affected unicast at spawn
+    reroute: bool = True
+
+    def __post_init__(self) -> None:
+        evs = tuple(
+            ev if isinstance(ev, FaultEvent) else FaultEvent.from_dict(ev)
+            for ev in self.events
+        )
+        if not evs:
+            raise ValueError("FaultSpec needs at least one event")
+        object.__setattr__(
+            self, "events", tuple(sorted(evs, key=lambda ev: ev.sort_key))
+        )
+        object.__setattr__(self, "reroute", bool(self.reroute))
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [ev.as_dict() for ev in self.events],
+            "reroute": self.reroute,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        events = tuple(
+            FaultEvent.from_dict(ev) if isinstance(ev, dict) else ev
+            for ev in data.get("events", ())
+        )
+        return cls(events=events, reroute=bool(data.get("reroute", True)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One traffic class: a share of the injected messages and the
+    priority channel arbitration grants it (higher wins)."""
+
+    name: str
+    share: float
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("QoS class name must be non-empty")
+        object.__setattr__(self, "share", float(self.share))
+        object.__setattr__(self, "priority", int(self.priority))
+        if not (0.0 < self.share <= 1.0):
+            raise ValueError(f"share must be in (0, 1], got {self.share}")
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "share": self.share, "priority": self.priority}
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """Per-class prioritised injection.
+
+    Each message draws its class from a dedicated deterministic stream
+    (seeded from the run seed, independent of the arrival stream, so
+    adding QoS never perturbs the traffic pattern itself).  Class order
+    matters — it fixes the cumulative-share intervals the draw lands in
+    — and is preserved verbatim into the hash.
+    """
+
+    classes: tuple[QoSClass, ...] = ()
+
+    def __post_init__(self) -> None:
+        cls = tuple(
+            c if isinstance(c, QoSClass) else QoSClass(**c) for c in self.classes
+        )
+        if not cls:
+            raise ValueError("QoSSpec needs at least one class")
+        names = [c.name for c in cls]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate QoS class names: {names}")
+        total = sum(c.share for c in cls)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"QoS class shares must sum to 1, got {total}")
+        object.__setattr__(self, "classes", cls)
+
+    def as_dict(self) -> dict:
+        return {"classes": [c.as_dict() for c in self.classes]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QoSSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown QoSSpec fields: {sorted(unknown)}")
+        return cls(
+            classes=tuple(
+                QoSClass(**c) if isinstance(c, dict) else c
+                for c in data.get("classes", ())
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QoSSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,227 @@
+"""Pluggable evaluation monitors.
+
+A :class:`Monitor` observes one simulation run through a small set of
+message-granular hooks (spawn, completion, fault drop, fault
+transition) and produces a JSON-safe summary dict at the end.  The
+simulator wires the hooks through its stats tracer, so monitors see
+exactly the events the frozen statistics pipeline sees — adding
+monitors never perturbs the simulated sequence, only observes it.
+
+Built-ins (registry name → metric):
+
+* ``pdr`` — packet-delivery ratio at message granularity: generated,
+  delivered, dropped (spawn-time + mid-flight fault drops).
+* ``class-latency`` — per-QoS-class end-to-end latency (count / mean /
+  std over measured completions; a single ``all`` class when the run
+  has no :class:`~repro.faults.QoSSpec`).
+* ``hop-stretch`` — actual vs baseline route length for unicasts,
+  i.e. the price of fault reroutes (mean / max stretch, reroute count).
+* ``deadlock`` — deadlock recoveries, fault drops and the recovery
+  rate per delivered message, the "past the model's validity range"
+  signal the divergence panel flags.
+
+Monitor outputs ride :class:`~repro.sim.network.SimResult.monitors` →
+``TaskResult.monitors`` → ``SweepPoint.sim_monitors`` into reports and
+the on-disk cache, so every value must be JSON-clean: ``None`` stands
+in for undefined (never NaN).
+"""
+
+from __future__ import annotations
+
+from repro.sim.measurement import LatencyStats
+
+__all__ = [
+    "Monitor",
+    "PDRMonitor",
+    "ClassLatencyMonitor",
+    "HopStretchMonitor",
+    "DeadlockRecoveryMonitor",
+    "MONITORS",
+    "build_monitors",
+]
+
+
+class Monitor:
+    """Base class: every hook is optional; ``finalize`` returns the
+    JSON-safe summary published under :attr:`name`."""
+
+    #: registry name, also the key in ``SimResult.monitors``
+    name = "monitor"
+
+    def on_spawn(self, t, *, uid, cls, hops, baseline_hops, rerouted, multicast):
+        """A message entered the network (one call per message; ``uid``
+        is the first worm's uid).  ``hops``/``baseline_hops`` are 0 for
+        multicasts (path-based BRCP routes are never recomputed)."""
+
+    def on_spawn_drop(self, t, *, multicast):
+        """A generated message was dropped at spawn (dead source, dead
+        or unreachable destination, or a multicast template crossing a
+        dead channel)."""
+
+    def on_complete(self, t, *, uid, cls, latency, measured, recovered, multicast):
+        """A message fully delivered (multicast: all clones absorbed)."""
+
+    def on_drop(self, t, *, uid, cls):
+        """A message torn down mid-flight by a fault."""
+
+    def on_fault(self, t, event):
+        """A :class:`~repro.faults.FaultEvent` fired."""
+
+    def finalize(self, engine) -> dict:
+        return {}
+
+
+def _safe(x):
+    """NaN/inf → None; monitors must emit JSON-clean values."""
+    if x is None:
+        return None
+    x = float(x)
+    if x != x or x in (float("inf"), float("-inf")):
+        return None
+    return x
+
+
+class PDRMonitor(Monitor):
+    name = "pdr"
+
+    def __init__(self) -> None:
+        self.generated = 0
+        self.delivered = 0
+        self.spawn_drops = 0
+        self.flight_drops = 0
+
+    def on_spawn(self, t, **kw):
+        self.generated += 1
+
+    def on_spawn_drop(self, t, **kw):
+        self.generated += 1
+        self.spawn_drops += 1
+
+    def on_complete(self, t, **kw):
+        self.delivered += 1
+
+    def on_drop(self, t, **kw):
+        self.flight_drops += 1
+
+    def finalize(self, engine) -> dict:
+        # messages still in flight when the run stops are neither
+        # delivered nor lost, so the ratio is over resolved messages
+        # only -- a fault-free run reports exactly 1.0 regardless of
+        # where the tail was truncated
+        dropped = self.spawn_drops + self.flight_drops
+        resolved = self.delivered + dropped
+        return {
+            "generated": self.generated,
+            "delivered": self.delivered,
+            "dropped": dropped,
+            "spawn_drops": self.spawn_drops,
+            "flight_drops": self.flight_drops,
+            "in_flight": self.generated - resolved,
+            "pdr": _safe(self.delivered / resolved) if resolved else None,
+        }
+
+
+class ClassLatencyMonitor(Monitor):
+    name = "class-latency"
+
+    def __init__(self) -> None:
+        # streaming moments only: monitors must stay O(1) per message
+        self._stats: dict[str, LatencyStats] = {}
+
+    def on_complete(self, t, *, uid, cls, latency, measured, recovered, multicast):
+        if not measured:
+            return
+        key = cls or "all"
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = LatencyStats(keep_samples=False)
+        stats.add(latency)
+
+    def finalize(self, engine) -> dict:
+        out = {}
+        for key in sorted(self._stats):
+            s = self._stats[key]
+            out[key] = {
+                "count": s.count,
+                "mean": _safe(s.mean),
+                "std": _safe(s.std),
+                "ci95": _safe(s.ci95_halfwidth()),
+            }
+        return out
+
+
+class HopStretchMonitor(Monitor):
+    name = "hop-stretch"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.rerouted = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def on_spawn(self, t, *, uid, cls, hops, baseline_hops, rerouted, multicast):
+        if multicast or hops <= 0 or baseline_hops <= 0:
+            return
+        stretch = hops / baseline_hops
+        self.count += 1
+        self._sum += stretch
+        if stretch > self._max:
+            self._max = stretch
+        if rerouted:
+            self.rerouted += 1
+
+    def finalize(self, engine) -> dict:
+        return {
+            "count": self.count,
+            "rerouted": self.rerouted,
+            "mean": _safe(self._sum / self.count) if self.count else None,
+            "max": _safe(self._max) if self.count else None,
+        }
+
+
+class DeadlockRecoveryMonitor(Monitor):
+    name = "deadlock"
+
+    def __init__(self) -> None:
+        self.delivered = 0
+
+    def on_complete(self, t, **kw):
+        self.delivered += 1
+
+    def finalize(self, engine) -> dict:
+        recoveries = getattr(engine, "deadlock_recoveries", 0)
+        return {
+            "recoveries": recoveries,
+            "fault_drops": getattr(engine, "fault_drops", 0),
+            "delivered": self.delivered,
+            "recovery_rate": (
+                _safe(recoveries / self.delivered) if self.delivered else None
+            ),
+        }
+
+
+MONITORS = {
+    cls.name: cls
+    for cls in (
+        PDRMonitor,
+        ClassLatencyMonitor,
+        HopStretchMonitor,
+        DeadlockRecoveryMonitor,
+    )
+}
+
+
+def build_monitors(names) -> list[Monitor]:
+    """Instantiate monitors by registry name, preserving order."""
+    out = []
+    seen = set()
+    for name in names:
+        if name not in MONITORS:
+            raise ValueError(
+                f"unknown monitor {name!r} (have: {sorted(MONITORS)})"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate monitor {name!r}")
+        seen.add(name)
+        out.append(MONITORS[name]())
+    return out

@@ -32,6 +32,7 @@ from typing import Callable, Mapping, Optional
 import numpy as np
 
 from repro.core.flows import TrafficSpec
+from repro.faults import FaultSpec, QoSSpec
 from repro.routing import MeshRouting, QuarcRouting, SpidergonRouting, TorusRouting
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.engine import ENGINE_VERSION
@@ -119,6 +120,20 @@ class SimTask:
     #: (and with it the disk cache and journals) is unchanged, while any
     #: non-default source perturbs the key
     source: Optional[SourceSpec] = None
+    #: fault schedule; None means a fault-free run and is omitted from
+    #: the content hash (mirroring ``source``), so every pre-fault task
+    #: key is unchanged while any schedule perturbs the key
+    faults: Optional[FaultSpec] = None
+    #: per-class prioritised-traffic spec; None means classless FIFO
+    #: arbitration and is omitted from the content hash like ``faults``
+    qos: Optional[QoSSpec] = None
+    #: evaluation-monitor names attached to the run.  Hashed: monitors
+    #: are observers, but attaching one bounces the C kernel-free fast
+    #: paths through extra bookkeeping, and the cached payload gains a
+    #: ``monitors`` block -- two tasks differing only here must not
+    #: share a cache entry.  ``()`` (the default) is omitted so
+    #: pre-monitor task keys are unchanged
+    monitors: tuple[str, ...] = ()
     #: owning scenario name -- descriptive provenance like ``label``,
     #: excluded from the content hash (two scenarios describing the same
     #: physical run must share cache entries)
@@ -141,6 +156,12 @@ class SimTask:
             object.__setattr__(self, "network_args", tuple(self.network_args))
         if self.source is not None and not isinstance(self.source, SourceSpec):
             object.__setattr__(self, "source", source_from_dict(self.source))
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.qos is not None and not isinstance(self.qos, QoSSpec):
+            object.__setattr__(self, "qos", QoSSpec.from_dict(self.qos))
+        if not isinstance(self.monitors, tuple):
+            object.__setattr__(self, "monitors", tuple(self.monitors))
 
     # ------------------------------------------------------------------ #
     # the single construction path: the per-process memos below delegate
@@ -178,7 +199,9 @@ class SimTask:
         """Content dictionary: every field that determines the outcome
         (descriptive ``label``/``scenario`` excluded), with deterministic
         key order.  A ``source`` of None (the default Poisson process) is
-        omitted entirely, keeping every pre-subsystem task key stable."""
+        omitted entirely, keeping every pre-subsystem task key stable;
+        ``faults``/``qos`` of None and an empty ``monitors`` tuple are
+        omitted the same way for the same reason."""
         d = dataclasses.asdict(self)
         d.pop("label")
         d.pop("scenario")
@@ -186,6 +209,18 @@ class SimTask:
             d.pop("source")
         else:
             d["source"] = self.source.as_dict()
+        if d["faults"] is None:
+            d.pop("faults")
+        else:
+            d["faults"] = self.faults.as_dict()
+        if d["qos"] is None:
+            d.pop("qos")
+        else:
+            d["qos"] = self.qos.as_dict()
+        if not self.monitors:
+            d.pop("monitors")
+        else:
+            d["monitors"] = list(self.monitors)
         d["network_args"] = list(self.network_args)
         return d
 
@@ -251,6 +286,13 @@ class TaskResult:
     #: written before the stamp existed read back as NaN
     nominal_load: float = math.nan
     offered_load: float = math.nan
+    #: messages lost to injected faults (spawn-time + in-flight drops).
+    #: Payload, not provenance: a faulted run's loss count is part of
+    #: the outcome, so ``payload_equal`` compares it
+    fault_drops: int = 0
+    #: finalised monitor payloads keyed by monitor name (None when the
+    #: task attached no monitors).  Payload like ``fault_drops``
+    monitors: Optional[dict] = None
 
     @classmethod
     def from_sim(
@@ -275,6 +317,8 @@ class TaskResult:
             scenario=task.scenario,
             nominal_load=result.nominal_load,
             offered_load=result.offered_load,
+            fault_drops=result.fault_drops,
+            monitors=result.monitors,
         )
 
     def payload_equal(self, other: "TaskResult") -> bool:
@@ -360,7 +404,14 @@ def execute_task(task: SimTask) -> TaskResult:
         task.rim,
     )
     spec = task.build_spec(simulator.routing, sets=sets)
-    result = simulator.run(spec, task.sim, source=task.source)
+    result = simulator.run(
+        spec,
+        task.sim,
+        source=task.source,
+        faults=task.faults,
+        qos=task.qos,
+        monitors=task.monitors,
+    )
     return TaskResult.from_sim(task, result, time.perf_counter() - start)
 
 
@@ -425,6 +476,8 @@ def task_result_to_dict(result: TaskResult) -> dict:
         "scenario": result.scenario,
         "nominal_load": _enc(result.nominal_load),
         "offered_load": _enc(result.offered_load),
+        "fault_drops": result.fault_drops,
+        "monitors": result.monitors,
     }
 
 
@@ -458,4 +511,6 @@ def task_result_from_dict(data: dict, *, cached: bool = False) -> TaskResult:
         scenario=str(data.get("scenario", "")),
         nominal_load=float(data.get("nominal_load", math.nan)),
         offered_load=float(data.get("offered_load", math.nan)),
+        fault_drops=int(data.get("fault_drops", 0)),
+        monitors=data.get("monitors"),
     )

@@ -159,6 +159,64 @@ class RoutingAlgorithm(ABC):
         dests = [n for n in self.topology.nodes() if n != source]
         return self.multicast_routes(source, dests)
 
+    # -- fault reroute -------------------------------------------------------
+    def reroute_unicast(
+        self, source: int, dest: int, dead_links: frozenset[tuple[int, int]]
+    ) -> Route | None:
+        """Shortest path from ``source`` to ``dest`` over the surviving
+        links, or None when ``dest`` is unreachable.
+
+        Default implementation: breadth-first search excluding every
+        link whose ``(src, dst)`` pair is in ``dead_links``.  Ties are
+        broken deterministically — neighbours expand in sorted
+        ``(dst, tag)`` order — so the chosen detour is identical in
+        every process, which the bitwise cross-executor contract
+        requires.  This is a cold path: the simulator caches the result
+        per fault epoch, so one BFS per (source, dest, epoch) is fine.
+
+        The route's injection ``port`` is the first surviving link's
+        tag when that names a real injection port, else the baseline
+        ``port_of`` choice: the injection channel is a modelling
+        server, not a physical constraint, so either is valid — the
+        first-link tag just keeps the detour's injection consistent
+        with the direction the worm actually leaves in.
+        """
+        self._validate_pair(source, dest)
+        adj: dict[int, list[Link]] = {}
+        for link in self.topology.links():
+            if (link.src, link.dst) in dead_links:
+                continue
+            adj.setdefault(link.src, []).append(link)
+        for links in adj.values():
+            links.sort(key=lambda l: (l.dst, l.tag))
+        prev: dict[int, Link] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier and dest not in prev:
+            nxt: list[int] = []
+            for node in frontier:
+                for link in adj.get(node, ()):
+                    if link.dst not in seen:
+                        seen.add(link.dst)
+                        prev[link.dst] = link
+                        nxt.append(link.dst)
+            frontier = nxt
+        if dest not in prev:
+            return None
+        hops: list[Link] = []
+        at = dest
+        while at != source:
+            link = prev[at]
+            hops.append(link)
+            at = link.src
+        hops.reverse()
+        port = (
+            hops[0].tag
+            if hops[0].tag in self.topology.injection_ports()
+            else self.port_of(source, dest)
+        )
+        return Route(source=source, dest=dest, port=port, links=tuple(hops))
+
     # -- helpers -------------------------------------------------------------
     def _link(self, src: int, tag: str) -> Link:
         try:

@@ -32,10 +32,17 @@ def find_wait_cycle(
     """Follow the blocked-on/held-by chain from ``start``.
 
     ``holder_of[channel]`` is the worm currently holding ``channel`` (or
-    None).  Returns the cycle as a worm list if the chain returns to a
-    previously visited worm and ``start`` belongs to the loop; otherwise
-    None.  The chain is a function (each worm blocks on at most one
-    channel, each channel has one holder) so the walk is linear.
+    None).  Returns the first cycle the chain *reaches* as a worm list
+    — whether or not ``start`` itself belongs to it.  The chain may be
+    a tail leading into a loop among downstream worms; the returned
+    ``chain[loop_start:]`` slice excludes that tail, and therefore
+    excludes ``start`` whenever ``loop_start > 0``.  That is the
+    intended semantics: recovering any reached cycle is what unblocks
+    ``start``, because teleporting one worm out of the loop frees a
+    channel the whole tail is transitively waiting on.  Returns None
+    when the chain ends at a held-but-unblocked worm (no deadlock).
+    The chain is a function (each worm blocks on at most one channel,
+    each channel has one holder) so the walk is linear.
     """
     seen: dict[int, int] = {}
     chain: list[Worm] = []

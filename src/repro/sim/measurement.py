@@ -82,7 +82,13 @@ class LatencyStats:
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self._samples:
-            raise ValueError("no samples retained")
+            if not self.keep_samples:
+                raise ValueError(
+                    "percentile() needs retained samples, but this "
+                    "LatencyStats was built with keep_samples=False; "
+                    "only streaming moments (mean/std/ci95) are available"
+                )
+            raise ValueError("no samples added yet")
         data = sorted(self._samples)
         if len(data) == 1:
             return data[0]
@@ -92,20 +98,49 @@ class LatencyStats:
         frac = pos - lo
         return data[lo] * (1.0 - frac) + data[hi] * frac
 
-    def batch_means_ci95(self, batches: int = 20) -> float:
+    def batch_means_ci95(self, batches: int = 20, *, strict: bool = False) -> float:
         """Batch-means 95% half-width: robust to autocorrelation in the
-        latency sequence (standard steady-state simulation methodology)."""
+        latency sequence (standard steady-state simulation methodology).
+
+        The critical value is Student-t at ``batches - 1`` degrees of
+        freedom via the shared table in :mod:`repro.sim.replication`
+        (exact at the tabulated knots, conservative floor lookup in
+        between, 1.96 above 30 dof).
+
+        Fallback: with fewer than ``2 * batches`` retained samples —
+        which is *always* the case when built with
+        ``keep_samples=False`` — the method falls back to the
+        normal-approximation :meth:`ci95_halfwidth` over the streaming
+        moments.  Pass ``strict=True`` to make that condition an error
+        instead of a silent degradation.
+        """
+        if batches < 2:
+            raise ValueError(f"batches must be >= 2, got {batches}")
         data = self._samples
         if len(data) < 2 * batches:
+            if strict:
+                if not self.keep_samples:
+                    raise ValueError(
+                        "batch_means_ci95(strict=True) needs retained "
+                        "samples, but this LatencyStats was built with "
+                        "keep_samples=False"
+                    )
+                raise ValueError(
+                    f"batch_means_ci95(strict=True) needs >= {2 * batches} "
+                    f"retained samples, got {len(data)}"
+                )
             return self.ci95_halfwidth()
+        # local import: replication imports the network module, which
+        # imports this one — the cycle only resolves lazily
+        from repro.sim.replication import t_quantile_975
+
         size = len(data) // batches
         means = [
             sum(data[b * size : (b + 1) * size]) / size for b in range(batches)
         ]
         grand = sum(means) / batches
         var = sum((m - grand) ** 2 for m in means) / (batches - 1)
-        # t_{0.975, 19} ~ 2.093 for the default 20 batches
-        t = 2.093 if batches == 20 else 1.96
+        t = t_quantile_975(batches - 1)
         return t * math.sqrt(var / batches)
 
     def summary(self) -> dict[str, float]:

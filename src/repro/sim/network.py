@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import TrafficSpec
+from repro.faults import FaultSpec, QoSSpec
+from repro.monitors import Monitor, build_monitors
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.arrivals import MULTICAST
 from repro.sim.measurement import LatencyStats
@@ -157,6 +159,13 @@ class SimResult:
     #: compare against :attr:`nominal_load` to catch silent rate drift in
     #: bursty or trace-driven sources
     offered_load: float = math.nan
+    #: messages lost to injected faults, at message granularity: spawn
+    #: drops (dead/unreachable endpoints, severed multicast templates)
+    #: plus in-flight teardowns (0 for a fault-free run)
+    fault_drops: int = 0
+    #: evaluation-monitor outputs keyed by monitor registry name (None
+    #: when the run requested no monitors); values are JSON-safe dicts
+    monitors: Optional[dict] = None
 
     @property
     def unicast_latency(self) -> float:
@@ -255,6 +264,380 @@ class _RunState:
         self.completed = 0
         self.generated = 0
         self.recovered_samples = 0
+
+
+class _FaultContext:
+    """Per-run fault/QoS/monitor state.
+
+    Deliberately *not* cached on the simulator: ``_cached_simulator``
+    reuses :class:`NocSimulator` instances across tasks, so everything
+    mutable about one faulted run — dead-channel sets, the in-flight
+    registry, monitor accumulators — must live and die with ``run()``.
+
+    Kill semantics keep the engine hot path untouched: a dead channel
+    is never *requested* after the kill.  At kill time every in-flight
+    worm whose path crosses a dead channel is torn down (its multicast
+    siblings with it, so loss stays message-granular), and from then on
+    new unicasts reroute over the surviving links (deterministic BFS,
+    cached per fault epoch) or drop at spawn, while multicasts whose
+    path-based template crosses the cut always drop at spawn — BRCP has
+    no alternative path, which is exactly the degradation the PDR
+    monitor is there to show.  A heal clears the dead sets and the
+    route cache; routing returns to the baseline.
+    """
+
+    def __init__(self, sim, faults, qos, monitor_names, seed):
+        self.sim = sim
+        self.faults: Optional[FaultSpec] = faults
+        self.qos: Optional[QoSSpec] = qos
+        self.monitors: list[Monitor] = build_monitors(monitor_names)
+        self.engine = None
+        self._base_pop = None
+        # live-message bookkeeping (uid -> worm / class name / priority)
+        self.inflight: dict[int, Worm] = {}
+        self.cls: dict[int, str] = {}
+        self.prio: dict[int, int] = {}
+        # id() of transactions already counted as message drops -- a
+        # membership-only identity set (never iterated), so it cannot
+        # introduce address-order nondeterminism
+        self.dropped_txns: set[int] = set()
+        self.dropped_messages = 0
+        self.spawn_drops = 0
+        # fault state: active kills and their derived channel sets
+        self.dead_link_pairs: set[tuple[int, int]] = set()
+        self.dead_nodes: set[int] = set()
+        self.dead_links: frozenset[tuple[int, int]] = frozenset()
+        self.dead_channels: frozenset[int] = frozenset()
+        self._route_cache: dict[tuple[int, int], tuple] = {}
+        # the QoS class draw gets its own stream, derived from the run
+        # seed but distinct from the arrival rng: adding QoS must never
+        # perturb the traffic pattern itself
+        self._qos_rng = (
+            np.random.default_rng([0x716F73, seed]) if qos is not None else None
+        )
+        self._link_channels: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._node_pairs: dict[int, frozenset[tuple[int, int]]] = {}
+        self._node_local: dict[int, frozenset[int]] = {}
+        if faults is not None:
+            self._build_tables()
+
+    # -- construction -------------------------------------------------- #
+    def _build_tables(self) -> None:
+        sim = self.sim
+        graph = sim.graph
+        topo = sim.topology
+        link_channels: dict[tuple[int, int], list[int]] = {}
+        for link in topo.links():
+            base = graph.network(link)
+            chans = [base]
+            for lane in range(1, sim.lanes):
+                ch = sim._lane_index.get((base, lane))
+                if ch is not None:
+                    chans.append(ch)
+            link_channels.setdefault((link.src, link.dst), []).extend(chans)
+        self._link_channels = {k: tuple(v) for k, v in link_channels.items()}
+        n = topo.num_nodes
+        for ev in self.faults.events:
+            if ev.kind == "link":
+                if (ev.src, ev.dst) not in self._link_channels:
+                    raise ValueError(
+                        f"fault names link ({ev.src}, {ev.dst}) but "
+                        f"{topo.name} has no such link"
+                    )
+            else:
+                node = ev.node
+                if not 0 <= node < n:
+                    raise ValueError(
+                        f"fault names node {node} but {topo.name} has "
+                        f"{n} nodes"
+                    )
+                if node in self._node_pairs:
+                    continue
+                pairs = {
+                    (l.src, l.dst)
+                    for l in (*topo.in_links(node), *topo.out_links(node))
+                }
+                self._node_pairs[node] = frozenset(pairs)
+                local = {
+                    graph.injection(node, port)
+                    for port in topo.injection_ports()
+                }
+                local.update(
+                    graph.ejection(node, tag) for tag in topo.input_tags(node)
+                )
+                self._node_local[node] = frozenset(local)
+
+    def bind(self, engine) -> None:
+        """Attach to the freshly built engine: schedule the fault events,
+        swap in priority arbitration, bounce any compiled fast path."""
+        self.engine = engine
+        if self.faults is not None:
+            engine.disable_native("fault injection active")
+            for ev in self.faults.events:
+                engine.events.schedule(ev.time, self._make_callback(ev))
+        if self.qos is not None:
+            engine.disable_native("QoS priority arbitration active")
+            self._base_pop = engine.state.fifo_pop
+            engine._fifo_pop = self._priority_pop
+
+    # -- QoS ------------------------------------------------------------ #
+    def _priority_pop(self, ch: int):
+        """Grant the highest-priority waiter (FIFO within a priority
+        level).  Swapped into ``engine._fifo_pop``; delegates to the
+        plain head pop whenever the head already wins, so the channel
+        state's cursor/compaction invariants stay intact."""
+        state = self.engine.state
+        q = state.fifos[ch]
+        h = state.fifo_heads[ch]
+        n = len(q)
+        if n - h > 1:
+            prio = self.prio
+            best = h
+            bp = prio.get(q[h].uid, 0)
+            for i in range(h + 1, n):
+                p = prio.get(q[i].uid, 0)
+                if p > bp:
+                    best = i
+                    bp = p
+            if best != h:
+                # best > h: removing it leaves the head cursor aligned
+                w = q[best]
+                del q[best]
+                return w
+        return self._base_pop(ch)
+
+    def assign_class(self) -> tuple[int, str]:
+        if self.qos is None:
+            return 0, ""
+        u = self._qos_rng.random()
+        acc = 0.0
+        classes = self.qos.classes
+        for c in classes:
+            acc += c.share
+            if u < acc:
+                return c.priority, c.name
+        c = classes[-1]  # guard against cumulative rounding
+        return c.priority, c.name
+
+    # -- fault transitions ---------------------------------------------- #
+    def _make_callback(self, ev):
+        def fire() -> None:
+            t = self.engine.events.now
+            if ev.kind == "link":
+                pair = (ev.src, ev.dst)
+                if ev.action == "kill":
+                    self.dead_link_pairs.add(pair)
+                else:
+                    self.dead_link_pairs.discard(pair)
+            elif ev.action == "kill":
+                self.dead_nodes.add(ev.node)
+            else:
+                self.dead_nodes.discard(ev.node)
+            self._recompute()
+            for m in self.monitors:
+                m.on_fault(t, ev)
+            if ev.action == "kill":
+                self._drop_dead_inflight(t)
+
+        return fire
+
+    def _recompute(self) -> None:
+        pairs = set(self.dead_link_pairs)
+        for node in self.dead_nodes:
+            pairs |= self._node_pairs[node]
+        self.dead_links = frozenset(pairs)
+        chans: set[int] = set()
+        for pair in pairs:
+            chans.update(self._link_channels[pair])
+        for node in self.dead_nodes:
+            chans.update(self._node_local[node])
+        self.dead_channels = frozenset(chans)
+        self._route_cache.clear()
+
+    def _drop_dead_inflight(self, t: float) -> None:
+        dead = self.dead_channels
+        if not dead:
+            return
+        victims = []
+        dead_txns = set()
+        for uid in sorted(self.inflight):
+            worm = self.inflight[uid]
+            # a worm's full path is checked, not just the channels still
+            # ahead: a rigid train spans most of its path at once, and a
+            # message whose route crosses the cut is lost in any
+            # physical reading
+            if not worm.done and not dead.isdisjoint(worm.path):
+                victims.append(worm)
+                if worm.transaction is not None:
+                    dead_txns.add(id(worm.transaction))
+        if dead_txns:
+            # losing one port worm loses the whole multicast message:
+            # pull the surviving siblings down with it
+            vset = {w.uid for w in victims}
+            for uid in sorted(self.inflight):
+                worm = self.inflight[uid]
+                if (
+                    uid not in vset
+                    and not worm.done
+                    and worm.transaction is not None
+                    and id(worm.transaction) in dead_txns
+                ):
+                    victims.append(worm)
+            victims.sort(key=lambda w: w.uid)
+        for worm in victims:
+            # a victim may have legitimately completed mid-sweep (an
+            # earlier teardown released the channel it was waiting for)
+            if worm.done:
+                continue
+            self.engine.drop_worm(worm, t)
+            txn = worm.transaction
+            if txn is None:
+                self._note_flight_drop(t, worm.uid)
+            elif id(txn) not in self.dropped_txns:
+                self.dropped_txns.add(id(txn))
+                self._note_flight_drop(t, worm.uid)
+            self.forget(worm.uid)
+
+    def _note_flight_drop(self, t: float, uid: int) -> None:
+        self.dropped_messages += 1
+        cname = self.cls.get(uid, "")
+        for m in self.monitors:
+            m.on_drop(t, uid=uid, cls=cname)
+
+    # -- spawn-time routing --------------------------------------------- #
+    def unicast_channels(self, node: int, dest: int):
+        """(engine channel sequence, rerouted) — or (None, False) when
+        the message cannot be delivered and must drop at spawn."""
+        base = self.sim._unicast_channels(node, dest)
+        if not self.dead_channels and not self.dead_nodes:
+            return base, False
+        if node in self.dead_nodes or dest in self.dead_nodes:
+            return None, False
+        key = (node, dest)
+        hit = self._route_cache.get(key)
+        if hit is not None:
+            return hit
+        dead = self.dead_channels
+        if dead.isdisjoint(base):
+            out = (base, False)
+        elif self.faults is not None and self.faults.reroute:
+            route = self.sim.routing.reroute_unicast(node, dest, self.dead_links)
+            if route is None:
+                out = (None, False)
+            else:
+                seq = self.sim._route_engine_channels(route)
+                out = (None, False) if not dead.isdisjoint(seq) else (seq, True)
+        else:
+            out = (None, False)
+        self._route_cache[key] = out
+        return out
+
+    def multicast_blocked(self, node: int, worms) -> bool:
+        if node in self.dead_nodes:
+            return True
+        dead = self.dead_channels
+        if not dead:
+            return False
+        for seq, _clones in worms:
+            if not dead.isdisjoint(seq):
+                return True
+        return False
+
+    # -- message lifecycle ---------------------------------------------- #
+    def note_unicast_spawn(self, worm, t, hops, baseline_hops, rerouted) -> None:
+        prio, cname = self.assign_class()
+        uid = worm.uid
+        self.inflight[uid] = worm
+        if self.qos is not None:
+            self.cls[uid] = cname
+            if prio:
+                self.prio[uid] = prio
+        for m in self.monitors:
+            m.on_spawn(
+                t, uid=uid, cls=cname, hops=hops,
+                baseline_hops=baseline_hops, rerouted=rerouted,
+                multicast=False,
+            )
+
+    def note_multicast_spawn(self, created, t) -> None:
+        prio, cname = self.assign_class()
+        for w in created:
+            self.inflight[w.uid] = w
+            if self.qos is not None:
+                self.cls[w.uid] = cname
+                if prio:
+                    self.prio[w.uid] = prio
+        for m in self.monitors:
+            m.on_spawn(
+                t, uid=created[0].uid, cls=cname, hops=0, baseline_hops=0,
+                rerouted=False, multicast=True,
+            )
+
+    def note_spawn_drop(self, t, multicast) -> None:
+        self.spawn_drops += 1
+        self.dropped_messages += 1
+        for m in self.monitors:
+            m.on_spawn_drop(t, multicast=multicast)
+
+    def note_complete(self, uid, t_done, latency, measured, recovered, multicast) -> None:
+        cname = self.cls.get(uid, "")
+        for m in self.monitors:
+            m.on_complete(
+                t_done, uid=uid, cls=cname, latency=latency,
+                measured=measured, recovered=recovered, multicast=multicast,
+            )
+        self.forget(uid)
+
+    def forget(self, uid) -> None:
+        self.inflight.pop(uid, None)
+        self.cls.pop(uid, None)
+        self.prio.pop(uid, None)
+
+    def finalize(self, engine) -> Optional[dict]:
+        if not self.monitors:
+            return None
+        return {m.name: m.finalize(engine) for m in self.monitors}
+
+
+class _MonitorStatsTracer(_StatsTracer):
+    """:class:`_StatsTracer` plus the fault/monitor context hooks.
+
+    Defines the same two hooks only (``on_clone_absorbed`` inherited,
+    ``on_complete`` extended), so ballistic completion stays available
+    and the statistics fed to ``_RunState`` are computed exactly as the
+    plain tracer computes them.
+    """
+
+    def __init__(self, sim: "_RunState", ctx: _FaultContext):
+        super().__init__(sim)
+        self.ctx = ctx
+
+    def on_complete(self, worm: Worm, t_done: float, recovered: bool) -> None:
+        s = self.sim
+        ctx = self.ctx
+        measured = worm.creation_time >= s.warmup
+        if recovered and measured:
+            s.recovered_samples += 1
+        if worm.klass is WormClass.UNICAST:
+            s.completed += 1
+            latency = t_done - worm.creation_time
+            if measured:
+                s.unicast.add(latency)
+            ctx.note_complete(worm.uid, t_done, latency, measured, recovered, False)
+        else:
+            txn: MulticastTransaction = worm.transaction  # type: ignore[assignment]
+            if recovered:
+                txn.recovered = True
+            txn.note_absorption(t_done)
+            if txn.worm_finished():
+                s.completed += 1
+                if txn.measured:
+                    s.multicast.add(txn.latency)
+                ctx.note_complete(
+                    worm.uid, t_done, txn.latency, txn.measured, txn.recovered, True
+                )
+            else:
+                ctx.forget(worm.uid)
 
 
 #: link tags that ride a ring and need dateline lanes for deadlock freedom
@@ -424,6 +807,9 @@ class NocSimulator:
         source: Optional[SourceSpec] = None,
         measure_utilization: bool = False,
         arrival_log: Optional[list] = None,
+        faults: Optional[FaultSpec] = None,
+        qos: Optional[QoSSpec] = None,
+        monitors: tuple = (),
     ) -> SimResult:
         """Run one simulation.
 
@@ -438,6 +824,25 @@ class NocSimulator:
             When given, every arrival the stream produces is appended as
             ``(t, node, dest)`` -- the recording tap for
             :mod:`repro.traffic.trace`.
+        faults:
+            Optional :class:`~repro.faults.FaultSpec`: link/node
+            kill+heal events fired as scheduled engine events at their
+            exact timestamps (see :class:`_FaultContext` for the kill
+            semantics).  Forces the pure-Python engine (documented
+            bounce on the compiled kernel), which keeps results
+            bit-identical across all three kernels.
+        qos:
+            Optional :class:`~repro.faults.QoSSpec`: each message draws
+            a traffic class from a dedicated deterministic stream and
+            channel arbitration grants the highest-priority waiter
+            first (FIFO within a class).  Also bounces the compiled
+            kernel.
+        monitors:
+            Names from :data:`repro.monitors.MONITORS` to run;
+            outputs land in :attr:`SimResult.monitors`.  Monitors only
+            observe, so a monitors-only run (no faults/qos) stays on
+            whatever kernel is resolved and remains bitwise identical
+            to an unmonitored run.
         """
         config = config or SimConfig()
         source = source if source is not None else DEFAULT_SOURCE
@@ -456,7 +861,12 @@ class NocSimulator:
         queue_cls, engine_cls = KERNELS[self.kernel]
         events = queue_cls()
         state = _RunState(config.warmup_cycles)
-        tracer = _StatsTracer(state)
+        ctx: Optional[_FaultContext] = None
+        if faults is not None or qos is not None or monitors:
+            ctx = _FaultContext(self, faults, qos, monitors, config.seed)
+            tracer = _MonitorStatsTracer(state, ctx)
+        else:
+            tracer = _StatsTracer(state)
         util_tracer: Optional[ChannelUtilizationTracer] = None
         if measure_utilization:
             util_tracer = ChannelUtilizationTracer(
@@ -464,6 +874,8 @@ class NocSimulator:
             )
             tracer = CompositeTracer([tracer, util_tracer])
         engine = engine_cls(self._num_engine_channels, events, tracer)
+        if ctx is not None:
+            ctx.bind(engine)
 
         max_in_flight = config.resolved_max_in_flight(n)
         msg_len = spec.message_length
@@ -520,6 +932,57 @@ class NocSimulator:
             last = len(created) - 1
             for i, worm in enumerate(created):
                 engine.inject(worm, t, fast=i == last)
+
+        if ctx is not None:
+            # fault/monitor variant of the closure above: same generated
+            # accounting and injection ordering, plus spawn-time fault
+            # routing and the context's message-lifecycle hooks
+            def spawn(t: float, node: int, dest: int) -> None:
+                if dest != MULTICAST:
+                    state.generated += 1
+                    chans, rerouted = ctx.unicast_channels(node, dest)
+                    if chans is None:
+                        ctx.note_spawn_drop(t, multicast=False)
+                        return
+                    worm = Worm(
+                        next_uid(), WormClass.UNICAST, node, t, chans, msg_len
+                    )
+                    # channel sequences carry injection + ejection ends;
+                    # hop-stretch compares network links only
+                    ctx.note_unicast_spawn(
+                        worm, t, hops=len(chans) - 2,
+                        baseline_hops=len(self._unicast_channels(node, dest)) - 2,
+                        rerouted=rerouted,
+                    )
+                    engine.inject(worm, t)
+                    return
+                worms = mtemplates[node]
+                if not worms:
+                    return
+                state.generated += 1
+                if ctx.multicast_blocked(node, worms):
+                    ctx.note_spawn_drop(t, multicast=True)
+                    return
+                txn = MulticastTransaction(
+                    t, pending=len(worms), measured=t >= warmup
+                )
+                created = [
+                    Worm(
+                        next_uid(),
+                        WormClass.MULTICAST,
+                        node,
+                        t,
+                        seq,
+                        msg_len,
+                        clone_positions=clone_pos,
+                        transaction=txn,
+                    )
+                    for seq, clone_pos in worms
+                ]
+                ctx.note_multicast_spawn(created, t)
+                last = len(created) - 1
+                for i, worm in enumerate(created):
+                    engine.inject(worm, t, fast=i == last)
 
         emit: Callable[[float, int, int], None] = spawn
         if arrival_log is not None:
@@ -583,6 +1046,8 @@ class NocSimulator:
             source=source.label,
             nominal_load=nominal,
             offered_load=measured,
+            fault_drops=ctx.dropped_messages if ctx is not None else 0,
+            monitors=ctx.finalize(engine) if ctx is not None else None,
         )
         self._observed_depth = peak_pending
         return result

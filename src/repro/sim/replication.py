@@ -44,7 +44,7 @@ __all__ = [
 _T_975 = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
     6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
-    12: 2.179, 14: 2.145, 16: 2.120, 18: 2.101, 20: 2.086,
+    12: 2.179, 14: 2.145, 16: 2.120, 18: 2.101, 19: 2.093, 20: 2.086,
     24: 2.064, 30: 2.042,
 }
 

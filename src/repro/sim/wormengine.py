@@ -165,6 +165,7 @@ class WormEngine:
         self._fifo_pop = self.state.fifo_pop
         self.deadlock_recoveries = 0
         self.active_worms = 0
+        self.fault_drops = 0
         # resolve tracer hooks once; None means "never call" (hot path)
         hooked = None if isinstance(self.tracer, NullTracer) else self.tracer
         self._on_acquire = getattr(hooked, "on_acquire", None)
@@ -646,6 +647,14 @@ class WormEngine:
 
     # ------------------------------------------------------------------ #
     def _recover(self, cycle: list[Worm], t: float) -> None:
+        """Teleport the youngest worm out of ``cycle``.
+
+        ``cycle`` is whatever loop :func:`find_wait_cycle` *reached*
+        from the worm whose block triggered detection — which may
+        exclude that worm entirely (a tail leading into a downstream
+        loop).  Recovering any reached cycle is sufficient: freeing one
+        of the loop's channels unblocks the whole waiting tail.
+        """
         self.deadlock_recoveries += 1
         victim = choose_victim(cycle)
         if victim.blocked_on is not None:
@@ -662,6 +671,45 @@ class WormEngine:
         self.active_worms -= 1
         if self._on_complete is not None:
             self._on_complete(victim, victim.ideal_remaining_time(t), True)
+
+    # ------------------------------------------------------------------ #
+    def drop_worm(self, worm: Worm, t: float) -> None:
+        """Tear ``worm`` down mid-flight because a fault killed a channel
+        it holds or still needs.
+
+        Same mechanics as deadlock recovery's teardown — dequeue from
+        the blocked-on FIFO, release every held channel (waking FIFO
+        waiters), mark done — but the worm is *lost*, not teleported:
+        ``on_complete`` is never called (a dropped message is not a
+        latency sample) and the loss is counted in ``fault_drops``
+        instead of ``deadlock_recoveries``.
+        """
+        if worm.done:
+            return
+        if worm.blocked_on is not None:
+            self.state.fifo_remove(worm.blocked_on, worm)
+            worm.blocked_on = None
+        for pos, ch in worm.held_channels():
+            if self.holders[ch] is worm:
+                if self._on_release is not None:
+                    self._on_release(worm, pos, t)
+                self.holders[ch] = None
+                if self.fifos[ch]:
+                    self._grant(self._fifo_pop(ch), ch, t)
+        worm.done = True
+        self.active_worms -= 1
+        self.fault_drops += 1
+
+    def disable_native(self, reason: str) -> None:
+        """Turn off any compiled fast path for this engine instance.
+
+        No-op for the pure-Python kernels; :class:`CWormEngine`
+        overrides it.  The fault/QoS machinery calls this because the
+        native stepper models neither mid-run channel-state mutation
+        from EV_CALL callbacks nor non-FIFO arbitration — the run then
+        takes the pure-Python oracle path, which stays bit-identical
+        across all three kernels.
+        """
 
 
 class HeapWormEngine(WormEngine):
@@ -696,6 +744,7 @@ class HeapWormEngine(WormEngine):
         self._fifo_pop = self.state.fifo_pop
         self.deadlock_recoveries = 0
         self.active_worms = 0
+        self.fault_drops = 0
         hooked = None if isinstance(self.tracer, NullTracer) else self.tracer
         self._on_acquire = getattr(hooked, "on_acquire", None)
         self._on_release = getattr(hooked, "on_release", None)
@@ -932,6 +981,16 @@ class CWormEngine(WormEngine):
             if self._cstep.inject(self, worm, t, fast):
                 return
         super().inject(worm, t, fast=fast)
+
+    # ------------------------------------------------------------------ #
+    def disable_native(self, reason: str) -> None:
+        """Permanently bounce this engine instance to the pure-Python
+        oracle (counted per run in ``py_fallback_runs``); ``reason``
+        lands in ``c_inactive_reason`` for provenance."""
+        self._c_ok = False
+        self._cstep = None
+        if self.c_inactive_reason is None:
+            self.c_inactive_reason = reason
 
 
 def c_kernel_status() -> tuple[bool, Optional[str]]:

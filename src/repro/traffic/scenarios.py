@@ -42,6 +42,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.model import AnalyticalModel
+from repro.faults import FaultSpec, QoSClass, QoSSpec, link_kill, link_heal
+from repro.monitors import MONITORS
 from repro.experiments.runner import (
     SweepPoint,
     apply_adaptive_point,
@@ -96,6 +98,15 @@ class Scenario:
     rates: tuple[float, ...] = ()
     one_port: bool = False
     seed: int = 2009
+    #: fault schedule applied to every point of the sweep; None means a
+    #: fault-free study (and is omitted from ``to_dict``/the key, so
+    #: every pre-fault scenario key is unchanged)
+    faults: Optional[FaultSpec] = None
+    #: per-class prioritised-traffic spec; None means classless FIFO
+    qos: Optional[QoSSpec] = None
+    #: evaluation-monitor names attached to every point (see
+    #: :data:`repro.monitors.MONITORS`)
+    monitors: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,6 +129,18 @@ class Scenario:
             raise ValueError("a scenario needs load_fractions or rates")
         if isinstance(self.source, dict):
             object.__setattr__(self, "source", source_from_dict(self.source))
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.qos is not None and not isinstance(self.qos, QoSSpec):
+            object.__setattr__(self, "qos", QoSSpec.from_dict(self.qos))
+        if not isinstance(self.monitors, tuple):
+            object.__setattr__(self, "monitors", tuple(self.monitors))
+        unknown_monitors = [m for m in self.monitors if m not in MONITORS]
+        if unknown_monitors:
+            raise ValueError(
+                f"unknown monitors {unknown_monitors}; "
+                f"known: {sorted(MONITORS)}"
+            )
 
     # ------------------------------------------------------------------ #
     def task(self, rate: float, sim: SimConfig, *, label: str = "") -> SimTask:
@@ -138,6 +161,9 @@ class Scenario:
             # and therefore the cache entry -- is identical to what the
             # sweep/grid commands have always produced
             source=self.source if self.source != DEFAULT_SOURCE else None,
+            faults=self.faults,
+            qos=self.qos,
+            monitors=self.monitors,
             scenario=self.name,
             label=label or f"{self.name}@{rate:.6g}",
         )
@@ -226,6 +252,21 @@ class Scenario:
         d["load_fractions"] = list(self.load_fractions)
         d["rates"] = list(self.rates)
         d["source"] = self.source.as_dict()
+        # defaults are omitted entirely (mirroring SimTask.canonical), so
+        # every pre-fault scenario dict -- and with it the scenario key
+        # -- is byte-identical to what earlier versions produced
+        if self.faults is None:
+            d.pop("faults")
+        else:
+            d["faults"] = self.faults.as_dict()
+        if self.qos is None:
+            d.pop("qos")
+        else:
+            d["qos"] = self.qos.as_dict()
+        if not self.monitors:
+            d.pop("monitors")
+        else:
+            d["monitors"] = list(self.monitors)
         d["format_version"] = SCENARIO_FORMAT_VERSION
         return d
 
@@ -241,7 +282,11 @@ class Scenario:
             raise ValueError(f"unknown Scenario fields: {sorted(unknown)}")
         if isinstance(data.get("source"), dict):
             data["source"] = source_from_dict(data["source"])
-        for attr in ("network_args", "load_fractions", "rates"):
+        if isinstance(data.get("faults"), dict):
+            data["faults"] = FaultSpec.from_dict(data["faults"])
+        if isinstance(data.get("qos"), dict):
+            data["qos"] = QoSSpec.from_dict(data["qos"])
+        for attr in ("network_args", "load_fractions", "rates", "monitors"):
             if attr in data:
                 data[attr] = tuple(data[attr])
         return cls(**data)
@@ -469,6 +514,42 @@ SCENARIOS: dict[str, Scenario] = {
                 kind="hotspot", base=_ONOFF,
                 hotspots=(0,), hotspot_factor=8.0,
             ),
+        ),
+        _quarc16(
+            "link-kill",
+            "Fault-injection study on the baseline panel: both "
+            "directions of the rim link 0<->1 die mid-measurement and "
+            "heal later, with two-priority QoS traffic and the full "
+            "monitor suite -- PDR, per-class latency, hop stretch and "
+            "deadlock recoveries quantify the degraded epoch.",
+            source=SourceSpec(
+                kind="hotspot", base=SourceSpec(),
+                hotspots=(0,), hotspot_factor=8.0,
+            ),
+            faults=FaultSpec(
+                events=(
+                    link_kill(2_500.0, 0, 1),
+                    link_kill(2_500.0, 1, 0),
+                    link_heal(9_000.0, 0, 1),
+                    link_heal(9_000.0, 1, 0),
+                )
+            ),
+            qos=QoSSpec(
+                classes=(
+                    QoSClass("bulk", 0.75, priority=0),
+                    QoSClass("express", 0.25, priority=1),
+                )
+            ),
+            monitors=("pdr", "class-latency", "hop-stretch", "deadlock"),
+        ),
+        _quarc16(
+            "deadlock-onset",
+            "Deadlock-onset sweep: the baseline panel pushed through "
+            "and past the occupancy model's saturation estimate.  "
+            "Points with recoveries > 0 are past the model's validity "
+            "range -- the divergence panel flags them.",
+            load_fractions=(0.8, 0.9, 1.0, 1.1),
+            monitors=("deadlock",),
         ),
         Scenario(
             name="mesh-onoff",

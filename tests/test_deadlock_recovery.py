@@ -9,6 +9,7 @@ blocks, teleport the youngest, and let the rest drain normally.
 
 import pytest
 
+from repro.sim.deadlock import choose_victim, find_wait_cycle
 from repro.sim.engine import EventQueue
 from repro.sim.worm import Worm, WormClass
 from repro.sim.wormengine import WormEngine
@@ -83,6 +84,51 @@ class TestDeadlockRecovery:
         engine, _ = self.run_ring()
         assert all(h is None for h in engine.holders)
         assert all(not q for q in engine.fifos)
+
+    def test_chain_into_cycle_excluding_start(self):
+        """A tail worm whose wait chain *leads into* a loop it does not
+        belong to: ``find_wait_cycle`` returns the loop (excluding the
+        tail), and recovering that loop's victim is what unblocks the
+        tail -- the documented semantics.
+
+        Layout: start(0) waits on ch1 held by w1; w1 -> w2 -> w3 -> w1
+        is the loop.  The walk is start, w1, w2, w3, back to w1, so the
+        returned slice is [w1, w2, w3].
+        """
+
+        def worm(uid, t0, holds, waits_on):
+            w = Worm(uid, WormClass.UNICAST, 0, t0, (holds, 100 + uid), 4)
+            w.blocked_on = waits_on
+            return w
+
+        start = worm(0, 5.0, 0, 1)
+        w1 = worm(1, 1.0, 1, 2)
+        w2 = worm(2, 2.0, 2, 3)
+        w3 = worm(3, 3.0, 3, 1)
+        holder_of = [start, w1, w2, w3]
+
+        cycle = find_wait_cycle(start, holder_of)
+        assert cycle is not None
+        assert [w.uid for w in cycle] == [1, 2, 3]
+        assert start not in cycle
+        # the victim comes from the loop, never the tail -- teleporting
+        # it frees the channel the whole tail transitively waits on
+        assert choose_victim(cycle) is w3
+
+    def test_chain_ending_unblocked_is_no_cycle(self):
+        """The same tail, but the loop is broken (w3 holds and moves):
+        the walk ends at a held-but-unblocked worm and returns None."""
+
+        def worm(uid, holds, waits_on):
+            w = Worm(uid, WormClass.UNICAST, 0, float(uid), (holds, 100 + uid), 4)
+            w.blocked_on = waits_on
+            return w
+
+        start = worm(0, 0, 1)
+        w1 = worm(1, 1, 2)
+        w2 = worm(2, 2, 3)
+        w3 = worm(3, 3, None)  # holding channel 3, not blocked
+        assert find_wait_cycle(start, [start, w1, w2, w3]) is None
 
     def test_no_recovery_without_cycle(self):
         """The same worms, serialised in time: no deadlock, no recovery."""

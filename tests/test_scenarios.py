@@ -17,6 +17,7 @@ import warnings
 
 import pytest
 
+from repro.faults import FaultSpec, QoSClass, QoSSpec, link_kill
 from repro.experiments.compare import (
     divergence_panels,
     render_divergence_summary,
@@ -136,6 +137,12 @@ TASK_PERTURBATIONS = {
     "sim": SimConfig(seed=12),
     "one_port": True,
     "source": SourceSpec(kind="cbr"),
+    "faults": FaultSpec(events=(link_kill(500.0, 0, 1),)),
+    "qos": QoSSpec(classes=(
+        QoSClass("bulk", 0.5, priority=0),
+        QoSClass("express", 0.5, priority=1),
+    )),
+    "monitors": ("pdr",),
 }
 #: descriptive fields, deliberately outside the hash
 TASK_DESCRIPTIVE = {"label", "scenario"}
@@ -179,6 +186,12 @@ SCENARIO_PERTURBATIONS = {
     "rates": (0.001, 0.002),
     "one_port": True,
     "seed": 4,
+    "faults": FaultSpec(events=(link_kill(500.0, 0, 1),)),
+    "qos": QoSSpec(classes=(
+        QoSClass("bulk", 0.5, priority=0),
+        QoSClass("express", 0.5, priority=1),
+    )),
+    "monitors": ("pdr",),
 }
 SCENARIO_DESCRIPTIVE = {"name", "description"}
 

@@ -151,6 +151,126 @@ class TestLatencyStatsReference:
         assert stats.batch_means_ci95() > 0.0
 
 
+def reference_batch_means(data, batches, t):
+    """Brute-force numpy reference of the batch-means half-width with an
+    externally supplied critical value."""
+    size = len(data) // batches
+    means = np.array(
+        [np.mean(data[b * size : (b + 1) * size]) for b in range(batches)]
+    )
+    return t * float(np.std(means, ddof=1)) / math.sqrt(batches)
+
+
+class TestBatchMeansReference:
+    """Pin ``batch_means_ci95`` against scipy-derived critical values.
+
+    It once hard-coded ``t = 2.093 if batches == 20 else 1.96`` -- right
+    only at exactly 20 batches.  It now delegates to the shared
+    replication table, so every batch count must track the exact scipy
+    quantile (to the table's knot precision) instead of silently using
+    the normal value.
+    """
+
+    #: scipy t.ppf(0.975, batches - 1) to 4 decimals
+    EXACT = {5: 2.7764, 10: 2.2622, 20: 2.0930, 40: 2.0227}
+
+    @staticmethod
+    def _stats(n=4000, seed=11):
+        rng = np.random.default_rng(seed)
+        data = np.abs(rng.gamma(4.0, 12.0, n))
+        stats = LatencyStats()
+        stats.extend(data)
+        return stats, data
+
+    @pytest.mark.parametrize("batches", [5, 10, 20])
+    def test_matches_scipy_reference(self, batches):
+        """Tabulated dof (4, 9, 19): the half-width must match the
+        scipy-quantile reference to the table's rounding (3 decimals on
+        the critical value)."""
+        stats, data = self._stats()
+        got = stats.batch_means_ci95(batches)
+        ref = reference_batch_means(data, batches, self.EXACT[batches])
+        assert got == pytest.approx(ref, rel=1e-3)
+
+    def test_twenty_batches_uses_exact_knot(self):
+        """The historical special case (t=2.093 at 20 batches) is now a
+        table knot: the value must be bitwise what the shared table
+        serves, and that must equal the old constant."""
+        from repro.sim.replication import t_quantile_975
+
+        assert t_quantile_975(19) == 2.093
+        stats, data = self._stats()
+        assert stats.batch_means_ci95(20) == pytest.approx(
+            reference_batch_means(data, 20, 2.093), rel=1e-12
+        )
+
+    def test_forty_batches_documented_normal_fallback(self):
+        """dof 39 is past the table (> 30): the module uses 1.96, which
+        understates the exact 2.0227 by ~3.1% -- documented, bounded."""
+        stats, data = self._stats()
+        got = stats.batch_means_ci95(40)
+        assert got == pytest.approx(
+            reference_batch_means(data, 40, 1.96), rel=1e-12
+        )
+        exact = reference_batch_means(data, 40, self.EXACT[40])
+        assert got < exact
+        assert (exact - got) / exact < 0.032
+
+    def test_batches_below_two_rejected(self):
+        stats, _ = self._stats(n=100)
+        with pytest.raises(ValueError, match="batches must be >= 2"):
+            stats.batch_means_ci95(1)
+
+    def test_strict_raises_on_short_series(self):
+        stats = LatencyStats()
+        stats.extend(range(1, 11))
+        with pytest.raises(ValueError, match="needs >= 40 retained samples"):
+            stats.batch_means_ci95(20, strict=True)
+        # non-strict: documented fallback to the normal interval
+        assert stats.batch_means_ci95(20) == stats.ci95_halfwidth()
+
+
+class TestKeepSamplesFalseDiagnostics:
+    """``keep_samples=False`` keeps streaming moments only; the
+    sample-dependent methods must say so by name instead of claiming
+    "no samples added yet"."""
+
+    @staticmethod
+    def _streaming_stats():
+        stats = LatencyStats(keep_samples=False)
+        stats.extend([10.0, 12.0, 14.0, 16.0] * 30)
+        return stats
+
+    def test_percentile_names_keep_samples(self):
+        stats = self._streaming_stats()
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            stats.percentile(50.0)
+
+    def test_percentile_empty_but_keeping(self):
+        with pytest.raises(ValueError, match="no samples added yet"):
+            LatencyStats().percentile(50.0)
+
+    def test_batch_means_falls_back_to_normal_ci(self):
+        stats = self._streaming_stats()
+        assert stats.batch_means_ci95() == stats.ci95_halfwidth()
+
+    def test_batch_means_strict_names_keep_samples(self):
+        stats = self._streaming_stats()
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            stats.batch_means_ci95(strict=True)
+
+    def test_streaming_moments_unaffected(self):
+        kept = LatencyStats()
+        streaming = LatencyStats(keep_samples=False)
+        rng = np.random.default_rng(5)
+        for v in np.abs(rng.normal(30.0, 6.0, 500)):
+            kept.add(v)
+            streaming.add(v)
+        assert streaming.mean == kept.mean
+        assert streaming.variance == kept.variance
+        assert streaming.ci95_halfwidth() == kept.ci95_halfwidth()
+
+
 class TestMserInvariants:
     @pytest.mark.parametrize("seed", range(6))
     def test_randomized_invariants(self, seed):
