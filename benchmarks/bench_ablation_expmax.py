@@ -9,7 +9,6 @@ recursions, and the naive estimate -- showing (a) naive underpredicts,
 
 import math
 
-import pytest
 
 from repro.core import AnalyticalModel, TrafficSpec
 from repro.routing import QuarcRouting

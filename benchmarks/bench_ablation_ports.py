@@ -7,7 +7,6 @@ the simulator, across offered loads.
 
 import math
 
-import pytest
 
 from repro.core import AnalyticalModel, TrafficSpec
 from repro.routing import QuarcRouting

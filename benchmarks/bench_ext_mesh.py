@@ -1,7 +1,6 @@
 """Experiment X-mesh: the paper's Section 5 future work -- the multicast
 model applied to multi-port mesh and torus with column-path multicast."""
 
-import math
 
 import pytest
 

@@ -8,7 +8,7 @@ the flit-level wormhole simulator -- the whole paper in ~40 lines.
 Run:  python examples/quickstart.py
 """
 
-from repro import AnalyticalModel, NocSimulator, SimConfig, TrafficSpec, quarc_model
+from repro import NocSimulator, SimConfig, TrafficSpec, quarc_model
 from repro.workloads import random_multicast_sets
 
 

@@ -1,0 +1,75 @@
+"""Contract-aware static analysis (``python -m repro lint``).
+
+The test suite proves the repo's core contracts *dynamically*: golden
+seeds pin determinism, the forgot-to-hash-it suite perturbs every
+dataclass field, the distributed tests push real pickles over real
+sockets.  This package encodes the same contracts *statically*, so a
+violating line fails ``lint`` at review time instead of failing a test
+after the violating code has already run:
+
+``determinism``
+    No ambient randomness or wall-clock reads in the simulation core
+    (``sim/``, ``traffic/``, ``workloads/``, ``routing/``,
+    ``topology/``, ``core/``, ``faults.py``, ``monitors.py``): no
+    ``random`` module, no ``time.time()``, no ``os.urandom``, no *bare*
+    ``np.random.default_rng()`` -- every generator must be seeded so it
+    traces to the run's SeedSequence.  Canonicalization functions
+    (``canonical``/``as_dict``/``to_json``/``*_key``) must sort:
+    ``json.dumps`` needs ``sort_keys=True`` and set/dict-view iteration
+    must go through ``sorted()``.
+
+``hash-coverage``
+    Every field of a canonicalizing dataclass (one defining
+    ``canonical``/``to_dict``/``as_dict``) appears in its canonical
+    dict, or is explicitly excluded with a justified suppression -- the
+    static twin of the runtime forgot-to-hash-it suite.
+
+``picklable``
+    Types crossing the distributed frame boundary (protocol messages,
+    and any class marked ``# repro-lint: boundary``) must not capture
+    lambdas, locks, sockets, open files or generators in instance
+    state.
+
+``frame-registry``
+    Every protocol message class is registered and versioned in
+    :data:`repro.distributed.protocol.MESSAGE_TYPES`.
+
+Findings are suppressed per line with ``# repro-lint: ok <rule> --
+<reason>`` (the reason is mandatory; an unjustified suppression is
+itself a finding).  Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.frames import FrameRegistryRule
+from repro.analysis.framework import (
+    Finding,
+    LintModule,
+    Rule,
+    iter_python_files,
+    load_module,
+    run_lint,
+)
+from repro.analysis.hashcov import HashCoverageRule
+from repro.analysis.pickles import PicklabilityRule
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "Finding",
+    "FrameRegistryRule",
+    "HashCoverageRule",
+    "LintModule",
+    "PicklabilityRule",
+    "Rule",
+    "iter_python_files",
+    "load_module",
+    "run_lint",
+]
+
+#: the default rule set, in reporting order
+ALL_RULES: tuple[type, ...] = (
+    DeterminismRule,
+    HashCoverageRule,
+    PicklabilityRule,
+    FrameRegistryRule,
+)

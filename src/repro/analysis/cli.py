@@ -1,0 +1,104 @@
+"""``python -m repro lint`` -- run the contract lint suite.
+
+Exit-code contract: ``0`` clean, ``1`` findings, ``2`` usage error
+(unknown rule, missing path, argparse failure).  With no paths given,
+lints the shipped tree: ``src/repro``, ``examples`` and ``benchmarks``
+relative to the repository root (located from this file, falling back
+to the current directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import ALL_RULES
+from repro.analysis.framework import render_findings, run_lint
+
+__all__ = ["build_parser", "default_targets", "lint_main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def default_targets() -> tuple:
+    """``(root, paths)``: the shipped tree, found from the installed
+    package location (src layout) or the current directory."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "src" / "repro").is_dir():
+            root = parent
+            break
+    else:
+        root = Path.cwd()
+    paths = [
+        p
+        for p in (root / "src" / "repro", root / "examples", root / "benchmarks")
+        if p.exists()
+    ]
+    return root, paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="contract-aware static analysis of the repro tree",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the shipped tree)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only this rule (repeatable); see --list-rules",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; preserve both
+        return int(exc.code or 0)
+    known = {cls.name: cls for cls in ALL_RULES}
+    if args.list_rules:
+        for name, cls in known.items():
+            print(f"{name:15s} {cls.description}")
+        return EXIT_CLEAN
+    if args.rule:
+        unknown = [name for name in args.rule if name not in known]
+        if unknown:
+            parser.print_usage()
+            print(f"repro lint: unknown rule(s) {unknown}; known: {sorted(known)}")
+            return EXIT_USAGE
+        rules = [known[name]() for name in args.rule]
+    else:
+        rules = [cls() for cls in ALL_RULES]
+    if args.paths:
+        root = Path.cwd()
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            parser.print_usage()
+            print(f"repro lint: no such path(s): {[str(p) for p in missing]}")
+            return EXIT_USAGE
+    else:
+        root, paths = default_targets()
+        if not paths:
+            parser.print_usage()
+            print("repro lint: no default targets found; pass paths explicitly")
+            return EXIT_USAGE
+    findings = run_lint(paths, rules=rules, root=root)
+    print(render_findings(findings, fmt=args.format))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,285 @@
+"""Determinism lint: no ambient entropy in the simulation core, and no
+unsorted iteration feeding a canonicalization.
+
+The simulator's whole reproducibility story rests on every random draw
+tracing to the run's single seeded generator (ultimately a
+``SeedSequence`` spawn -- see :func:`repro.orchestration.tasks.
+spawn_seeds`) and on canonical dict forms hashing byte-identically
+everywhere.  This rule forbids, inside the deterministic core
+(``sim/``, ``traffic/``, ``workloads/``, ``routing/``, ``topology/``,
+``core/``, ``faults.py``, ``monitors.py``):
+
+* the stdlib ``random`` module (global, seed-shared state);
+* wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+  ``datetime.now`` and friends) -- timing belongs in the orchestration
+  and experiment layers, never where it can leak into results;
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``);
+* *bare* ``np.random.default_rng()`` / ``SeedSequence()`` (seeded
+  calls are fine: ``default_rng(seed)`` wraps its argument in a
+  SeedSequence) and the legacy numpy global-state API
+  (``np.random.seed``/``np.random.random``/...,
+  ``np.random.RandomState``).
+
+Everywhere in the tree, functions that build canonical content
+(named ``canonical``/``as_dict``/``to_json`` or ending ``_key``) must
+not depend on unordered iteration: ``json.dumps`` without
+``sort_keys=True``, or a loop/comprehension directly over a set
+literal, ``set()``/``frozenset()`` call, or dict view
+(``.keys()``/``.values()``/``.items()``) that is not wrapped in
+``sorted()``, is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, LintModule, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: directories (anywhere in the path) forming the deterministic core
+CORE_DIRS = frozenset(
+    {"sim", "traffic", "workloads", "routing", "topology", "core"}
+)
+#: single-module members of the deterministic core
+CORE_FILES = frozenset({"faults.py", "monitors.py"})
+
+#: fully-qualified callables that read ambient entropy or wall clocks
+FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid4": "OS entropy",
+    "uuid.uuid1": "host/clock-derived id",
+}
+#: modules whose every use is ambient randomness
+FORBIDDEN_MODULES = {
+    "random": "the stdlib `random` module is global shared state",
+    "secrets": "`secrets` draws OS entropy",
+}
+#: numpy legacy global-state entry points (on numpy.random directly)
+NUMPY_GLOBAL_STATE = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "choice", "shuffle", "permutation", "normal", "exponential",
+        "poisson", "pareto", "uniform", "standard_normal",
+    }
+)
+
+#: canonicalization function names (exact or ``*_key`` suffix)
+CANONICAL_NAMES = frozenset({"canonical", "as_dict", "to_json"})
+
+_RNG_HINT = (
+    "derive randomness from the run's seeded generator (a "
+    "SeedSequence-spawned np.random.default_rng(seed))"
+)
+_CLOCK_HINT = (
+    "wall-clock reads belong in orchestration/experiment layers, never "
+    "in the simulation core"
+)
+
+
+def _normalize(dotted: str, aliases: dict) -> str:
+    """Resolve the leading alias of ``a.b.c`` through the import map."""
+    head, _, rest = dotted.partition(".")
+    real = aliases.get(head, head)
+    return f"{real}.{rest}" if rest else real
+
+
+def _is_canonical_fn(name: str) -> bool:
+    return name in CANONICAL_NAMES or name.endswith("_key")
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no ambient randomness or wall-clock in the simulation core; "
+        "canonicalization must sort"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = self._import_aliases(module.tree)
+        if self._in_core(module):
+            yield from self._check_entropy(module, aliases)
+        yield from self._check_canonicalization(module, aliases)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _in_core(module: LintModule) -> bool:
+        parts = module.rel_parts
+        return bool(CORE_DIRS.intersection(parts[:-1])) or parts[-1] in CORE_FILES
+
+    @staticmethod
+    def _import_aliases(tree: ast.Module) -> dict:
+        """alias -> fully-qualified name, for imports and from-imports."""
+        aliases = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    aliases[item.asname or item.name.partition(".")[0]] = (
+                        item.name if item.asname else item.name.partition(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for item in node.names:
+                    if item.name != "*":
+                        aliases[item.asname or item.name] = (
+                            f"{node.module}.{item.name}"
+                        )
+        return aliases
+
+    # ------------------------------------------------------------------ #
+    def _check_entropy(
+        self, module: LintModule, aliases: dict
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+
+    def _check_import(self, module: LintModule, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            names = [item.name.partition(".")[0] for item in node.names]
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            names = [(node.module or "").partition(".")[0]]
+        else:
+            return
+        for name in names:
+            if name in FORBIDDEN_MODULES:
+                yield Finding(
+                    module.rel, node.lineno, self.name,
+                    f"import of `{name}` in the deterministic core: "
+                    f"{FORBIDDEN_MODULES[name]}",
+                    hint=_RNG_HINT,
+                )
+
+    def _check_call(
+        self, module: LintModule, node: ast.Call, aliases: dict
+    ) -> Iterator[Finding]:
+        dotted = self.dotted_name(node.func)
+        if dotted is None:
+            return
+        resolved = _normalize(dotted, aliases)
+        if resolved in FORBIDDEN_CALLS:
+            yield Finding(
+                module.rel, node.lineno, self.name,
+                f"call to `{dotted}()` in the deterministic core "
+                f"({FORBIDDEN_CALLS[resolved]})",
+                hint=_CLOCK_HINT if "clock" in FORBIDDEN_CALLS[resolved]
+                else _RNG_HINT,
+            )
+            return
+        head = resolved.partition(".")[0]
+        if head in FORBIDDEN_MODULES:
+            yield Finding(
+                module.rel, node.lineno, self.name,
+                f"call to `{dotted}()` in the deterministic core: "
+                f"{FORBIDDEN_MODULES[head]}",
+                hint=_RNG_HINT,
+            )
+            return
+        if resolved in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+            if not node.args and not node.keywords:
+                yield Finding(
+                    module.rel, node.lineno, self.name,
+                    f"bare `{dotted}()` seeds from OS entropy",
+                    hint="pass the run-derived seed explicitly",
+                )
+            return
+        if resolved == "numpy.random.RandomState":
+            yield Finding(
+                module.rel, node.lineno, self.name,
+                "legacy `RandomState` generator",
+                hint="use np.random.default_rng(seed) so the stream traces "
+                "to a SeedSequence",
+            )
+            return
+        prefix, _, attr = resolved.rpartition(".")
+        if prefix == "numpy.random" and attr in NUMPY_GLOBAL_STATE:
+            yield Finding(
+                module.rel, node.lineno, self.name,
+                f"`{dotted}()` uses numpy's global RNG state",
+                hint=_RNG_HINT,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _check_canonicalization(
+        self, module: LintModule, aliases: dict
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_canonical_fn(node.name):
+                    yield from self._check_canonical_body(module, node, aliases)
+
+    def _check_canonical_body(
+        self, module: LintModule, fn: ast.AST, aliases: dict
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                dotted = self.dotted_name(node.func)
+                resolved = _normalize(dotted, aliases) if dotted else None
+                if resolved in ("json.dumps", "json.dump"):
+                    if not self._sorts_keys(node):
+                        yield Finding(
+                            module.rel, node.lineno, self.name,
+                            f"`{dotted}` in canonicalization `{fn.name}` "
+                            "without sort_keys=True",
+                            hint="canonical JSON must have deterministic "
+                            "key order",
+                        )
+            for iter_expr in self._iteration_sources(node):
+                reason = self._unordered_reason(iter_expr)
+                if reason:
+                    yield Finding(
+                        module.rel, iter_expr.lineno, self.name,
+                        f"iteration over {reason} in canonicalization "
+                        f"`{fn.name}`",
+                        hint="wrap the iterable in sorted(...) so the "
+                        "canonical form has one byte representation",
+                    )
+
+    @staticmethod
+    def _sorts_keys(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "sort_keys":
+                return not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is False
+                )
+        return False
+
+    @staticmethod
+    def _iteration_sources(node: ast.AST):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+    def _unordered_reason(self, expr: ast.AST):
+        """A human name for ``expr`` when it is an obviously unordered
+        iterable that is not wrapped in ``sorted()``, else None."""
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Call):
+            dotted = self.dotted_name(expr.func)
+            if dotted in ("set", "frozenset"):
+                return f"a `{dotted}()`"
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in ("keys", "values", "items")
+                and not expr.args
+            ):
+                return f"a dict `.{expr.func.attr}()` view"
+        return None

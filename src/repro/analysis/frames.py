@@ -1,0 +1,144 @@
+"""Frame-registry lint: every protocol message is registered + versioned.
+
+:mod:`repro.distributed.protocol` dispatches received messages by
+``isinstance``, which means a message class that exists but was never
+added to :data:`~repro.distributed.protocol.MESSAGE_TYPES` would pickle
+across the wire fine and then fall through every dispatch arm silently.
+The registry makes the message vocabulary explicit -- each entry maps
+the class to the :data:`~repro.distributed.protocol.PROTOCOL_VERSION`
+that introduced it, and ``vet_message`` refuses unregistered payloads
+right after unpickling -- and this rule keeps the registry honest:
+
+* the protocol module must define ``MESSAGE_TYPES`` as a dict literal;
+* every top-level frozen-dataclass message in the module must appear as
+  a key (plain classes like ``FrameSigner`` are infrastructure, not
+  messages);
+* every value must be an integer version between 1 and the module's
+  ``PROTOCOL_VERSION`` -- a version above the wire protocol's own would
+  advertise a message no peer can have negotiated;
+* every key must be a class defined in the module (no phantom entries).
+
+The rule activates on any module that defines ``MESSAGE_TYPES`` or
+whose path ends in ``distributed/protocol.py`` -- so deleting the
+registry from the real protocol module is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Finding, LintModule, Rule
+
+__all__ = ["FrameRegistryRule"]
+
+REGISTRY_NAME = "MESSAGE_TYPES"
+
+
+class FrameRegistryRule(Rule):
+    name = "frame-registry"
+    description = "every protocol message class is registered and versioned"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        registry = self._find_registry(module.tree)
+        is_protocol = module.rel.endswith("distributed/protocol.py")
+        if registry is None:
+            if is_protocol:
+                yield Finding(
+                    module.rel, 1, self.name,
+                    f"protocol module defines no `{REGISTRY_NAME}` registry",
+                    hint="declare `MESSAGE_TYPES: dict[type, int]` mapping "
+                    "each message class to the protocol version that "
+                    "introduced it",
+                )
+            return
+        node, value = registry
+        if not isinstance(value, ast.Dict):
+            yield Finding(
+                module.rel, node.lineno, self.name,
+                f"`{REGISTRY_NAME}` must be a literal dict so the registry "
+                "is statically checkable",
+            )
+            return
+        classes = {
+            stmt.name: stmt
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        protocol_version = self._protocol_version(module.tree)
+        registered = {}
+        for key, version in zip(value.keys, value.values):
+            key_name = self.dotted_name(key) if key is not None else None
+            if key_name is None or key_name not in classes:
+                yield Finding(
+                    module.rel,
+                    key.lineno if key is not None else value.lineno,
+                    self.name,
+                    f"`{REGISTRY_NAME}` entry `{key_name or '<expr>'}` is not "
+                    "a class defined in this module",
+                    hint="registry keys are the message classes themselves",
+                )
+                continue
+            registered[key_name] = version
+            if not (
+                isinstance(version, ast.Constant)
+                and isinstance(version.value, int)
+                and not isinstance(version.value, bool)
+            ):
+                yield Finding(
+                    module.rel, version.lineno, self.name,
+                    f"message `{key_name}` has a non-literal version",
+                    hint="use the integer PROTOCOL_VERSION that introduced "
+                    "the message",
+                )
+            else:
+                v = version.value
+                if v < 1 or (protocol_version is not None and v > protocol_version):
+                    yield Finding(
+                        module.rel, version.lineno, self.name,
+                        f"message `{key_name}` version {v} is outside "
+                        f"1..PROTOCOL_VERSION"
+                        + (f" ({protocol_version})" if protocol_version else ""),
+                    )
+        for name, cls in classes.items():
+            if name in registered:
+                continue
+            if self.is_dataclass_def(cls):
+                yield Finding(
+                    module.rel, cls.lineno, self.name,
+                    f"message class `{name}` is not registered in "
+                    f"`{REGISTRY_NAME}`",
+                    hint="add it with the protocol version that introduces "
+                    "it, so receivers can vet and version the vocabulary",
+                )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _find_registry(tree: ast.Module) -> Optional[tuple]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == REGISTRY_NAME:
+                        return node, node.value
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == REGISTRY_NAME
+                    and node.value is not None
+                ):
+                    return node, node.value
+        return None
+
+    @staticmethod
+    def _protocol_version(tree: ast.Module) -> Optional[int]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "PROTOCOL_VERSION"
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, int)
+                    ):
+                        return node.value.value
+        return None

@@ -1,0 +1,309 @@
+"""Visitor framework shared by the repro-lint rules.
+
+One :class:`LintModule` per file: source text, parsed AST, and the
+parsed suppression/marker comments.  Rules are small classes with a
+``check(module)`` generator; :func:`run_lint` walks the target files,
+runs every rule, and filters findings through the per-line
+suppressions.  Everything here is stdlib-only so ``python -m repro
+lint`` stays fast and runs on the compiler-free CI job.
+
+Suppression syntax (the reason is mandatory)::
+
+    x = something_flagged()  # repro-lint: ok <rule> -- <reason>
+
+The comment silences findings of ``<rule>`` anchored to its own line;
+written as a standalone comment it silences the line directly below.
+``<rule>`` may be a comma-separated list.  A suppression without a
+reason is itself reported (rule ``suppression``), so every exception
+carries its justification in the diff.
+
+Marker syntax::
+
+    @dataclass(frozen=True)  # repro-lint: boundary
+    class Thing: ...
+
+declares a class as crossing the distributed frame boundary, opting it
+into the ``picklable`` rule (see :mod:`repro.analysis.pickles`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "iter_python_files",
+    "load_module",
+    "render_findings",
+    "run_lint",
+]
+
+#: ``# repro-lint: ok rule1,rule2 -- why this is fine``; the separator
+#: before the reason may be ``--``, ``-``, an em/en dash, or ``:``, and
+#: must be set off by whitespace so hyphenated rule names stay whole
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ok\s+"
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+    r"(?:\s+(?:--|[-–—:])\s*(?P<reason>\S.*))?\s*$"
+)
+_BOUNDARY_RE = re.compile(r"#\s*repro-lint:\s*boundary\b")
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint:")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: ok`` comment."""
+
+    line: int  #: line the comment sits on
+    target: int  #: line whose findings it silences
+    rules: frozenset  #: rule names it covers
+    reason: str  #: justification text (may be empty = invalid)
+    used: bool = False
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus its lint directives."""
+
+    path: Path  #: as given to the walker
+    rel: str  #: posix-style path relative to the lint root
+    text: str
+    tree: ast.Module
+    lines: list = field(default_factory=list)
+    suppressions: list = field(default_factory=list)
+    boundary_lines: frozenset = frozenset()
+
+    @property
+    def rel_parts(self) -> tuple:
+        return tuple(self.rel.split("/"))
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when a valid suppression covers ``rule`` at ``line``
+        (marks the suppression used)."""
+        hit = False
+        for sup in self.suppressions:
+            if sup.target == line and rule in sup.rules and sup.reason:
+                sup.used = True
+                hit = True
+        return hit
+
+    def directive_findings(self) -> Iterator[Finding]:
+        """Malformed suppressions: missing reason or missing rule name."""
+        for sup in self.suppressions:
+            if not sup.rules:
+                yield Finding(
+                    self.rel, sup.line, "suppression",
+                    "suppression names no rule",
+                    hint="write `# repro-lint: ok <rule> -- <reason>`",
+                )
+            elif not sup.reason:
+                yield Finding(
+                    self.rel, sup.line, "suppression",
+                    "suppression without a justification",
+                    hint="append `-- <reason>` so the exception explains itself",
+                )
+
+
+class Rule:
+    """Base rule: subclasses set ``name``/``description`` and implement
+    :meth:`check` as a generator of :class:`Finding`."""
+
+    name = ""
+    description = ""
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # shared AST helpers
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    @staticmethod
+    def is_dataclass_def(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = Rule.dotted_name(target)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def dataclass_fields(node: ast.ClassDef) -> list:
+        """``(name, lineno)`` of the dataclass fields declared on
+        ``node`` (annotated class-body names, ClassVar excluded)."""
+        out = []
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            annotation = ast.dump(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            out.append((stmt.target.id, stmt.lineno))
+        return out
+
+
+def _iter_comments(text: str):
+    """``(line, column, comment_text)`` for every real COMMENT token --
+    tokenizing (not regexing raw lines) keeps docstrings and string
+    literals that merely *mention* the directive syntax inert."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError):  # already a parse error
+        return
+
+
+def _parse_directives(module: LintModule) -> None:
+    suppressions = []
+    boundary = set()
+    total = len(module.lines)
+    for idx, column, comment in _iter_comments(module.text):
+        if _BOUNDARY_RE.search(comment):
+            boundary.add(idx)
+            continue
+        match = _SUPPRESS_RE.search(comment)
+        if match:
+            rules = frozenset(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            standalone = column == 0 or not module.lines[idx - 1][:column].strip()
+            target = min(idx + 1, total) if standalone else idx
+            suppressions.append(
+                Suppression(
+                    line=idx,
+                    target=target,
+                    rules=rules,
+                    reason=(match.group("reason") or "").strip(),
+                )
+            )
+        elif _DIRECTIVE_RE.search(comment):
+            suppressions.append(
+                Suppression(line=idx, target=idx, rules=frozenset(), reason="")
+            )
+    module.suppressions = suppressions
+    module.boundary_lines = frozenset(boundary)
+
+
+def load_module(path: Path, root: Optional[Path] = None) -> LintModule:
+    """Parse one file into a :class:`LintModule` (raises SyntaxError)."""
+    text = path.read_text()
+    try:
+        rel = str(path.relative_to(root).as_posix()) if root else path.as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    module = LintModule(
+        path=path,
+        rel=rel,
+        text=text,
+        tree=ast.parse(text, filename=str(path)),
+        lines=text.splitlines(),
+    )
+    _parse_directives(module)
+    return module
+
+
+def iter_python_files(paths: Sequence) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files."""
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        candidates = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def run_lint(
+    paths: Sequence,
+    rules: Optional[Iterable[Rule]] = None,
+    root: Optional[Path] = None,
+) -> list:
+    """Lint ``paths`` and return the surviving findings, sorted by
+    (path, line, rule).  Suppressed findings are dropped; malformed
+    suppressions are reported under the ``suppression`` pseudo-rule."""
+    if rules is None:
+        from repro.analysis import ALL_RULES
+
+        rules = [cls() for cls in ALL_RULES]
+    else:
+        rules = list(rules)
+    findings = []
+    for path in iter_python_files(paths):
+        try:
+            module = load_module(path, root=root)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    str(path), exc.lineno or 1, "parse-error",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.is_suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+        findings.extend(module.directive_findings())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def render_findings(findings: Sequence, fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps([f.as_dict() for f in findings], indent=2)
+    if not findings:
+        return "repro-lint: clean"
+    lines = [f.render() for f in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)

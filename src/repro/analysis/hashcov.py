@@ -1,0 +1,197 @@
+"""Hash-coverage lint: every dataclass field reaches its canonical dict.
+
+The runtime forgot-to-hash-it suite (``tests/test_scenarios.py``)
+proves, by perturbation, that every field of ``SimTask``/``SimConfig``/
+``SourceSpec``/``Scenario``/``FaultSpec``/``QoSSpec`` either moves the
+content key or sits on an explicit descriptive allowlist.  This rule is
+its static twin: it fails ``lint`` -- before any test runs -- when a
+dataclass that defines a canonical-dict method grows a field that the
+method does not cover.
+
+Discovery is generic: any dataclass defining ``canonical`` (preferred),
+``to_dict`` or ``as_dict`` is a canonicalizing dataclass.  Coverage is
+decided per method body:
+
+* a call to ``dataclasses.asdict(self)``, or delegation to
+  ``self.to_dict()``/``self.as_dict()``, covers **every** field -- new
+  fields are hashed automatically, which is why the asdict idiom is the
+  house style;
+* otherwise a field is covered when its name appears as a dict-literal
+  key or a ``d["name"] = ...`` subscript inside the method;
+* an **unconditional** ``d.pop("name")`` (top-level statement of the
+  method) excludes the field again and must carry a justified
+  ``# repro-lint: ok hash-coverage -- <reason>`` suppression -- that is
+  the explicit allowlist.  A ``pop`` nested under ``if`` is the
+  omit-when-default idiom (None/empty fields leave the dict so old keys
+  stay stable; any non-default value is hashed) and counts as covered.
+
+:data:`REQUIRED_CONTRACTS` pins the modules whose canonicalizing
+classes must keep existing: renaming ``SimTask.canonical`` away is a
+finding, not a silent loss of coverage.  ``SimConfig`` needs no entry
+of its own: it is hashed transitively through ``SimTask.canonical``'s
+``asdict`` recursion, so its fields can never drift out of the key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Finding, LintModule, Rule
+
+__all__ = ["HashCoverageRule", "REQUIRED_CONTRACTS"]
+
+#: canonical-dict method names, in preference order
+CANONICAL_METHODS = ("canonical", "to_dict", "as_dict")
+
+#: module tail -> class names that must define a canonical method there
+REQUIRED_CONTRACTS = {
+    "repro/orchestration/tasks.py": ("SimTask",),
+    "repro/traffic/scenarios.py": ("Scenario",),
+    "repro/traffic/sources.py": ("SourceSpec",),
+    "repro/faults.py": ("FaultEvent", "FaultSpec", "QoSClass", "QoSSpec"),
+}
+
+
+class HashCoverageRule(Rule):
+    name = "hash-coverage"
+    description = (
+        "every dataclass field appears in its canonical key dict or on "
+        "a justified allowlist"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        seen = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and self.is_dataclass_def(node):
+                method = self._canonical_method(node)
+                if method is not None:
+                    seen.add(node.name)
+                    yield from self._check_class(module, node, method)
+        for tail, classes in REQUIRED_CONTRACTS.items():
+            if module.rel.endswith(tail):
+                for cls in classes:
+                    if cls not in seen:
+                        yield Finding(
+                            module.rel, 1, self.name,
+                            f"contract class `{cls}` no longer defines a "
+                            f"canonical-dict method "
+                            f"({'/'.join(CANONICAL_METHODS)})",
+                            hint="the content key must keep a statically "
+                            "checkable construction path",
+                        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _canonical_method(node: ast.ClassDef) -> Optional[ast.FunctionDef]:
+        defs = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        for name in CANONICAL_METHODS:
+            if name in defs:
+                return defs[name]
+        return None
+
+    def _check_class(
+        self, module: LintModule, cls: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        fields = self.dataclass_fields(cls)
+        full = self._covers_all_fields(method)
+        keys = self._literal_keys(method)
+        pops = self._unconditional_pops(method)
+        field_names = {name for name, _ in fields}
+        for name, lineno in fields:
+            pop_line = pops.get(name)
+            if pop_line is not None:
+                yield Finding(
+                    module.rel, pop_line, self.name,
+                    f"field `{cls.name}.{name}` is unconditionally dropped "
+                    f"from the canonical dict in `{method.name}`",
+                    hint="hash it, or allowlist the drop with `# repro-lint: "
+                    "ok hash-coverage -- <why it cannot affect results>`",
+                )
+            elif not full and name not in keys:
+                yield Finding(
+                    module.rel, lineno, self.name,
+                    f"field `{cls.name}.{name}` never appears in "
+                    f"`{cls.name}.{method.name}`",
+                    hint="add it to the canonical dict (or suppress here "
+                    "with a justification) so two configs differing in it "
+                    "cannot share a content key",
+                )
+        # a pop of a non-field name is usually a derived key (fine), but
+        # a typo'd field name would silently stop excluding: surface it
+        for name, pop_line in pops.items():
+            if name not in field_names and self._looks_like_field(name):
+                yield Finding(
+                    module.rel, pop_line, self.name,
+                    f"`{method.name}` pops `{name!r}`, which is not a field "
+                    f"of `{cls.name}`",
+                    hint="stale allowlist entry? drop the pop or fix the name",
+                )
+
+    @staticmethod
+    def _looks_like_field(name: str) -> bool:
+        # derived/injected keys use a recognisable vocabulary; anything
+        # else popped is probably a renamed field
+        return name not in ("format", "format_version", "engine", "version")
+
+    # ------------------------------------------------------------------ #
+    def _covers_all_fields(self, method: ast.FunctionDef) -> bool:
+        """True when the method materialises every field: a
+        ``dataclasses.asdict(self)`` call or delegation to another
+        canonical method on self."""
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.dotted_name(node.func)
+            if dotted in ("asdict", "dataclasses.asdict"):
+                if any(
+                    isinstance(arg, ast.Name) and arg.id == "self"
+                    for arg in node.args
+                ):
+                    return True
+            if dotted in (f"self.{m}" for m in CANONICAL_METHODS):
+                return True
+        return False
+
+    def _literal_keys(self, method: ast.FunctionDef) -> set:
+        """String constants used as dict-literal keys or subscript
+        assignment targets inside the method."""
+        keys = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add(target.slice.value)
+        return keys
+
+    @staticmethod
+    def _unconditional_pops(method: ast.FunctionDef) -> dict:
+        """name -> line of ``<x>.pop("name")`` statements at the top
+        level of the method body (conditional pops are the
+        omit-when-default idiom and do not count as exclusions)."""
+        pops = {}
+        for stmt in method.body:
+            if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+                continue
+            call = stmt.value
+            if not (
+                isinstance(call.func, ast.Attribute) and call.func.attr == "pop"
+            ):
+                continue
+            if call.args and isinstance(call.args[0], ast.Constant):
+                value = call.args[0].value
+                if isinstance(value, str):
+                    pops[value] = stmt.lineno
+        return pops

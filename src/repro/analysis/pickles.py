@@ -1,0 +1,187 @@
+"""Picklability lint for frame-boundary types.
+
+Everything that crosses the distributed substrate travels as a pickle
+inside one protocol frame (:mod:`repro.distributed.protocol`), and the
+disk cache/journal pickle-or-JSON the same task/result types.  A lambda,
+lock, socket, open file or live generator smuggled into instance state
+turns into a ``TypeError: cannot pickle ...`` at dispatch time -- on a
+worker, mid-run, far from the line that introduced it.  This rule moves
+that failure to lint time.
+
+Scope: every class defined in ``distributed/protocol.py`` (the message
+vocabulary), plus any class marked with a ``# repro-lint: boundary``
+comment on its ``class``/decorator line -- the marker is the in-source
+declaration that instances cross the frame boundary (``SimTask``,
+``TaskResult``, ``SourceSpec``, the fault/QoS specs, monitors).
+Classes *derived* from a marked class in the same module inherit the
+obligation.
+
+Flagged instance state (direct assignment, ``object.__setattr__`` for
+frozen dataclasses, or a dataclass ``field(default=...)``):
+
+* ``lambda`` expressions and generator expressions;
+* ``open(...)`` handles;
+* ``threading`` primitives (``Lock``/``RLock``/``Condition``/
+  ``Event``/``Semaphore``) and ``socket.socket(...)``;
+* ``subprocess.Popen(...)``.
+
+Module-level registry lambdas (e.g. ``WORKLOAD_BUILDERS``) are fine:
+tasks reference them by string key, the callables never ride a frame.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Finding, LintModule, Rule
+
+__all__ = ["PicklabilityRule"]
+
+#: constructor calls whose results never pickle
+UNPICKLABLE_CALLS = {
+    "open": "an open file handle",
+    "socket.socket": "a live socket",
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Event": "an event primitive",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "Lock": "a lock",
+    "RLock": "a lock",
+    "subprocess.Popen": "a live process handle",
+}
+
+_HINT = (
+    "frames pickle by value: store plain data (or a module-level "
+    "callable referenced by name) and rebuild live resources on the "
+    "receiving side"
+)
+
+
+class PicklabilityRule(Rule):
+    name = "picklable"
+    description = (
+        "frame-boundary types must not capture lambdas, locks, sockets, "
+        "open files or generators"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        protocol_module = module.rel.endswith("distributed/protocol.py")
+        boundary = set()
+        classes = [
+            node for node in module.tree.body if isinstance(node, ast.ClassDef)
+        ]
+        # fixpoint: marked classes plus same-module subclasses of them
+        for cls in classes:
+            if protocol_module or self._is_marked(module, cls):
+                boundary.add(cls.name)
+        grew = True
+        while grew:
+            grew = False
+            for cls in classes:
+                if cls.name in boundary:
+                    continue
+                bases = {self.dotted_name(base) for base in cls.bases}
+                if bases & boundary:
+                    boundary.add(cls.name)
+                    grew = True
+        for cls in classes:
+            if cls.name in boundary:
+                yield from self._check_class(module, cls)
+
+    # ------------------------------------------------------------------ #
+    def _is_marked(self, module: LintModule, cls: ast.ClassDef) -> bool:
+        lines = set(range(cls.lineno, cls.body[0].lineno))
+        for deco in cls.decorator_list:
+            lines.add(deco.lineno)
+        return bool(lines & module.boundary_lines)
+
+    def _check_class(
+        self, module: LintModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                yield from self._check_value(
+                    module, cls, self._default_expr(stmt.value),
+                    f"default of field `{self._target_name(stmt.target)}`",
+                )
+            elif isinstance(stmt, ast.FunctionDef):
+                yield from self._check_method(module, cls, stmt)
+
+    @staticmethod
+    def _target_name(target: ast.AST) -> str:
+        return target.id if isinstance(target, ast.Name) else "<field>"
+
+    def _default_expr(self, value: ast.AST) -> ast.AST:
+        """Unwrap ``field(default=X)`` / ``field(default_factory=X)`` --
+        a default_factory lambda is *called*, so only its return value
+        matters; a plain lambda default lands on every instance."""
+        if isinstance(value, ast.Call) and self.dotted_name(value.func) in (
+            "field", "dataclasses.field",
+        ):
+            for kw in value.keywords:
+                if kw.arg == "default":
+                    return kw.value
+            return ast.Constant(value=None)  # factory results are opaque
+        return value
+
+    def _check_method(
+        self, module: LintModule, cls: ast.ClassDef, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            target = None
+            value = None
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        target = f"self.{tgt.attr}"
+                        value = node.value
+            elif isinstance(node, ast.Call):
+                # object.__setattr__(self, "name", value) -- the frozen
+                # dataclass idiom
+                if (
+                    self.dotted_name(node.func) == "object.__setattr__"
+                    and len(node.args) == 3
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id == "self"
+                ):
+                    name = (
+                        node.args[1].value
+                        if isinstance(node.args[1], ast.Constant)
+                        else "<attr>"
+                    )
+                    target = f"self.{name}"
+                    value = node.args[2]
+            if target is not None and value is not None:
+                yield from self._check_value(
+                    module, cls, value, f"assignment to `{target}`"
+                )
+
+    def _check_value(
+        self, module: LintModule, cls: ast.ClassDef, value: ast.AST, where: str
+    ) -> Iterator[Finding]:
+        problem = self._unpicklable(value)
+        if problem:
+            yield Finding(
+                module.rel, value.lineno, self.name,
+                f"frame-boundary type `{cls.name}` stores {problem} "
+                f"({where})",
+                hint=_HINT,
+            )
+
+    def _unpicklable(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "a live generator"
+        if isinstance(value, ast.Call):
+            dotted = self.dotted_name(value.func)
+            if dotted in UNPICKLABLE_CALLS:
+                return UNPICKLABLE_CALLS[dotted]
+        return None

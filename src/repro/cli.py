@@ -25,6 +25,12 @@ Commands
     ON/OFF bursts, hotspots, trace replay) through the same
     executor/cache stack as ``sweep``/``grid``, and ``scenario record``
     a replayable arrival trace.
+``lint``
+    Contract-aware static analysis: determinism (no ambient RNG or
+    wall-clock in the simulation core), hash coverage (every dataclass
+    field reaches its canonical key dict), picklability of
+    frame-boundary types, and the protocol message registry.  Exits 0
+    clean, 1 with findings, 2 on usage errors.
 ``worker``
     Run a task-execution daemon that serves a remote coordinator
     (``repro worker tcp://host:port``); ``--reconnect`` makes it
@@ -306,6 +312,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the registered event kernels and the compiled "
              "fast path's build status",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="contract-aware static analysis (determinism, hash coverage, "
+             "picklability, frame registry); exits 0 clean / 1 findings "
+             "/ 2 usage",
+    )
+    # the lint suite owns its full argv (including --help) so its
+    # argparse contract -- and exit codes -- live in one place
+    p_lint.add_argument("rest", nargs=argparse.REMAINDER)
 
     p_worker = sub.add_parser(
         "worker", help="run a task-execution daemon for a remote coordinator"
@@ -914,6 +931,14 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    # imported lazily: the analysis package is stdlib-only but cold, and
+    # every other command should not pay for it
+    from repro.analysis.cli import lint_main
+
+    return lint_main(args.rest)
+
+
 COMMANDS = {
     "evaluate": cmd_evaluate,
     "sweep": cmd_sweep,
@@ -924,11 +949,20 @@ COMMANDS = {
     "explain": cmd_explain,
     "cache": cmd_cache,
     "kernels": cmd_kernels,
+    "lint": cmd_lint,
     "worker": cmd_worker,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `lint` owns its full argv (a REMAINDER positional would swallow a
+    # leading path but reject a leading option like --list-rules)
+    if list(argv[:1]) == ["lint"]:
+        from repro.analysis.cli import lint_main
+
+        return lint_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     # commands validate derived option bundles (e.g. AdaptiveSettings)

@@ -15,27 +15,27 @@ This subpackage implements Section 2 of Moadeli & Vanderbauwhede (IPDPS
 * :mod:`repro.core.model` -- the one-call :class:`AnalyticalModel` facade.
 """
 
+from repro.core.channel_graph import Channel, ChannelGraph, ChannelKind
+from repro.core.closedform import QuarcUniformRates, quarc_uniform_rates
+from repro.core.explain import MulticastBreakdown, explain_multicast
+from repro.core.expmax import (
+    expected_max_exponentials,
+    expected_max_iid,
+    expected_max_inclusion_exclusion,
+    expected_max_recursive,
+    expected_min_exponentials,
+)
+from repro.core.flows import FlowAccumulator, TrafficSpec, build_flows
 from repro.core.mg1 import (
     MG1Channel,
     mg1_waiting_time,
     paper_service_variance,
     utilization,
 )
-from repro.core.expmax import (
-    expected_max_exponentials,
-    expected_max_inclusion_exclusion,
-    expected_max_iid,
-    expected_max_recursive,
-    expected_min_exponentials,
-)
-from repro.core.channel_graph import Channel, ChannelGraph, ChannelKind
-from repro.core.flows import FlowAccumulator, TrafficSpec, build_flows
-from repro.core.service import ServiceTimeResult, SaturatedError, solve_service_times
-from repro.core.unicast import path_latency, average_unicast_latency
-from repro.core.multicast import multicast_latency_at_node, average_multicast_latency
 from repro.core.model import AnalyticalModel, ModelResult
-from repro.core.closedform import QuarcUniformRates, quarc_uniform_rates
-from repro.core.explain import MulticastBreakdown, explain_multicast
+from repro.core.multicast import average_multicast_latency, multicast_latency_at_node
+from repro.core.service import SaturatedError, ServiceTimeResult, solve_service_times
+from repro.core.unicast import average_unicast_latency, path_latency
 
 __all__ = [
     "MG1Channel",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
 from repro.topology.base import Link, Topology

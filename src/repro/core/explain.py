@@ -10,12 +10,11 @@ shown, for debugging and for design insight (which rim is the problem?).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.core.expmax import expected_max_exponentials
-from repro.core.model import AnalyticalModel
 from repro.core.flows import TrafficSpec
+from repro.core.model import AnalyticalModel
 from repro.core.unicast import LATENCY_CONSTANT
 
 __all__ = ["ChannelContribution", "WormBreakdown", "MulticastBreakdown", "explain_multicast"]

@@ -31,7 +31,6 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.channel_graph import ChannelGraph
-from repro.routing.base import MulticastRoute
 
 __all__ = ["TrafficSpec", "FlowAccumulator", "build_flows"]
 

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.channel_graph import ChannelGraph, ChannelKind
+from repro.core.channel_graph import ChannelGraph
 from repro.core.flows import FlowAccumulator
 
 __all__ = ["SaturatedError", "ServiceTimeResult", "solve_service_times"]

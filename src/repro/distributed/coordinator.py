@@ -61,6 +61,7 @@ from repro.distributed.protocol import (
     parse_address,
     recv_msg,
     send_msg,
+    vet_message,
 )
 from repro.sim.engine import ENGINE_VERSION
 
@@ -374,7 +375,7 @@ class Coordinator:
                 window = min(window, remaining)
             conn.settimeout(window)
             try:
-                msg = recv_msg(conn, signer)
+                msg = vet_message(recv_msg(conn, signer))
             except TimeoutError:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise _TaskDeadlineExceeded(
@@ -404,7 +405,7 @@ class Coordinator:
         graceful = False
         try:
             try:
-                hello = recv_msg(conn, signer)
+                hello = vet_message(recv_msg(conn, signer))
             except ProtocolError:
                 with self._lock:
                     self.frames_refused += 1

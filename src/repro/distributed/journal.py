@@ -34,7 +34,7 @@ import pickle
 import threading
 import time
 from pathlib import Path
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 from repro.sim.engine import ENGINE_VERSION
 

@@ -37,10 +37,11 @@ import os
 import pickle
 import socket
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 __all__ = [
+    "MESSAGE_TYPES",
     "PROTOCOL_VERSION",
     "MAGIC",
     "SIGNED_MAGIC",
@@ -52,6 +53,7 @@ __all__ = [
     "resolve_cluster_key",
     "send_msg",
     "recv_msg",
+    "vet_message",
     "read_frame_bytes",
     "parse_address",
     "format_address",
@@ -122,7 +124,7 @@ class FrameSigner:
     counter.
     """
 
-    def __init__(self, key: bytes):
+    def __init__(self, key: bytes) -> None:
         if not key:
             raise ValueError("cluster key must be non-empty")
         self._key = key
@@ -363,3 +365,34 @@ class Shutdown:
     """Either direction: close the session (with a human-readable reason)."""
 
     reason: str = ""
+
+
+#: The message vocabulary: every class that may ride a frame, mapped to
+#: the :data:`PROTOCOL_VERSION` that introduced it.  Dispatch is still
+#: ``isinstance``, but the registry makes the vocabulary explicit --
+#: :func:`vet_message` refuses any unpickled payload whose type is not
+#: listed here, so a class added to this module without a registry
+#: entry (or a hostile payload of some other type) fails loudly at the
+#: receiver instead of falling through every dispatch arm silently.
+#: The ``frame-registry`` lint rule (``python -m repro lint``) keeps
+#: this dict complete and the versions inside 1..PROTOCOL_VERSION.
+MESSAGE_TYPES: dict[type, int] = {
+    Hello: 1,
+    Welcome: 1,
+    TaskMessage: 1,
+    ResultMessage: 1,
+    Heartbeat: 1,
+    Shutdown: 1,
+}
+
+
+def vet_message(obj: Any) -> Any:
+    """Return ``obj`` if its exact type is a registered message, else
+    raise :class:`ProtocolError`.  Called on every received payload by
+    the coordinator and worker daemons, right after unpickling."""
+    if type(obj) not in MESSAGE_TYPES:
+        raise ProtocolError(
+            f"unregistered message type {type(obj).__name__!r}; known "
+            f"messages: {sorted(cls.__name__ for cls in MESSAGE_TYPES)}"
+        )
+    return obj

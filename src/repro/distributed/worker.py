@@ -51,9 +51,10 @@ from repro.distributed.protocol import (
     Shutdown,
     TaskMessage,
     parse_address,
+    recv_msg,
     resolve_cluster_key,
     send_msg,
-    recv_msg,
+    vet_message,
 )
 from repro.sim.engine import ENGINE_VERSION
 
@@ -158,7 +159,7 @@ def _run_session(
             ),
             signer,
         )
-        welcome = recv_msg(sock, signer)
+        welcome = vet_message(recv_msg(sock, signer))
         if isinstance(welcome, Shutdown):
             log(f"worker: refused by coordinator: {welcome.reason}")
             return _REFUSED
@@ -181,7 +182,7 @@ def _run_session(
         tasks_done = 0
         while True:
             try:
-                msg = recv_msg(sock, signer)
+                msg = vet_message(recv_msg(sock, signer))
             except TimeoutError:
                 log(
                     f"worker {worker_id}: no frame within "

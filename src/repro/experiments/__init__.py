@@ -9,32 +9,32 @@
   equivalent of the paper's figures) and the prose-claim tables.
 """
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    fig6_configs,
-    fig7_configs,
-    paper_grid,
-)
-from repro.experiments.runner import (
-    ExperimentResult,
-    SweepPoint,
-    run_experiment,
-    sweep_tasks,
-)
+from repro.experiments.broadcast import broadcast_scaling_study, render_broadcast_study
+from repro.experiments.charts import ascii_chart, chart_experiment
 from repro.experiments.compare import (
     GridPanel,
     agreement_metrics,
     render_grid_summary,
     run_grid,
 )
-from repro.experiments.report import render_series, render_broadcast_hops_table
-from repro.experiments.broadcast import broadcast_scaling_study, render_broadcast_study
-from repro.experiments.charts import ascii_chart, chart_experiment
+from repro.experiments.config import (
+    ExperimentConfig,
+    fig6_configs,
+    fig7_configs,
+    paper_grid,
+)
 from repro.experiments.io import (
     ResultCache,
     load_experiment_json,
     save_experiment_json,
     save_points_csv,
+)
+from repro.experiments.report import render_broadcast_hops_table, render_series
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepPoint,
+    run_experiment,
+    sweep_tasks,
 )
 
 __all__ = [

@@ -13,8 +13,8 @@ below saturation -- not the authors' exact panel selection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.core.flows import TrafficSpec
 from repro.core.model import AnalyticalModel

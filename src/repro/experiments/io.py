@@ -25,13 +25,13 @@ from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, SweepPoint
-from repro.sim.adaptive import AdaptiveSettings
 from repro.orchestration.tasks import (
     SimTask,
     TaskResult,
     task_result_from_dict,
     task_result_to_dict,
 )
+from repro.sim.adaptive import AdaptiveSettings
 from repro.sim.engine import ENGINE_VERSION
 
 __all__ = [

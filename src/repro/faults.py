@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
+from typing import Any
 
 __all__ = [
     "FaultEvent",
@@ -57,7 +58,7 @@ FAULT_ACTIONS = ("kill", "heal")
 FAULT_KINDS = ("link", "node")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class FaultEvent:
     """One scheduled fault transition.
 
@@ -97,13 +98,15 @@ class FaultEvent:
                 raise ValueError("node fault must leave src/dst at -1")
 
     @property
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[float, str, str, int, int, int]:
         # heal-before-kill at identical timestamps is arbitrary but must
         # be *the same* everywhere: "heal" < "kill" lexicographically
         return (self.time, self.action, self.kind, self.node, self.src, self.dst)
 
-    def as_dict(self) -> dict:
-        d = {"time": self.time, "action": self.action, "kind": self.kind}
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "time": self.time, "action": self.action, "kind": self.kind
+        }
         if self.kind == "link":
             d["src"] = self.src
             d["dst"] = self.dst
@@ -112,7 +115,7 @@ class FaultEvent:
         return d
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultEvent":
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -136,7 +139,7 @@ def node_heal(time: float, node: int) -> FaultEvent:
     return FaultEvent(time=time, action="heal", kind="node", node=node)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class FaultSpec:
     """A deterministic fault schedule plus the reroute policy.
 
@@ -161,14 +164,14 @@ class FaultSpec:
         )
         object.__setattr__(self, "reroute", bool(self.reroute))
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "events": [ev.as_dict() for ev in self.events],
             "reroute": self.reroute,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -187,7 +190,7 @@ class FaultSpec:
         return cls.from_dict(json.loads(text))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class QoSClass:
     """One traffic class: a share of the injected messages and the
     priority channel arbitration grants it (higher wins)."""
@@ -204,11 +207,11 @@ class QoSClass:
         if not (0.0 < self.share <= 1.0):
             raise ValueError(f"share must be in (0, 1], got {self.share}")
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"name": self.name, "share": self.share, "priority": self.priority}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class QoSSpec:
     """Per-class prioritised injection.
 
@@ -235,11 +238,11 @@ class QoSSpec:
             raise ValueError(f"QoS class shares must sum to 1, got {total}")
         object.__setattr__(self, "classes", cls)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"classes": [c.as_dict() for c in self.classes]}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "QoSSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "QoSSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:

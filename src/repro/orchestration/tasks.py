@@ -27,7 +27,7 @@ import json
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
@@ -92,7 +92,7 @@ def spawn_seeds(base_seed: int, n: int) -> list[int]:
     return [int(child.generate_state(1, dtype=np.uint32)[0]) for child in children]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class SimTask:
     """One simulation run as pure, picklable data.
 
@@ -195,7 +195,7 @@ class SimTask:
         )
 
     # ------------------------------------------------------------------ #
-    def canonical(self) -> dict:
+    def canonical(self) -> dict[str, Any]:
         """Content dictionary: every field that determines the outcome
         (descriptive ``label``/``scenario`` excluded), with deterministic
         key order.  A ``source`` of None (the default Poisson process) is
@@ -203,7 +203,9 @@ class SimTask:
         ``faults``/``qos`` of None and an empty ``monitors`` tuple are
         omitted the same way for the same reason."""
         d = dataclasses.asdict(self)
+        # repro-lint: ok hash-coverage -- label is descriptive only; it must not split cache entries
         d.pop("label")
+        # repro-lint: ok hash-coverage -- scenario is provenance; a rename must not split the cache
         d.pop("scenario")
         if d["source"] is None:
             d.pop("source")
@@ -235,7 +237,7 @@ class SimTask:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class StatsSummary:
     """Picklable, JSON-friendly summary of one :class:`LatencyStats`."""
 
@@ -252,7 +254,7 @@ class StatsSummary:
         return self.ci95
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class TaskResult:
     """Outcome of one :class:`SimTask` (the cacheable subset of
     :class:`~repro.sim.network.SimResult`)."""
@@ -435,7 +437,7 @@ def execute_task(task: SimTask) -> TaskResult:
 CACHE_FORMAT_VERSION = 1
 
 
-def _enc(x):
+def _enc(x: Any) -> Any:
     if isinstance(x, float):
         if math.isnan(x):
             return "nan"
@@ -444,17 +446,17 @@ def _enc(x):
     return x
 
 
-def _stats_to_dict(s: StatsSummary) -> dict:
+def _stats_to_dict(s: StatsSummary) -> dict[str, Any]:
     return {"mean": _enc(s.mean), "ci95": _enc(s.ci95), "count": s.count}
 
 
-def _stats_from_dict(d: dict) -> StatsSummary:
+def _stats_from_dict(d: dict[str, Any]) -> StatsSummary:
     return StatsSummary(
         mean=float(d["mean"]), ci95=float(d["ci95"]), count=int(d["count"])
     )
 
 
-def task_result_to_dict(result: TaskResult) -> dict:
+def task_result_to_dict(result: TaskResult) -> dict[str, Any]:
     return {
         "format": CACHE_FORMAT_VERSION,
         "engine": ENGINE_VERSION,
@@ -481,7 +483,9 @@ def task_result_to_dict(result: TaskResult) -> dict:
     }
 
 
-def task_result_from_dict(data: dict, *, cached: bool = False) -> TaskResult:
+def task_result_from_dict(
+    data: dict[str, Any], *, cached: bool = False
+) -> TaskResult:
     version = data.get("format")
     if version != CACHE_FORMAT_VERSION:
         raise ValueError(f"unsupported task-result format {version!r}")

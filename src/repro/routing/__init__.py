@@ -8,10 +8,10 @@ flit-level simulator consume, guaranteeing the two always agree on paths.
 """
 
 from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
+from repro.routing.bitstring import decode_bitstring, encode_bitstring
+from repro.routing.mesh import MeshRouting, TorusRouting
 from repro.routing.quarc import QuarcRouting
 from repro.routing.spidergon import SpidergonRouting
-from repro.routing.mesh import MeshRouting, TorusRouting
-from repro.routing.bitstring import decode_bitstring, encode_bitstring
 
 __all__ = [
     "Route",

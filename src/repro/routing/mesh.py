@@ -25,7 +25,7 @@ from typing import Sequence
 
 from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
 from repro.topology.base import Link
-from repro.topology.mesh import EAST, MeshTopology, NORTH, SOUTH, WEST
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST, MeshTopology
 from repro.topology.torus import TorusTopology
 
 __all__ = ["MeshRouting", "TorusRouting"]

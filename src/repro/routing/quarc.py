@@ -31,7 +31,7 @@ from typing import Sequence
 
 from repro.routing.base import MulticastRoute, Route, RoutingAlgorithm
 from repro.topology.base import Link
-from repro.topology.quarc import CCW, CW, PORT_TO_TAG, PORTS, XCCW, XCW, QuarcTopology
+from repro.topology.quarc import CCW, CW, PORT_TO_TAG, PORTS, QuarcTopology
 from repro.topology.ring import clockwise_distance
 
 __all__ = ["QuarcRouting"]

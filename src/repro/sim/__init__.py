@@ -15,6 +15,13 @@ See ``DESIGN.md`` ("Substitutions") and :mod:`repro.sim.worm` for the
 derivation and :mod:`repro.sim.network` for the simulator facade.
 """
 
+from repro.sim.adaptive import (
+    AdaptivePoint,
+    AdaptiveSettings,
+    StopDecision,
+    run_adaptive_tasks,
+    stopping_decision,
+)
 from repro.sim.arrivals import (
     ARRIVAL_MODES,
     PoissonArrivalStream,
@@ -22,7 +29,7 @@ from repro.sim.arrivals import (
     make_arrival_stream,
 )
 from repro.sim.engine import ENGINE_VERSION, EventQueue, HeapEventQueue
-from repro.sim.worm import Worm, WormClass
+from repro.sim.measurement import LatencyStats
 from repro.sim.network import (
     AUTO_KERNEL_DEPTH,
     AUTO_KERNEL_MIN_NODES,
@@ -31,14 +38,6 @@ from repro.sim.network import (
     SimConfig,
     SimResult,
     resolve_auto_kernel,
-)
-from repro.sim.measurement import LatencyStats
-from repro.sim.adaptive import (
-    AdaptivePoint,
-    AdaptiveSettings,
-    StopDecision,
-    run_adaptive_tasks,
-    stopping_decision,
 )
 from repro.sim.replication import (
     ReplicationSummary,
@@ -49,6 +48,7 @@ from repro.sim.replication import (
     summarize_task_results,
 )
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
+from repro.sim.worm import Worm, WormClass
 from repro.sim.wormengine import (
     CWormEngine,
     HeapWormEngine,

@@ -50,11 +50,10 @@ import math
 import sys
 from bisect import insort
 from heapq import heappop, heappush
-from typing import Callable, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.sim import cext
 from repro.sim.deadlock import choose_victim, find_wait_cycle
-from repro.sim.state import ChannelState
 from repro.sim.engine import (
     _TRIM,
     EV_INJECT,
@@ -63,6 +62,7 @@ from repro.sim.engine import (
     EventQueue,
     HeapEventQueue,
 )
+from repro.sim.state import ChannelState
 from repro.sim.worm import Worm
 
 __all__ = [

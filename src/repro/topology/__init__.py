@@ -7,14 +7,14 @@ alone determines the output link, paper Section 3.3.1).
 """
 
 from repro.topology.base import Link, Topology
+from repro.topology.mesh import MeshTopology
+from repro.topology.quarc import QuarcTopology
 from repro.topology.ring import (
     clockwise_distance,
     counterclockwise_distance,
     ring_distance,
 )
 from repro.topology.spidergon import SpidergonTopology
-from repro.topology.quarc import QuarcTopology
-from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
 __all__ = [

@@ -42,14 +42,14 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.model import AnalyticalModel
-from repro.faults import FaultSpec, QoSClass, QoSSpec, link_kill, link_heal
-from repro.monitors import MONITORS
 from repro.experiments.runner import (
     SweepPoint,
     apply_adaptive_point,
     apply_task_result,
     budget_sim_config,
 )
+from repro.faults import FaultSpec, QoSClass, QoSSpec, link_heal, link_kill
+from repro.monitors import MONITORS
 from repro.orchestration.executor import Executor, ResultStore, run_tasks
 from repro.orchestration.tasks import (
     NETWORK_BUILDERS,
@@ -77,7 +77,7 @@ __all__ = [
 SCENARIO_FORMAT_VERSION = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class Scenario:
     """One named study: network + workload + injection process + grid."""
 
@@ -237,7 +237,9 @@ class Scenario:
         scenario *runs*, not what it is called."""
         d = self.to_dict()
         d.pop("format_version")
+        # repro-lint: ok hash-coverage -- the name is what a study is *called*, not what it *is*
         d.pop("name")
+        # repro-lint: ok hash-coverage -- prose; rewording it must not invalidate cached results
         d.pop("description")
         return d
 
@@ -333,6 +335,7 @@ def run_scenario(
     serial, process-pool and distributed execution are bitwise
     interchangeable.
     """
+    # repro-lint: ok determinism -- wall_seconds is report provenance; no simulated value uses it
     start = time.perf_counter()
     sat, sweep, points = scenario.model_series()
     result = ScenarioResult(
@@ -353,6 +356,7 @@ def run_scenario(
             run_adaptive_tasks(tasks, adaptive, executor=executor, cache=cache),
         ):
             apply_adaptive_point(point, ap)
+    # repro-lint: ok determinism -- wall-clock provenance, excluded from all payload comparisons
     result.wall_seconds = time.perf_counter() - start
     return result
 

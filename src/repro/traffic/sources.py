@@ -54,7 +54,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class CBRArrivalStream(MergedArrivalStream):
 
     __slots__ = ("_jitter",)
 
-    def __init__(self, *args, jitter: float = 1.0, **kwargs) -> None:
+    def __init__(self, *args: Any, jitter: float = 1.0, **kwargs: Any) -> None:
         if not 0.0 <= jitter <= 1.0:
             raise ValueError(f"cbr jitter must be in [0, 1], got {jitter}")
         self._jitter = jitter
@@ -126,12 +126,12 @@ class OnOffArrivalStream(MergedArrivalStream):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         on_mean: float,
         off_mean: float,
         tail: str = "exp",
         alpha: float = 1.5,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         if on_mean <= 0.0:
             raise ValueError(f"on_mean must be > 0, got {on_mean}")
@@ -184,7 +184,7 @@ class OnOffArrivalStream(MergedArrivalStream):
 # --------------------------------------------------------------------- #
 # the declarative spec
 # --------------------------------------------------------------------- #
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # repro-lint: boundary
 class SourceSpec:
     """Declarative description of one injection process.
 
@@ -268,22 +268,23 @@ class SourceSpec:
         spawn: Callable[[float, int, int], None],
         *,
         arrival_mode: str = "legacy",
-    ):
+    ) -> Any:
         """Build this spec's arrival stream (the engine-facing
-        ``ArrivalSource``)."""
+        ``ArrivalSource`` duck type -- trace replay shares no base
+        class with the generated streams, so the static type is open)."""
         return self.source.make_stream(
             self, rng, num_nodes, unicast_rate, multicast_rate,
             multicast_nodes, dest_cdfs, spawn, arrival_mode=arrival_mode,
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Canonical nested-dict form (JSON-ready)."""
         d = dataclasses.asdict(self)
         d["hotspots"] = list(d["hotspots"])
         return d
 
 
-def source_from_dict(data: dict) -> SourceSpec:
+def source_from_dict(data: dict[str, Any]) -> SourceSpec:
     """Inverse of :meth:`SourceSpec.as_dict` (tolerates nested dicts)."""
     known = {f.name for f in dataclasses.fields(SourceSpec)}
     unknown = set(data) - known
@@ -337,7 +338,7 @@ class TrafficSource:
         spawn: Callable[[float, int, int], None],
         *,
         arrival_mode: str = "legacy",
-    ):
+    ) -> Any:
         raise NotImplementedError
 
     @staticmethod
@@ -360,9 +361,18 @@ class PoissonSource(TrafficSource):
         return "memoryless Poisson injection (the paper's assumption)"
 
     def make_stream(
-        self, spec, rng, num_nodes, unicast_rate, multicast_rate,
-        multicast_nodes, dest_cdfs, spawn, *, arrival_mode="legacy",
-    ):
+        self,
+        spec: SourceSpec,
+        rng: np.random.Generator,
+        num_nodes: int,
+        unicast_rate: float,
+        multicast_rate: float,
+        multicast_nodes: Sequence[int],
+        dest_cdfs: Optional[list[np.ndarray]],
+        spawn: Callable[[float, int, int], None],
+        *,
+        arrival_mode: str = "legacy",
+    ) -> Any:
         # the exact call NocSimulator.run always made: same factory,
         # same argument order, same rng -- bitwise-identical realisation
         return make_arrival_stream(
@@ -388,9 +398,18 @@ class CBRSource(TrafficSource):
         )
 
     def make_stream(
-        self, spec, rng, num_nodes, unicast_rate, multicast_rate,
-        multicast_nodes, dest_cdfs, spawn, *, arrival_mode="legacy",
-    ):
+        self,
+        spec: SourceSpec,
+        rng: np.random.Generator,
+        num_nodes: int,
+        unicast_rate: float,
+        multicast_rate: float,
+        multicast_nodes: Sequence[int],
+        dest_cdfs: Optional[list[np.ndarray]],
+        spawn: Callable[[float, int, int], None],
+        *,
+        arrival_mode: str = "legacy",
+    ) -> Any:
         self._require_legacy_mode(spec, arrival_mode)
         return CBRArrivalStream(
             rng, num_nodes, unicast_rate, multicast_rate,
@@ -431,9 +450,18 @@ class OnOffSource(TrafficSource):
         )
 
     def make_stream(
-        self, spec, rng, num_nodes, unicast_rate, multicast_rate,
-        multicast_nodes, dest_cdfs, spawn, *, arrival_mode="legacy",
-    ):
+        self,
+        spec: SourceSpec,
+        rng: np.random.Generator,
+        num_nodes: int,
+        unicast_rate: float,
+        multicast_rate: float,
+        multicast_nodes: Sequence[int],
+        dest_cdfs: Optional[list[np.ndarray]],
+        spawn: Callable[[float, int, int], None],
+        *,
+        arrival_mode: str = "legacy",
+    ) -> Any:
         self._require_legacy_mode(spec, arrival_mode)
         return OnOffArrivalStream(
             rng, num_nodes, unicast_rate, multicast_rate,
@@ -468,13 +496,24 @@ class HotspotSource(TrafficSource):
             f"[{spec.base.describe()}]"
         )
 
-    def unicast_weights(self, spec, num_nodes):
+    def unicast_weights(
+        self, spec: SourceSpec, num_nodes: int
+    ) -> Optional[tuple[float, ...]]:
         return hotspot_weights(num_nodes, spec.hotspots, spec.hotspot_factor)
 
     def make_stream(
-        self, spec, rng, num_nodes, unicast_rate, multicast_rate,
-        multicast_nodes, dest_cdfs, spawn, *, arrival_mode="legacy",
-    ):
+        self,
+        spec: SourceSpec,
+        rng: np.random.Generator,
+        num_nodes: int,
+        unicast_rate: float,
+        multicast_rate: float,
+        multicast_nodes: Sequence[int],
+        dest_cdfs: Optional[list[np.ndarray]],
+        spawn: Callable[[float, int, int], None],
+        *,
+        arrival_mode: str = "legacy",
+    ) -> Any:
         # destination skew acts through dest_cdfs (built by the caller
         # from unicast_weights); the timing process is the base's
         return spec.base.make_stream(
@@ -498,9 +537,18 @@ class TraceSource(TrafficSource):
         return f"replay of {spec.trace_path} (digest {digest})"
 
     def make_stream(
-        self, spec, rng, num_nodes, unicast_rate, multicast_rate,
-        multicast_nodes, dest_cdfs, spawn, *, arrival_mode="legacy",
-    ):
+        self,
+        spec: SourceSpec,
+        rng: np.random.Generator,
+        num_nodes: int,
+        unicast_rate: float,
+        multicast_rate: float,
+        multicast_nodes: Sequence[int],
+        dest_cdfs: Optional[list[np.ndarray]],
+        spawn: Callable[[float, int, int], None],
+        *,
+        arrival_mode: str = "legacy",
+    ) -> Any:
         self._require_legacy_mode(spec, arrival_mode)
         from repro.traffic.trace import TraceArrivalStream
 

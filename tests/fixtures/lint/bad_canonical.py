@@ -1,0 +1,20 @@
+"""Seeded-violation fixture: unsorted iteration and unsorted JSON in
+canonicalization functions (checked tree-wide, not only in the core)."""
+
+import json
+
+
+def task_key(entries: dict) -> str:
+    parts = [f"{k}={v}" for k, v in entries.items()]
+    return json.dumps(parts)
+
+
+def canonical() -> list:
+    out = []
+    for tag in {"cw", "ccw", "across"}:
+        out.append(tag)
+    return out
+
+
+def group_key(members) -> tuple:
+    return tuple(m for m in {x.lower() for x in members})

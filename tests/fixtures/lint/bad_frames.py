@@ -1,0 +1,29 @@
+"""Seeded-violation fixture: a protocol vocabulary whose registry lies
+-- one message class is missing, one is versioned beyond the wire
+protocol, and one entry names a class that does not exist here."""
+
+from dataclasses import dataclass
+
+PROTOCOL_VERSION = 2
+
+
+@dataclass(frozen=True)
+class Ping:
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Pong:
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Forgotten:
+    detail: str = ""
+
+
+MESSAGE_TYPES = {
+    Ping: 1,
+    Pong: 3,
+    Phantom: 1,  # noqa: F821 -- deliberately undefined
+}

@@ -1,0 +1,20 @@
+"""Seeded-violation fixture: a canonicalizing dataclass that loses
+fields -- one never reaches the dict, one is popped without a
+justified allowlist comment, and one pop names a field that no longer
+exists."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadSpec:
+    rate: float = 0.0
+    length: int = 1
+    note: str = ""
+    forgotten: int = 0
+
+    def canonical(self) -> dict:
+        d = {"rate": self.rate, "length": self.length, "note": self.note}
+        d.pop("note")
+        d.pop("renamed_away")
+        return d

@@ -1,0 +1,22 @@
+"""Seeded-violation fixture: frame-boundary classes capturing
+unpicklable state -- a lambda field default, a lock assigned in
+``__init__``, and an open file smuggled via the frozen-dataclass
+``object.__setattr__`` idiom.  The subclass inherits the boundary
+obligation without its own marker."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass  # repro-lint: boundary
+class BadMessage:
+    decode: object = field(default=lambda raw: raw)
+    fallback: object = lambda raw: raw
+
+    def __post_init__(self):
+        object.__setattr__(self, "handle", open("/dev/null"))
+
+
+class BadChild(BadMessage):
+    def __init__(self):
+        self.guard = threading.Lock()

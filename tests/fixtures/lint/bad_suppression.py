@@ -1,0 +1,14 @@
+"""Seeded-violation fixture: malformed suppressions -- one without a
+justification, one naming no rule -- plus a valid standalone
+suppression proving the form that silences the line below."""
+
+import json
+
+
+def config_key(data: dict) -> str:
+    out = json.dumps(data)  # repro-lint: ok determinism
+    # repro-lint: ok
+    parts = sorted(data)
+    # repro-lint: ok determinism -- fixture: proves standalone suppressions work
+    blob = json.dumps(parts)
+    return out + blob

@@ -1,0 +1,28 @@
+"""Known-good fixture: every message class registered with a version
+inside 1..PROTOCOL_VERSION; plain classes are infrastructure and need
+no entry."""
+
+from dataclasses import dataclass
+
+PROTOCOL_VERSION = 2
+
+
+@dataclass(frozen=True)
+class Ping:
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Pong:
+    seq: int = 0
+    echoed: bool = True
+
+
+class Transport:
+    """Not a message: never rides a frame, needs no registry entry."""
+
+
+MESSAGE_TYPES = {
+    Ping: 1,
+    Pong: 2,
+}

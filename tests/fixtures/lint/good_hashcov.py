@@ -1,0 +1,21 @@
+"""Known-good fixture: the asdict house style with the
+omit-when-default idiom and a justified allowlist pop."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    rate: float = 0.0
+    length: int = 1
+    label: str = ""
+    extra: tuple = ()
+
+    def canonical(self) -> dict:
+        d = dataclasses.asdict(self)
+        # repro-lint: ok hash-coverage -- label is descriptive provenance
+        d.pop("label")
+        if not d["extra"]:
+            d.pop("extra")
+        return d

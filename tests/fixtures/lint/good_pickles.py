@@ -1,0 +1,14 @@
+"""Known-good fixture: a frame-boundary class carrying plain data; a
+``default_factory`` lambda is fine because only its *result* rides the
+frame, never the callable itself."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)  # repro-lint: boundary
+class GoodMessage:
+    seq: int = 0
+    payload: tuple = ()
+    tags: list = field(default_factory=lambda: [])
+    error: Optional[str] = None

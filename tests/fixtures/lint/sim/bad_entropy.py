@@ -1,0 +1,20 @@
+"""Seeded-violation fixture: ambient entropy inside the deterministic
+core (the ``sim/`` path segment puts this file in scope)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def legacy_stream():
+    np.random.seed(7)
+    return np.random.RandomState(7)

@@ -1,0 +1,15 @@
+"""Known-good fixture: all randomness traces to an explicit seed."""
+
+import numpy as np
+
+
+def seeded_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def spawned(seed: int, n: int):
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())

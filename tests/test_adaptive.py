@@ -15,10 +15,10 @@ import math
 
 import pytest
 
+from repro.experiments.compare import run_grid
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import ResultCache
-from repro.experiments.runner import run_experiment, sweep_tasks
-from repro.experiments.compare import run_grid
+from repro.experiments.runner import run_experiment
 from repro.orchestration import ParallelExecutor, SerialExecutor, SimTask, run_tasks
 from repro.sim import AdaptiveSettings, SimConfig, replication_tasks
 from repro.sim.adaptive import (

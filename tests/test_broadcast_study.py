@@ -1,6 +1,5 @@
 """Tests for the broadcast scaling study."""
 
-import math
 
 import pytest
 

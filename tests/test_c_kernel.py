@@ -22,7 +22,6 @@ Tests marked ``requires_c`` skip cleanly on a build without the
 extension (the compiler-free CI job); everything else runs everywhere.
 """
 
-import math
 import random
 
 import pytest

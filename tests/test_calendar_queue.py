@@ -17,7 +17,6 @@ bit for bit.  This file pins that equivalence three ways:
   the typed-record ``pop`` guard).
 """
 
-import dataclasses
 import math
 import random
 
@@ -26,13 +25,7 @@ import pytest
 from repro.core.flows import TrafficSpec
 from repro.routing import MeshRouting, QuarcRouting
 from repro.sim import AUTO_KERNEL_MIN_NODES, KERNELS, NocSimulator, SimConfig
-from repro.sim.engine import (
-    _TRIM,
-    EV_CALL,
-    EV_INJECT,
-    EventQueue,
-    HeapEventQueue,
-)
+from repro.sim.engine import _TRIM, EV_INJECT, EventQueue, HeapEventQueue
 from repro.sim.reference import ScriptedWorm
 from repro.sim.scripted import run_scripted
 from repro.sim.worm import Worm, WormClass

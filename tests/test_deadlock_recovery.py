@@ -7,7 +7,6 @@ waiting for the next one -- the canonical wormhole cyclic wait
 blocks, teleport the youngest, and let the rest drain normally.
 """
 
-import pytest
 
 from repro.sim.deadlock import choose_victim, find_wait_cycle
 from repro.sim.engine import EventQueue

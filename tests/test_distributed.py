@@ -38,9 +38,9 @@ from repro.distributed.protocol import (
     recv_msg,
     send_msg,
 )
+from repro.experiments.compare import run_grid
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import ResultCache
-from repro.experiments.compare import run_grid
 from repro.orchestration import SimTask, run_tasks
 from repro.sim import SimConfig
 

@@ -29,7 +29,7 @@ from repro.faults import (
 )
 from repro.monitors import MONITORS, build_monitors
 from repro.orchestration.executor import ParallelExecutor, run_tasks
-from repro.orchestration.tasks import SimTask, execute_task
+from repro.orchestration.tasks import SimTask
 from repro.routing import QuarcRouting
 from repro.sim import NocSimulator, SimConfig
 from repro.sim.wormengine import KERNELS

@@ -7,7 +7,6 @@ from repro.core.channel_graph import ChannelGraph, ChannelKind
 from repro.core.flows import TrafficSpec, build_flows
 from repro.routing import QuarcRouting
 from repro.topology import QuarcTopology
-from repro.workloads import random_multicast_sets
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,385 @@
+"""The analysis framework, tested against itself.
+
+Three layers: the seeded-violation fixtures under
+``tests/fixtures/lint/`` must produce exactly the findings they were
+written to produce (and the known-good twins none); the suppression
+grammar and exit-code contract must hold; and -- the tier-1 gate -- the
+shipped tree must be lint-clean, so a contract regression fails the
+test suite even where CI does not run ``python -m repro lint``
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, lint_main
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.frames import FrameRegistryRule
+from repro.analysis.framework import load_module, run_lint
+from repro.analysis.hashcov import HashCoverageRule
+from repro.analysis.pickles import PicklabilityRule
+from repro.distributed.protocol import (
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    Heartbeat,
+    ProtocolError,
+    vet_message,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_fixture(name: str, rule_cls=None) -> list:
+    rules = [rule_cls()] if rule_cls else [cls() for cls in ALL_RULES]
+    return run_lint([FIXTURES / name], rules=rules, root=FIXTURES)
+
+
+# --------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------- #
+class TestDeterminismRule:
+    def test_bad_entropy_fixture(self):
+        findings = lint_fixture("sim/bad_entropy.py", DeterminismRule)
+        messages = "\n".join(f.message for f in findings)
+        assert "import of `random`" in messages
+        assert "`random.random()`" in messages
+        assert "`time.time()`" in messages
+        assert "bare `np.random.default_rng()`" in messages
+        assert "`np.random.seed()` uses numpy's global RNG state" in messages
+        assert "legacy `RandomState` generator" in messages
+
+    def test_good_entropy_fixture_is_clean(self):
+        assert lint_fixture("sim/good_entropy.py", DeterminismRule) == []
+
+    def test_core_scoping(self, tmp_path):
+        # the same entropy outside a core path segment is not flagged
+        src = (FIXTURES / "sim" / "bad_entropy.py").read_text()
+        outside = tmp_path / "orchestration" / "helper.py"
+        outside.parent.mkdir()
+        outside.write_text(src)
+        findings = run_lint([outside], rules=[DeterminismRule()], root=tmp_path)
+        assert findings == []
+
+    def test_canonicalization_checked_everywhere(self):
+        # *_key / canonical functions are checked even outside the core
+        findings = lint_fixture("bad_canonical.py", DeterminismRule)
+        messages = "\n".join(f.message for f in findings)
+        assert "without sort_keys=True" in messages
+        assert "a dict `.items()` view" in messages
+        assert "a set literal" in messages
+        assert "a set comprehension" in messages
+
+    def test_seeded_rng_allowed_in_core(self, tmp_path):
+        core = tmp_path / "sim" / "mod.py"
+        core.parent.mkdir()
+        core.write_text(
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert run_lint([core], rules=[DeterminismRule()], root=tmp_path) == []
+
+
+# --------------------------------------------------------------------- #
+# hash coverage
+# --------------------------------------------------------------------- #
+class TestHashCoverageRule:
+    def test_bad_fixture_findings(self):
+        findings = lint_fixture("bad_hashcov.py", HashCoverageRule)
+        messages = [f.message for f in findings]
+        assert any("`BadSpec.note` is unconditionally dropped" in m for m in messages)
+        assert any("`BadSpec.forgotten` never appears" in m for m in messages)
+        assert any("pops `'renamed_away'`" in m for m in messages)
+        assert len(findings) == 3
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("good_hashcov.py", HashCoverageRule) == []
+
+    def test_new_field_without_coverage_is_caught(self, tmp_path):
+        # the exact regression the rule exists for: a dataclass grows a
+        # field and the literal-dict canonical method does not learn it
+        mod = tmp_path / "spec.py"
+        mod.write_text(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Spec:\n"
+            "    rate: float = 0.0\n"
+            "    burst: int = 0\n"
+            "    def canonical(self):\n"
+            "        return {'rate': self.rate}\n"
+        )
+        findings = run_lint([mod], rules=[HashCoverageRule()], root=tmp_path)
+        assert len(findings) == 1
+        assert "`Spec.burst` never appears" in findings[0].message
+
+    def test_asdict_covers_new_fields_automatically(self, tmp_path):
+        mod = tmp_path / "spec.py"
+        mod.write_text(
+            "import dataclasses\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Spec:\n"
+            "    rate: float = 0.0\n"
+            "    burst: int = 0\n"
+            "    def canonical(self):\n"
+            "        return dataclasses.asdict(self)\n"
+        )
+        assert run_lint([mod], rules=[HashCoverageRule()], root=tmp_path) == []
+
+    def test_contract_classes_must_keep_canonical_methods(self, tmp_path):
+        # a module at a pinned contract path that loses the class fails
+        target = tmp_path / "repro" / "orchestration" / "tasks.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("X = 1\n")
+        findings = run_lint([target], rules=[HashCoverageRule()], root=tmp_path)
+        assert any("`SimTask` no longer defines" in f.message for f in findings)
+
+
+# --------------------------------------------------------------------- #
+# picklability
+# --------------------------------------------------------------------- #
+class TestPicklabilityRule:
+    def test_bad_fixture_findings(self):
+        findings = lint_fixture("bad_pickles.py", PicklabilityRule)
+        messages = "\n".join(f.message for f in findings)
+        assert "`BadMessage` stores a lambda (default of field `decode`)" in messages
+        assert "`BadMessage` stores a lambda (default of field `fallback`)" in messages
+        assert "stores an open file handle (assignment to `self.handle`)" in messages
+        # the subclass inherits the boundary obligation
+        assert "`BadChild` stores a lock (assignment to `self.guard`)" in messages
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("good_pickles.py", PicklabilityRule) == []
+
+    def test_unmarked_class_out_of_scope(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import threading\n"
+            "class Runtime:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        )
+        assert run_lint([mod], rules=[PicklabilityRule()], root=tmp_path) == []
+
+    def test_protocol_module_always_in_scope(self, tmp_path):
+        proto = tmp_path / "distributed" / "protocol.py"
+        proto.parent.mkdir()
+        proto.write_text(
+            "class Frame:\n"
+            "    def __init__(self):\n"
+            "        self.codec = lambda b: b\n"
+        )
+        findings = run_lint([proto], rules=[PicklabilityRule()], root=tmp_path)
+        assert len(findings) == 1
+        assert "stores a lambda" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# frame registry
+# --------------------------------------------------------------------- #
+class TestFrameRegistryRule:
+    def test_bad_fixture_findings(self):
+        findings = lint_fixture("bad_frames.py", FrameRegistryRule)
+        messages = "\n".join(f.message for f in findings)
+        assert "`Forgotten` is not registered" in messages
+        assert "`Pong` version 3 is outside 1..PROTOCOL_VERSION (2)" in messages
+        assert "`Phantom` is not a class defined in this module" in messages
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("good_frames.py", FrameRegistryRule) == []
+
+    def test_missing_registry_on_protocol_module(self, tmp_path):
+        proto = tmp_path / "distributed" / "protocol.py"
+        proto.parent.mkdir()
+        proto.write_text("PROTOCOL_VERSION = 2\n")
+        findings = run_lint([proto], rules=[FrameRegistryRule()], root=tmp_path)
+        assert any("defines no `MESSAGE_TYPES`" in f.message for f in findings)
+
+    def test_live_registry_matches_protocol(self):
+        # every registered version is sane, and the registry covers all
+        # message dataclasses in the live protocol module
+        assert MESSAGE_TYPES
+        for cls, version in MESSAGE_TYPES.items():
+            assert 1 <= version <= PROTOCOL_VERSION, cls
+
+    def test_vet_message_accepts_registered(self):
+        hb = Heartbeat(worker_id="w1")
+        assert vet_message(hb) is hb
+
+    def test_vet_message_refuses_unregistered(self):
+        with pytest.raises(ProtocolError, match="unregistered message type"):
+            vet_message(("tuple", "payload"))
+
+
+# --------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_bad_suppression_fixture(self):
+        findings = lint_fixture("bad_suppression.py")
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        # the reason-less inline suppression does not silence its line
+        assert any(
+            "without sort_keys" in f.message for f in by_rule["determinism"]
+        )
+        sup_messages = [f.message for f in by_rule["suppression"]]
+        assert any("without a justification" in m for m in sup_messages)
+        assert any("names no rule" in m for m in sup_messages)
+        # the valid standalone suppression silenced the second dumps
+        dumps_findings = [
+            f for f in by_rule["determinism"] if "sort_keys" in f.message
+        ]
+        assert len(dumps_findings) == 1
+
+    def test_inline_suppression_silences_same_line(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import json\n"
+            "def spec_key(d):\n"
+            "    return json.dumps(d)"
+            "  # repro-lint: ok determinism -- fixture reason\n"
+        )
+        assert run_lint([mod], rules=[DeterminismRule()], root=tmp_path) == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import json\n"
+            "def spec_key(d):\n"
+            "    return json.dumps(d)"
+            "  # repro-lint: ok picklable -- wrong rule named\n"
+        )
+        findings = run_lint([mod], rules=[DeterminismRule()], root=tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+
+    def test_comma_separated_rules(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import json\n"
+            "def spec_key(d):\n"
+            "    return json.dumps(d)"
+            "  # repro-lint: ok picklable, determinism -- both named\n"
+        )
+        assert run_lint([mod], rules=[DeterminismRule()], root=tmp_path) == []
+
+    def test_docstring_mention_is_inert(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            '"""Docs may mention `# repro-lint: ok determinism` freely."""\n'
+            "X = 1\n"
+        )
+        assert run_lint([mod], root=tmp_path) == []
+
+    def test_boundary_marker_parsed(self):
+        module = load_module(FIXTURES / "good_pickles.py", root=FIXTURES)
+        assert module.boundary_lines  # the decorator-line marker was seen
+
+
+# --------------------------------------------------------------------- #
+# CLI exit-code contract
+# --------------------------------------------------------------------- #
+class TestCliContract:
+    def test_exit_clean_on_good_fixture(self, capsys):
+        code = lint_main([str(FIXTURES / "good_hashcov.py")])
+        assert code == EXIT_CLEAN
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+    def test_exit_findings_on_bad_fixture(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_hashcov.py")])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "[hash-coverage]" in out
+        assert "finding(s)" in out
+
+    def test_exit_usage_on_unknown_rule(self, capsys):
+        code = lint_main(["--rule", "no-such-rule", str(FIXTURES)])
+        assert code == EXIT_USAGE
+
+    def test_exit_usage_on_missing_path(self, capsys):
+        code = lint_main([str(FIXTURES / "does_not_exist.py")])
+        assert code == EXIT_USAGE
+
+    def test_exit_usage_on_bad_flag(self, capsys):
+        assert lint_main(["--format", "yaml", str(FIXTURES)]) == EXIT_USAGE
+
+    def test_json_format(self, capsys):
+        code = lint_main(["--format", "json", str(FIXTURES / "bad_hashcov.py")])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert all(
+            set(f) == {"path", "line", "rule", "message", "hint"} for f in payload
+        )
+        assert all(f["rule"] == "hash-coverage" for f in payload)
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.name in out
+
+    def test_rule_filter_runs_only_named_rule(self, capsys):
+        # bad_entropy has determinism findings but no hash-coverage ones
+        code = lint_main(
+            ["--rule", "hash-coverage", str(FIXTURES / "sim" / "bad_entropy.py")]
+        )
+        assert code == EXIT_CLEAN
+
+    def test_parse_error_is_a_finding(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        code = lint_main([str(broken)])
+        assert code == EXIT_FINDINGS
+        assert "[parse-error]" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        # the real `python -m repro lint <bad fixture>` path, end to end
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(FIXTURES / "bad_frames.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert proc.returncode == EXIT_FINDINGS
+        assert "[frame-registry]" in proc.stdout
+
+
+# --------------------------------------------------------------------- #
+# the tier-1 gate: the shipped tree is clean
+# --------------------------------------------------------------------- #
+class TestShippedTreeClean:
+    def test_src_examples_benchmarks_are_lint_clean(self):
+        targets = [
+            p
+            for p in (
+                REPO_ROOT / "src" / "repro",
+                REPO_ROOT / "examples",
+                REPO_ROOT / "benchmarks",
+            )
+            if p.exists()
+        ]
+        findings = run_lint(targets, root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_test_tree_is_lint_clean(self):
+        # the tests themselves obey the contract rules; the seeded
+        # fixtures are the single deliberate exception
+        findings = run_lint([REPO_ROOT / "tests"], root=REPO_ROOT)
+        findings = [f for f in findings if not f.path.startswith("tests/fixtures/lint")]
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -13,10 +13,10 @@ import pickle
 import pytest
 
 from repro.core import TrafficSpec
+from repro.experiments.compare import run_grid
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import ResultCache
 from repro.experiments.runner import run_experiment, sweep_tasks
-from repro.experiments.compare import run_grid
 from repro.orchestration import (
     ParallelExecutor,
     SerialExecutor,

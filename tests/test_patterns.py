@@ -1,10 +1,8 @@
 """Tests for weighted (hotspot) unicast destination distributions."""
 
-import numpy as np
 import pytest
 
 from repro.core import AnalyticalModel, TrafficSpec
-from repro.core.channel_graph import ChannelKind
 from repro.routing import QuarcRouting
 from repro.sim import NocSimulator, SimConfig
 from repro.topology import QuarcTopology

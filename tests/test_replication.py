@@ -8,12 +8,7 @@ import pytest
 from repro.core.flows import TrafficSpec
 from repro.routing import QuarcRouting
 from repro.sim import NocSimulator, SimConfig
-from repro.sim.replication import (
-    ReplicationSummary,
-    mser_truncation,
-    run_replications,
-    t_quantile_975,
-)
+from repro.sim.replication import mser_truncation, run_replications, t_quantile_975
 from repro.topology import QuarcTopology
 from repro.workloads import random_multicast_sets
 

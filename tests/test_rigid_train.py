@@ -9,7 +9,6 @@ shorter than their path, and randomized scenarios.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.sim.reference import FlitLevelSimulator, ScriptedWorm

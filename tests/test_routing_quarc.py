@@ -206,7 +206,8 @@ class TestMulticastRoutes:
         rng = np.random.default_rng(seed)
         src = int(rng.integers(0, n))
         others = [x for x in range(n) if x != src]
-        dests = [others[int(i)] for i in rng.choice(len(others), size=min(size, len(others)), replace=False)]
+        picks = rng.choice(len(others), size=min(size, len(others)), replace=False)
+        dests = [others[int(i)] for i in picks]
         routes = routing.multicast_routes(src, dests)
         covered = set()
         for route in routes:

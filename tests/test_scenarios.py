@@ -17,7 +17,6 @@ import warnings
 
 import pytest
 
-from repro.faults import FaultSpec, QoSClass, QoSSpec, link_kill
 from repro.experiments.compare import (
     divergence_panels,
     render_divergence_summary,
@@ -29,6 +28,7 @@ from repro.experiments.runner import (
     SweepPoint,
     apply_task_result,
 )
+from repro.faults import FaultSpec, QoSClass, QoSSpec, link_kill
 from repro.orchestration import SimTask, make_executor
 from repro.orchestration.tasks import StatsSummary, TaskResult
 from repro.sim import AdaptiveSettings, SimConfig

@@ -1,6 +1,5 @@
 """Tests for the Eq. 6 service-time fixed point."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Behavioural tests for the Poisson-traffic NoC simulator."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.core import AnalyticalModel, TrafficSpec
 from repro.core.channel_graph import ChannelKind
 from repro.routing import QuarcRouting
 from repro.sim import NocSimulator, SimConfig
-from repro.sim.reference import ScriptedWorm
 from repro.sim.engine import EventQueue
 from repro.sim.trace import ChannelUtilizationTracer, CompositeTracer
 from repro.sim.worm import Worm, WormClass

@@ -13,7 +13,6 @@ enough to be seed-robust but tight enough that a broken model (e.g. a
 dropped discount factor or a wrong quadrant) fails clearly.
 """
 
-import math
 
 import pytest
 
